@@ -1,0 +1,60 @@
+"""Ablation: Eq. 1 model-driven scale-up vs naive jump-to-max.
+
+The paper argues the utilization model matters because "overclocking
+VMs indiscriminately will increase the power consumption". A naive
+controller that always jumps to the top bin achieves similar latency
+but burns more power; the Eq. 1 search picks the *minimum* sufficient
+frequency.
+"""
+
+from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
+from repro.sim import OpenLoopSource, PiecewiseSchedule, Simulator
+
+
+def _run(frequency_bin_count: int, seed: int = 5):
+    """frequency_bin_count=2 degenerates the ladder to {min, max}: the
+    naive jump-to-max controller. 8 is the paper's model-driven ladder."""
+    simulator = Simulator(seed=seed)
+    policy = AutoscalePolicy(
+        mode=ScalerMode.OC_A,
+        enable_scale_out=False,
+        frequency_bin_count=frequency_bin_count,
+    )
+    autoscaler = AutoScaler(simulator, policy, initial_vms=3, warmup_s=20.0)
+    # A sustained load just above the 40% scale-up threshold: an
+    # intermediate frequency bin suffices, and the Eq. 1 search should
+    # hold it instead of riding the top bin for the whole run.
+    schedule = PiecewiseSchedule([(0.0, 1200.0)])
+    source = OpenLoopSource(
+        simulator, autoscaler.load_balancer.route, rate_per_second=1200, burst_mean=3.0
+    )
+    simulator.every(5.0, lambda: source.set_rate(schedule.value_at(simulator.now)))
+    simulator.run(until=900.0)
+    return autoscaler.finish()
+
+
+def compare():
+    model_driven = _run(frequency_bin_count=8)
+    naive = _run(frequency_bin_count=2)
+    return {
+        "model_power": model_driven.power.average_watts(),
+        "naive_power": naive.power.average_watts(),
+        "model_p95": model_driven.latency.p95(),
+        "naive_p95": naive.latency.p95(),
+    }
+
+
+def test_ablation_eq1_model(benchmark, emit):
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit(
+        "ablation_eq1_model",
+        "Ablation - Eq. 1 ladder vs naive jump-to-max (scale-up only)\n"
+        f"model-driven: {result['model_power']:.1f} W avg, "
+        f"P95 {result['model_p95'] * 1000:.1f} ms\n"
+        f"jump-to-max : {result['naive_power']:.1f} W avg, "
+        f"P95 {result['naive_p95'] * 1000:.1f} ms",
+    )
+    # The model-driven ladder must not burn more power than jump-to-max,
+    # while staying in the same latency class.
+    assert result["model_power"] < result["naive_power"] - 0.5
+    assert result["model_p95"] <= result["naive_p95"] * 1.5

@@ -1,0 +1,52 @@
+"""Ablation: how OC-A's advantage depends on the scale-out latency.
+
+The paper emulates a 60 s deploy. This ablation sweeps the deploy
+latency and measures the P95 gap between OC-A and the baseline on a
+shortened ramp: the slower the deploy, the more latency overclocking
+hides.
+"""
+
+import pytest
+
+from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
+from repro.sim import OpenLoopSource, PiecewiseSchedule, Simulator
+
+LATENCIES_S = (15.0, 60.0, 120.0)
+
+
+def _run(mode: ScalerMode, deploy_latency_s: float, seed: int = 5) -> float:
+    simulator = Simulator(seed=seed)
+    autoscaler = AutoScaler(
+        simulator,
+        AutoscalePolicy(mode=mode),
+        initial_vms=1,
+        scale_out_latency_s=deploy_latency_s,
+        warmup_s=20.0,
+    )
+    schedule = PiecewiseSchedule.stepped(initial=300, step=300, period=150, count=5)
+    source = OpenLoopSource(
+        simulator, autoscaler.load_balancer.route, rate_per_second=300, burst_mean=3.0
+    )
+    simulator.every(5.0, lambda: source.set_rate(schedule.value_at(simulator.now)))
+    simulator.run(until=150.0 * 5)
+    return autoscaler.finish().latency.p95()
+
+
+def sweep() -> dict[float, float]:
+    """P95(OC-A)/P95(baseline) per deploy latency."""
+    return {
+        latency: _run(ScalerMode.OC_A, latency) / _run(ScalerMode.BASELINE, latency)
+        for latency in LATENCIES_S
+    }
+
+
+def test_ablation_scale_out_latency(benchmark, emit):
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation - OC-A P95 advantage vs deploy latency",
+             "deploy latency   normalized P95 (OC-A / baseline)"]
+    for latency, ratio in ratios.items():
+        lines.append(f"{latency:7.0f} s        {ratio:.2f}")
+    emit("ablation_scale_out_latency", "\n".join(lines))
+    assert all(ratio < 1.0 for ratio in ratios.values())
+    # Slower deploys widen the advantage.
+    assert ratios[120.0] <= ratios[15.0] + 0.05

@@ -1,0 +1,15 @@
+"""Benchmark: environmental analyses (WUE, vapor, air ceiling)."""
+
+from repro.experiments.environment import format_environment, run_wue
+from repro.thermal import EVAPORATIVE_WUE_L_PER_KWH
+
+
+def test_environment(benchmark, emit):
+    rows = benchmark(run_wue)
+    emit("environment", format_environment())
+    wue = dict(rows)
+    # Mild climates beat evaporative; the tight HFE loop in a hot
+    # climate lands "at par" (the paper's projection).
+    assert wue["2PIC FC-3284, temperate"] < EVAPORATIVE_WUE_L_PER_KWH
+    at_par = wue["2PIC HFE-7000, hot climate"]
+    assert 0.5 * EVAPORATIVE_WUE_L_PER_KWH < at_par < 1.5 * EVAPORATIVE_WUE_L_PER_KWH

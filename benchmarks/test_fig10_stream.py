@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10 — STREAM bandwidth across Table VII configs."""
+
+from repro.experiments.highperf_vms import format_fig10, run_fig10
+from repro.silicon import B1, B4, OC3
+from repro.workloads.stream import bandwidth_gain_over_b1
+
+
+def test_fig10_stream(benchmark, emit):
+    results = benchmark(run_fig10)
+    emit("fig10_stream", format_fig10())
+    assert len(results) == 28
+    # The paper's headline gains: B4 ~ +17%, OC3 ~ +24% over B1.
+    assert abs(bandwidth_gain_over_b1(B4) - 0.17) < 0.03
+    assert abs(bandwidth_gain_over_b1(OC3) - 0.24) < 0.03

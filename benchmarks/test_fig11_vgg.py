@@ -1,0 +1,16 @@
+"""Benchmark: Figure 11 — GPU overclocking for VGG training."""
+
+from repro.experiments.highperf_vms import format_fig11, run_fig11
+
+
+def test_fig11_vgg(benchmark, emit):
+    runs = benchmark(run_fig11)
+    emit("fig11_vgg", format_fig11())
+    by_key = {(r.model, r.config): r for r in runs}
+    # Up to ~15% faster; VGG16B saturates after OCG2.
+    best = min(r.normalized_time for r in runs)
+    assert 0.82 < best < 0.90
+    assert abs(
+        by_key[("VGG16B", "OCG3")].normalized_time
+        - by_key[("VGG16B", "OCG2")].normalized_time
+    ) < 0.005

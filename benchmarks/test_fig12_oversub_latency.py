@@ -1,0 +1,16 @@
+"""Benchmark: Figure 12 — SQL latency under core oversubscription."""
+
+from repro.experiments.oversubscription import format_fig12, run_fig12
+from repro.silicon import OC3
+from repro.workloads import cores_saved_by_overclocking
+
+
+def test_fig12_oversub_latency(benchmark, emit):
+    points = benchmark(run_fig12)
+    emit("fig12_oversub_latency", format_fig12())
+    by_key = {(p.config, p.pcores): p for p in points}
+    # The crossover: OC3@12 matches B2@16 within ~2%.
+    b2_full = by_key[("B2", 16)].p95_latency_ms
+    oc3_reduced = by_key[("OC3", 12)].p95_latency_ms
+    assert abs(oc3_reduced / b2_full - 1.0) < 0.02
+    assert cores_saved_by_overclocking(OC3, tolerance=0.03) == 4

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 16 + Table XI — the full auto-scaler comparison.
+
+This is the paper's headline closed-loop experiment: Baseline vs OC-E
+(overclock to hide scale-out) vs OC-A (overclock to avoid scale-out)
+over the 500->4000 QPS ramp. Takes a few minutes (three 40-minute
+simulations at up to 4000 requests/s).
+"""
+
+from repro.experiments.autoscaling import format_table11, run_fig16
+
+
+def test_fig16_table11_autoscaler(benchmark, emit):
+    result = benchmark.pedantic(run_fig16, kwargs={"seed": 1}, rounds=1, iterations=1)
+    emit("fig16_table11_autoscaler", format_table11(result))
+    rows = {row.config: row for row in result.table11}
+    baseline, oc_e, oc_a = rows["baseline"], rows["oc-e"], rows["oc-a"]
+    # Who wins: both overclocking modes beat the baseline on latency.
+    assert oc_e.norm_p95_latency < 0.97
+    assert oc_a.norm_p95_latency < 0.97
+    assert oc_e.norm_avg_latency < 1.0 and oc_a.norm_avg_latency < 1.0
+    # OC-A postpones scale-outs: never more VMs, strictly fewer VM-hours
+    # (the paper's 11% VM-hour saving for the user).
+    assert oc_a.max_vms <= baseline.max_vms
+    assert oc_a.vm_hours < baseline.vm_hours
+    assert oc_a.vm_hours < oc_e.vm_hours
+    # Overclocking costs power: OC-A draws the most on average.
+    assert oc_a.avg_power_watts > baseline.avg_power_watts
+    assert oc_a.avg_power_watts >= oc_e.avg_power_watts

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 4 operating domains."""
+
+from repro.experiments.characterization import format_fig4, run_fig4
+
+
+def test_fig4_domains(benchmark, emit):
+    bands = benchmark(run_fig4)
+    emit("fig4_domains", format_fig4())
+    assert [name for name, _, _ in bands] == ["guaranteed", "turbo", "overclocking"]

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 9 — overclocking the eight cloud applications."""
+
+from repro.experiments.highperf_vms import format_fig9, run_fig9
+
+
+def test_fig9_highperf_vms(benchmark, emit):
+    cells = benchmark(run_fig9)
+    emit("fig9_highperf_vms", format_fig9())
+    by_key = {(c.application, c.config): c for c in cells}
+    # Every application gains 8-30% somewhere in the OC configs.
+    apps = {c.application for c in cells}
+    for app in apps:
+        best = max(by_key[(app, cfg)].speedup for cfg in ("OC1", "OC2", "OC3"))
+        assert 1.08 <= best <= 1.30, app
+    # Memory overclocking helps memory-bound SQL significantly.
+    assert by_key[("SQL", "OC3")].speedup - by_key[("SQL", "OC2")].speedup > 0.05

@@ -1,0 +1,11 @@
+"""Benchmark: packing density under realistic VM churn."""
+
+from repro.experiments.packing_churn import format_packing_churn, run_packing_churn
+
+
+def test_packing_churn(benchmark, emit):
+    baseline, oversub = benchmark.pedantic(run_packing_churn, rounds=1, iterations=1)
+    emit("packing_churn", format_packing_churn())
+    assert oversub.admitted >= baseline.admitted
+    assert oversub.rejected <= baseline.rejected
+    assert oversub.peak_committed_vcores > baseline.peak_committed_vcores

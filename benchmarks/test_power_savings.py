@@ -1,0 +1,9 @@
+"""Benchmark: the Section IV per-server power savings decomposition."""
+
+from repro.experiments.characterization import format_power_savings, run_power_savings
+
+
+def test_power_savings(benchmark, emit):
+    savings = benchmark(run_power_savings)
+    emit("power_savings", format_power_savings())
+    assert 175.0 < savings.total_watts < 190.0  # the paper's ~182 W

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (cooling technology comparison)."""
+
+from repro.experiments.characterization import format_table1
+
+
+def test_table1_cooling(benchmark, emit):
+    text = benchmark(format_table1)
+    emit("table1_cooling", text)
+    assert "2PIC" in text

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table II (dielectric fluid properties)."""
+
+from repro.experiments.characterization import format_table2
+
+
+def test_table2_fluids(benchmark, emit):
+    text = benchmark(format_table2)
+    emit("table2_fluids", text)
+    assert "Boiling point" in text

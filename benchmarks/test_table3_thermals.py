@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table III (air vs 2PIC thermals and turbo)."""
+
+from repro.experiments.characterization import format_table3, run_table3
+
+
+def test_table3_thermals(benchmark, emit):
+    rows = benchmark(run_table3)
+    emit("table3_thermals", format_table3())
+    by_key = {(r.platform, r.cooling): r for r in rows}
+    # The paper's "+1 frequency bin in immersion" result.
+    assert by_key[("Xeon Platinum 8168", "2PIC")].max_turbo_ghz > by_key[
+        ("Xeon Platinum 8168", "Air")
+    ].max_turbo_ghz

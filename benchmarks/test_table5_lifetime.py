@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table V (lifetime projections)."""
+
+from repro.experiments.characterization import format_table5, run_table5
+
+
+def test_table5_lifetime(benchmark, emit):
+    rows = benchmark(run_table5)
+    emit("table5_lifetime", format_table5())
+    labels = {(r.cooling, r.overclocked): r.lifetime_label for r in rows}
+    assert labels[("Air cooling", False)] == "5 years"
+    assert labels[("Air cooling", True)] == "< 1 year"
+    assert labels[("3M FC-3284", False)] == "> 10 years"
+    assert labels[("3M HFE-7000", True)] == "5 years"

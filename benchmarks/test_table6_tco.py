@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table VI (TCO) and the Section VI-C numbers."""
+
+from repro.experiments.tco_experiments import (
+    format_oversubscription_tco,
+    format_table6,
+)
+from repro.tco import build_table6, oversubscription_analysis
+
+
+def test_table6_tco(benchmark, emit):
+    table = benchmark(build_table6)
+    emit("table6_tco", format_table6() + "\n\n" + format_oversubscription_tco())
+    assert table.non_overclockable_total_pct == -7
+    assert table.overclockable_total_pct == -4
+    analysis = oversubscription_analysis(0.10)
+    assert -0.15 < analysis.oc_2pic_vs_air < -0.11

@@ -1,0 +1,37 @@
+"""Benchmark: TCO sensitivity sweeps (extension of Table VI)."""
+
+from repro.experiments.tables import pct, render_table
+from repro.tco import sweep_energy_share, sweep_immersion_pue, sweep_oversubscription
+
+
+def run_all():
+    return (sweep_energy_share(), sweep_immersion_pue(), sweep_oversubscription())
+
+
+def test_tco_sensitivity(benchmark, emit):
+    energy, pue, oversub = benchmark(run_all)
+    text = "\n\n".join(
+        [
+            render_table(
+                ["Energy share", "non-OC cost/pcore", "OC cost/pcore"],
+                [(f"{p.value:.0%}", f"{p.non_oc_cost_per_pcore:.3f}",
+                  f"{p.oc_cost_per_pcore:.3f}") for p in energy],
+                title="TCO sensitivity — energy share of baseline TCO",
+            ),
+            render_table(
+                ["Achieved peak PUE", "non-OC cost/pcore", "OC cost/pcore"],
+                [(f"{p.value:.2f}", f"{p.non_oc_cost_per_pcore:.3f}",
+                  f"{p.oc_cost_per_pcore:.3f}") for p in pue],
+                title="TCO sensitivity — achieved immersion PUE",
+            ),
+            render_table(
+                ["Oversubscription", "OC cost/vcore vs air"],
+                [(f"{p.oversubscription:.0%}", pct(p.oc_cost_per_vcore_vs_air))
+                 for p in oversub],
+                title="TCO sensitivity — oversubscription level (Section VI-C curve)",
+            ),
+        ]
+    )
+    emit("tco_sensitivity", text)
+    ten_percent = next(p for p in oversub if abs(p.oversubscription - 0.10) < 1e-9)
+    assert -0.145 < ten_percent.oc_cost_per_vcore_vs_air < -0.11

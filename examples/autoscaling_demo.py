@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Overclocking-enhanced auto-scaling demo (paper Section VI-D).
+
+Runs a shortened version of the paper's Figure 16 experiment: a load
+ramp against the M/G/k client-server application under the three
+controller modes — Baseline (scale-out only), OC-E (overclock to hide
+the 60 s deploy), and OC-A (overclock to avoid deploys) — and prints a
+Table XI-style comparison plus a coarse utilization timeline.
+
+Run:  python examples/autoscaling_demo.py
+"""
+
+from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
+from repro.sim import OpenLoopSource, PiecewiseSchedule, Simulator
+
+
+def run_mode(mode: ScalerMode, seed: int = 7):
+    """One closed-loop run: 200->1600 QPS in +200 steps every 2 minutes."""
+    simulator = Simulator(seed=seed)
+    autoscaler = AutoScaler(
+        simulator, AutoscalePolicy(mode=mode), initial_vms=1, warmup_s=20.0
+    )
+    schedule = PiecewiseSchedule.stepped(initial=200, step=200, period=120, count=8)
+    source = OpenLoopSource(
+        simulator, autoscaler.load_balancer.route, rate_per_second=200
+    )
+    simulator.every(
+        5.0, lambda: source.set_rate(schedule.value_at(simulator.now))
+    )
+    simulator.run(until=120.0 * 8)
+    return autoscaler.finish()
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render a trace as a coarse text sparkline."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(blocks[min(len(blocks) - 1, int(v * (len(blocks) - 1)))] for v in sampled)
+
+
+def main() -> None:
+    results = {mode: run_mode(mode) for mode in ScalerMode}
+    baseline = results[ScalerMode.BASELINE]
+
+    print("Mode       P95 lat   Avg lat   MaxVMs  VMxh   AvgPower  Scale-outs")
+    print("-" * 70)
+    for mode, result in results.items():
+        print(
+            f"{mode.value:9s}  "
+            f"{result.latency.p95() * 1000:6.1f}ms  "
+            f"{result.latency.mean() * 1000:6.2f}ms  "
+            f"{result.max_vms:5d}  "
+            f"{result.vm_hours():5.2f}  "
+            f"{result.power.average_watts():6.0f} W  "
+            f"{result.scale_out_events:6d}"
+        )
+
+    print("\nNormalized to baseline:")
+    for mode in (ScalerMode.OC_E, ScalerMode.OC_A):
+        result = results[mode]
+        print(
+            f"  {mode.value:5s}: P95 x{result.latency.p95() / baseline.latency.p95():.2f}, "
+            f"avg x{result.latency.mean() / baseline.latency.mean():.2f}, "
+            f"power {result.power.average_watts() / baseline.power.average_watts() - 1:+.0%}"
+        )
+
+    print("\nUtilization timeline (0..100%):")
+    for mode, result in results.items():
+        values = [sample.value for sample in result.utilization_trace]
+        print(f"  {mode.value:9s} |{sparkline(values)}|")
+
+    print("\nFrequency timeline (3.4..4.1 GHz):")
+    for mode, result in results.items():
+        values = [
+            (sample.value - 3.4) / 0.7 for sample in result.frequency_trace
+        ]
+        print(f"  {mode.value:9s} |{sparkline(values)}|")
+
+
+if __name__ == "__main__":
+    main()

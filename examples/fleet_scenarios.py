@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fleet-level overclocking use-cases (paper Figures 6-7 and power capping).
+
+1. **Buffer reduction** (Fig. 6) — replace static failover buffers with
+   virtual ones: sell the buffer capacity, and on a host failure
+   re-create the displaced VMs on survivors and overclock them.
+2. **Capacity-crisis mitigation** (Fig. 7) — bridge a demand/supply gap
+   by overclock-backed oversubscription of the existing fleet.
+3. **Power capping** — overclocked hosts under an oversubscribed power
+   budget, with priority-aware shedding.
+
+Run:  python examples/fleet_scenarios.py
+"""
+
+from repro.cluster import (
+    Fleet,
+    Host,
+    PowerCapGovernor,
+    VMInstance,
+    VMSpec,
+    bridge_capacity_gap,
+)
+from repro.silicon import OC1
+from repro.thermal import TWO_PHASE_IMMERSION
+
+
+def build_hosts(count: int, prefix: str) -> list[Host]:
+    return [
+        Host(f"{prefix}-{index}", cooling=TWO_PHASE_IMMERSION, oversubscription_ratio=1.0)
+        for index in range(count)
+    ]
+
+
+def main() -> None:
+    vm_spec = VMSpec(vcores=4, memory_gb=8.0)
+
+    # ------------------------------------------------------------------
+    # 1. Buffer reduction: static buffer vs virtual (overclocked) buffer.
+    # ------------------------------------------------------------------
+    static_fleet = Fleet(build_hosts(10, "static"), buffer_hosts=2)
+    virtual_fleet = Fleet(build_hosts(10, "virtual"), buffer_hosts=0)
+    static_vms = static_fleet.fill_with(vm_spec, prefix="s")
+    virtual_vms = virtual_fleet.fill_with(vm_spec, prefix="v")
+    print("Buffer reduction (10 hosts, 28 pcores each):")
+    print(f"  static buffer (2 hosts reserved): {static_vms} customer VMs")
+    print(f"  virtual buffer (all hosts sold) : {virtual_vms} customer VMs "
+          f"({virtual_vms / static_vms - 1:+.0%})")
+
+    outcome = virtual_fleet.fail_host("virtual-0")
+    print(f"  after failing virtual-0: {outcome.recreated_vms} VMs re-created, "
+          f"{outcome.lost_vms} lost, hosts overclocked: {list(outcome.overclocked_hosts)}")
+
+    # ------------------------------------------------------------------
+    # 2. Capacity crisis: demand outruns the fleet by ~15%.
+    # ------------------------------------------------------------------
+    hosts = build_hosts(10, "crisis")
+    demand = int(sum(h.vcore_capacity for h in hosts) * 1.15)
+    plan = bridge_capacity_gap(hosts, demand_vcores=demand)
+    print(f"\nCapacity crisis: demand {plan.demand_vcores} vcores vs supply "
+          f"{plan.supply_vcores}:")
+    print(f"  gap {plan.gap_vcores} vcores; bridged {plan.bridged_vcores} by "
+          f"overclocking {plan.hosts_overclocked} hosts "
+          f"({'fully bridged' if plan.fully_bridged else 'NOT fully bridged'})")
+
+    # ------------------------------------------------------------------
+    # 3. Power capping with priorities.
+    # ------------------------------------------------------------------
+    governor = PowerCapGovernor()
+    capped_hosts = build_hosts(4, "cap")
+    for host in capped_hosts:
+        host.set_config(OC1)
+        for index in range(7):  # 28 vcores — fully committed
+            host.place(VMInstance(vm_id=f"{host.host_id}-vm{index}", spec=vm_spec))
+    fleet_power = sum(h.power_watts(0.9) for h in capped_hosts)
+    cap = fleet_power * 0.9
+    print(f"\nPower capping: 4 overclocked hosts drawing {fleet_power:.0f} W, "
+          f"cap {cap:.0f} W")
+    results = governor.enforce_priority_aware(
+        [(host, index) for index, host in enumerate(capped_hosts)], cap, utilization=0.9
+    )
+    for result in results:
+        marker = "capped" if result.capped else "kept"
+        print(f"  {result.host_id}: {result.original_core_ghz:.1f} -> "
+              f"{result.final_core_ghz:.1f} GHz ({marker}, {result.final_watts:.0f} W)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip's PEP 517 editable path is unavailable (no `wheel` package).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

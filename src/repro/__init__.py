@@ -1,0 +1,65 @@
+"""repro — a reproduction of "Cost-Efficient Overclocking in
+Immersion-Cooled Datacenters" (ISCA 2021).
+
+The library models two-phase immersion cooling (2PIC), characterizes
+sustained component overclocking (power, lifetime, stability, TCO), and
+implements the paper's core systems contribution: an
+overclocking-enhanced VM auto-scaler that scales *up* (frequency) to
+hide or avoid scale-*out* (VM creation).
+
+Quick tour::
+
+    from repro.thermal import small_tank_1, HFE_7000
+    from repro.silicon import XEON_W3175X, immersed_cpu, OC1, B2
+    from repro.reliability import project_table5
+    from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
+    from repro.experiments import autoscaling
+
+Subpackages
+-----------
+``repro.sim``          deterministic discrete-event simulation kernel
+``repro.telemetry``    Aperf/Pperf counters, metrics, power metering
+``repro.thermal``      fluids, cooling technologies, tanks, junction models
+``repro.silicon``      CPUs/GPUs/memory, V/F curves, power models, configs
+``repro.reliability``  lifetime, stability, and wear-out models
+``repro.workloads``    Table IX application catalog and queueing app
+``repro.cluster``      VMs, hosts, placement, power capping, fleets
+``repro.autoscale``    the overclocking-enhanced auto-scaler (Eq. 1)
+``repro.tco``          the Table VI cost model
+``repro.experiments``  one entry point per paper table/figure
+"""
+
+from . import (
+    autoscale,
+    cluster,
+    errors,
+    experiments,
+    reliability,
+    silicon,
+    sim,
+    tco,
+    telemetry,
+    thermal,
+    units,
+    workloads,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autoscale",
+    "cluster",
+    "errors",
+    "experiments",
+    "reliability",
+    "silicon",
+    "sim",
+    "tco",
+    "telemetry",
+    "thermal",
+    "units",
+    "workloads",
+    "ReproError",
+    "__version__",
+]

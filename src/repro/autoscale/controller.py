@@ -1,0 +1,320 @@
+"""The overclocking-enhanced auto-scaler (paper Figure 14 and Section VI-D).
+
+:class:`AutoScaler` is the ASC box in the paper's architecture diagram:
+clients hit the load balancer, server VMs answer, and the controller —
+every 3 seconds — reads Aperf/Pperf/utilization telemetry and decides:
+
+* **scale-out/in** from the 3-minute average utilization (slow, costly:
+  a new VM takes 60 s to deploy);
+* **scale-up/down** from the 30-second average plus Eq. 1 (fast: a
+  frequency change is effectively instantaneous).
+
+Three modes reproduce the paper's Table XI rows: BASELINE (out/in only),
+OC-E (overclock to hide the deploy window), OC-A (overclock to avoid
+deploys, "scale up and then out").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..cluster.lifecycle import VMLifecycleManager
+from ..cluster.vm import VMInstance, VMSpec
+from ..errors import ConfigurationError
+from ..silicon.configs import B2, FrequencyConfig
+from ..silicon.server import ServerPowerModel
+from ..sim.kernel import Simulator
+from ..telemetry.counters import CounterSnapshot
+from ..telemetry.metrics import StateIntegrator, TimeSeries
+from ..telemetry.percentiles import LatencyRecorder
+from ..telemetry.power_meter import PowerMeter
+from ..workloads.queueing import LoadBalancer, ServerVM
+from .model import minimum_frequency_below, utilization_headroom_frequency
+from .policy import AutoscalePolicy, ScalerMode
+
+
+@dataclass
+class _VMHandle:
+    """Controller-side bookkeeping for one server VM."""
+
+    instance: VMInstance
+    app: ServerVM
+    history: deque[CounterSnapshot] = field(default_factory=deque)
+
+    def utilization_over(self, now: float, window_s: float) -> tuple[float, float]:
+        """(utilization, scalable_fraction) over the trailing window."""
+        current = self.app.counter_snapshot()
+        reference = None
+        for snapshot in self.history:
+            if snapshot.time >= now - window_s:
+                break
+            reference = snapshot
+        if reference is None:
+            reference = self.history[0] if self.history else current
+        delta = current.delta(reference)
+        if delta.interval <= 0:
+            return 0.0, 1.0
+        utilization = min(1.0, delta.busy_seconds / (delta.interval * self.app.vcores))
+        return utilization, delta.scalable_fraction
+
+
+@dataclass
+class AutoScalerResult:
+    """Everything the Table XI / Figures 15–16 reproduction needs."""
+
+    mode: str
+    utilization_trace: TimeSeries
+    frequency_trace: TimeSeries
+    vm_count: StateIntegrator
+    latency: LatencyRecorder
+    power: PowerMeter
+    scale_out_events: int
+    scale_in_events: int
+    max_vms: int
+
+    def vm_hours(self) -> float:
+        return self.vm_count.integral() / 3600.0
+
+
+class AutoScaler:
+    """Closed-loop controller over a fleet of server VMs."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        policy: AutoscalePolicy,
+        vm_spec: VMSpec | None = None,
+        initial_vms: int = 1,
+        scale_out_latency_s: float = 60.0,
+        power_model: ServerPowerModel | None = None,
+        warmup_s: float = 0.0,
+    ) -> None:
+        if initial_vms < 1:
+            raise ConfigurationError("need at least one initial VM")
+        self._sim = simulator
+        self.policy = policy
+        self._spec = vm_spec if vm_spec is not None else VMSpec(vcores=4, memory_gb=16.0)
+        self._lifecycle = VMLifecycleManager(simulator, scale_out_latency_s)
+        self.load_balancer = LoadBalancer()
+        self._handles: dict[str, _VMHandle] = {}
+        self._frequency_ghz = policy.min_frequency_ghz
+        self._ladder = policy.frequency_ladder()
+        self._scale_out_in_flight = False
+        self._last_scale_out_at = -float("inf")
+        self._power_model = power_model if power_model is not None else ServerPowerModel()
+
+        # Telemetry sinks.
+        self.latency = LatencyRecorder("autoscaler", drop_warmup_before=warmup_s)
+        self.utilization_trace = TimeSeries("avg-util")
+        self.frequency_trace = TimeSeries("frequency-ghz")
+        self.vm_count = StateIntegrator(initial_value=0.0, start_time=simulator.now)
+        self.power = PowerMeter(start_time=simulator.now)
+        self.scale_out_events = 0
+        self.scale_in_events = 0
+        self.max_vms = 0
+
+        for _ in range(initial_vms):
+            self._deploy_vm(latency_override_s=0.0)
+        self._sim.every(
+            policy.decision_interval_s, self._decide, name="asc-decision"
+        )
+
+    # ------------------------------------------------------------------
+    # VM management
+    # ------------------------------------------------------------------
+    @property
+    def frequency_ghz(self) -> float:
+        return self._frequency_ghz
+
+    @property
+    def active_vm_count(self) -> int:
+        """VMs serving traffic (attached to the load balancer)."""
+        return len(self.load_balancer.vms)
+
+    @property
+    def provisioned_vm_count(self) -> int:
+        """VMs serving or deploying."""
+        return len(self._lifecycle.active_instances)
+
+    def _deploy_vm(self, latency_override_s: float | None = None) -> None:
+        def on_ready(instance: VMInstance) -> None:
+            app = ServerVM(
+                self._sim,
+                name=instance.vm_id,
+                vcores=self._spec.vcores,
+                base_frequency_ghz=self.policy.min_frequency_ghz,
+                latency_recorder=self.latency,
+            )
+            app.set_frequency(self._frequency_ghz)
+            self.load_balancer.attach(app)
+            self._handles[instance.vm_id] = _VMHandle(instance=instance, app=app)
+            self._scale_out_in_flight = False
+            self._record_vm_count()
+
+        self._lifecycle.request_vm(
+            self._spec, on_ready=on_ready, latency_override_s=latency_override_s
+        )
+        if latency_override_s != 0.0:
+            self._scale_out_in_flight = True
+        self._record_vm_count()
+
+    def _retire_vm(self) -> None:
+        """Scale in: detach the most recent VM and let it drain."""
+        vms = self.load_balancer.vms
+        if not vms:
+            return
+        app = vms[-1]
+        self.load_balancer.detach(app)
+        handle = self._handles.pop(app.name)
+        self._lifecycle.delete_vm(handle.instance.vm_id)
+        self._record_vm_count()
+
+    def _record_vm_count(self) -> None:
+        count = len(self._lifecycle.running_instances) + len(
+            self._lifecycle.creating_instances
+        )
+        self.vm_count.set(self._sim.now, float(count))
+        self.max_vms = max(self.max_vms, count)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _decide(self) -> None:
+        now = self._sim.now
+        # 1. Sample telemetry from every serving VM.
+        utils: list[float] = []
+        betas: list[float] = []
+        for handle in self._handles.values():
+            utilization, beta = handle.utilization_over(now, self.policy.scale_up_window_s)
+            utils.append(utilization)
+            betas.append(beta)
+            handle.history.append(handle.app.counter_snapshot())
+            while (
+                len(handle.history) > 2
+                and handle.history[1].time < now - self.policy.scale_out_window_s
+            ):
+                handle.history.popleft()
+        if not utils:
+            return
+        short_util = sum(utils) / len(utils)
+        beta = sum(betas) / len(betas)
+        self.utilization_trace.record(now, short_util)
+        self.frequency_trace.record(now, self._frequency_ghz)
+        self._sample_power(short_util)
+
+        long_util = self.utilization_trace.window_mean(now, self.policy.scale_out_window_s)
+        if long_util is None:
+            long_util = short_util
+
+        # 2. Scale-out/in on the slow signal.
+        if self.policy.enable_scale_out:
+            self._scale_out_in(long_util)
+
+        # 3. Frequency control.
+        if self.policy.mode is ScalerMode.OC_A:
+            # Model-driven scale-up/down on the fast signal (Fig. 8b).
+            self._scale_up_down(short_util, beta)
+        elif self.policy.mode is ScalerMode.OC_E:
+            # "Scales up straight to OC1 frequency when the scale-out
+            # threshold is crossed, i.e. there are no scale-up/down
+            # thresholds" — frequency simply tracks the slow signal,
+            # hiding both deploy windows and capped overload (Fig. 8a).
+            if long_util > self.policy.scale_out_threshold:
+                self._apply_frequency(self.policy.max_frequency_ghz)
+            else:
+                self._apply_frequency(self.policy.min_frequency_ghz)
+
+    def _scale_out_in(self, long_util: float) -> None:
+        if (
+            long_util > self.policy.scale_out_threshold
+            and not self._scale_out_in_flight
+            and self.provisioned_vm_count < self.policy.max_vms
+            and self._sim.now - self._last_scale_out_at >= self.policy.scale_out_cooldown_s
+        ):
+            self.scale_out_events += 1
+            self._last_scale_out_at = self._sim.now
+            self._deploy_vm()
+        elif (
+            long_util < self.policy.scale_in_threshold
+            and self.active_vm_count > self.policy.min_vms
+            and not self._scale_out_in_flight
+        ):
+            self.scale_in_events += 1
+            self._retire_vm()
+
+    def _scale_up_down(self, short_util: float, beta: float) -> None:
+        if short_util > self.policy.scale_up_threshold:
+            target = minimum_frequency_below(
+                short_util,
+                beta,
+                self._frequency_ghz,
+                self._ladder,
+                self.policy.scale_up_threshold,
+            )
+            if target > self._frequency_ghz:
+                self._apply_frequency(target)
+        elif short_util < self.policy.scale_down_threshold:
+            target = utilization_headroom_frequency(
+                short_util,
+                beta,
+                self._frequency_ghz,
+                self._ladder,
+                self.policy.scale_up_threshold,
+            )
+            if target < self._frequency_ghz:
+                self._apply_frequency(target)
+
+    def _apply_frequency(self, frequency_ghz: float) -> None:
+        if frequency_ghz == self._frequency_ghz:
+            return
+        self._frequency_ghz = frequency_ghz
+        for handle in self._handles.values():
+            handle.app.set_frequency(frequency_ghz)
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def _sample_power(self, utilization: float) -> None:
+        busy_cores = sum(
+            handle.app.vcores * utilization for handle in self._handles.values()
+        )
+        busy_cores = min(busy_cores, float(self._power_model.spec.pcores))
+        # Voltage tracks the V/F curve: the +50 mV offset applies in full
+        # only at the top of the ladder (4.1 GHz), proportionally below.
+        span = self.policy.max_frequency_ghz - self.policy.min_frequency_ghz
+        offset_mv = 50.0 * max(
+            0.0, (self._frequency_ghz - self.policy.min_frequency_ghz) / span
+        )
+        config = FrequencyConfig(
+            name="asc-dynamic",
+            core_ghz=self._frequency_ghz,
+            voltage_offset_mv=offset_mv,
+            turbo_enabled=None,
+            llc_ghz=B2.llc_ghz,
+            memory_ghz=B2.memory_ghz,
+        )
+        self.power.set_power(self._sim.now, self._power_model.watts(config, busy_cores))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finish(self) -> AutoScalerResult:
+        """Close the metering horizon and return the run's results."""
+        now = self._sim.now
+        self.vm_count.finish(now)
+        self.power.finish(now)
+        return AutoScalerResult(
+            mode=self.policy.mode.value,
+            utilization_trace=self.utilization_trace,
+            frequency_trace=self.frequency_trace,
+            vm_count=self.vm_count,
+            latency=self.latency,
+            power=self.power,
+            scale_out_events=self.scale_out_events,
+            scale_in_events=self.scale_in_events,
+            max_vms=self.max_vms,
+        )
+
+
+__all__ = ["AutoScaler", "AutoScalerResult"]

@@ -1,0 +1,84 @@
+"""The frequency/utilization model (paper Equation 1).
+
+From Mubeen's workload frequency scaling law: over an observation
+window, the scalable share of a core's active cycles is
+``β = ΔPperf/ΔAperf``. Changing the clock from ``F0`` to ``F1`` rescales
+only that share::
+
+    Util_{t+1} = Util_t × (β · F0/F1 + (1 − β))           (Eq. 1)
+
+The auto-scaler inverts this to pick the *minimum* frequency that keeps
+predicted utilization under a threshold — minimum because every extra
+bin costs power and lifetime for no control benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+def predicted_utilization(
+    utilization: float, scalable_fraction: float, f0_ghz: float, f1_ghz: float
+) -> float:
+    """Equation 1: utilization after a frequency change F0 → F1."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ConfigurationError("utilization must be within [0, 1]")
+    if not 0.0 <= scalable_fraction <= 1.0:
+        raise ConfigurationError("scalable fraction must be within [0, 1]")
+    if f0_ghz <= 0 or f1_ghz <= 0:
+        raise ConfigurationError("frequencies must be positive")
+    beta = scalable_fraction
+    predicted = utilization * (beta * f0_ghz / f1_ghz + (1.0 - beta))
+    return min(1.0, predicted)
+
+
+def minimum_frequency_below(
+    utilization: float,
+    scalable_fraction: float,
+    current_ghz: float,
+    bins_ghz: Sequence[float],
+    threshold: float,
+) -> float:
+    """Smallest frequency bin whose Eq. 1 prediction is ≤ ``threshold``.
+
+    When no bin satisfies the threshold, the largest bin is returned —
+    the controller overclocks as far as it can and leaves the rest to
+    scale-out.
+    """
+    if not bins_ghz:
+        raise ConfigurationError("at least one frequency bin is required")
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError("threshold must be in (0, 1]")
+    ordered = sorted(bins_ghz)
+    for frequency in ordered:
+        if predicted_utilization(utilization, scalable_fraction, current_ghz, frequency) <= threshold:
+            return frequency
+    return ordered[-1]
+
+
+def utilization_headroom_frequency(
+    utilization: float,
+    scalable_fraction: float,
+    current_ghz: float,
+    bins_ghz: Sequence[float],
+    ceiling: float,
+) -> float:
+    """Scale-*down* selection: lowest bin that keeps utilization ≤ ``ceiling``.
+
+    Identical search to :func:`minimum_frequency_below`; named separately
+    because the controller uses a different ceiling on the way down (the
+    scale-up threshold, so dropping frequency does not immediately
+    re-trigger a scale-up).
+    """
+    return minimum_frequency_below(
+        utilization, scalable_fraction, current_ghz, bins_ghz, ceiling
+    )
+
+
+__all__ = [
+    "predicted_utilization",
+    "minimum_frequency_below",
+    "utilization_headroom_frequency",
+]

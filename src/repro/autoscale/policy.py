@@ -1,0 +1,96 @@
+"""Auto-scaler policy configuration (paper Section VI-D setup).
+
+The paper's experimental thresholds:
+
+* scale-out at 50% average CPU utilization (3-minute window);
+* scale-in at 20% (same window);
+* scale-up at 40% and scale-down at 20% (30-second window);
+* decisions every 3 seconds, one VM at a time;
+* frequency range 3.4 GHz (B2) to 4.1 GHz (OC1) in 8 bins.
+
+Three controller modes:
+
+* ``BASELINE`` — scale-out/in only, no frequency changes;
+* ``OC_E`` — overclock straight to the top bin while a scale-out is in
+  flight, to *hide* the deploy latency (Fig. 8a);
+* ``OC_A`` — scale up preemptively at the lower threshold to *avoid*
+  the scale-out entirely when possible (Fig. 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..units import frequency_bins
+
+
+class ScalerMode(Enum):
+    """Which controller variant runs (the Table XI rows)."""
+
+    BASELINE = "baseline"
+    OC_E = "oc-e"
+    OC_A = "oc-a"
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds, windows, and the frequency ladder."""
+
+    mode: ScalerMode = ScalerMode.BASELINE
+    scale_out_threshold: float = 0.50
+    scale_in_threshold: float = 0.20
+    scale_up_threshold: float = 0.40
+    scale_down_threshold: float = 0.20
+    scale_out_window_s: float = 180.0
+    scale_up_window_s: float = 30.0
+    decision_interval_s: float = 3.0
+    #: Minimum spacing between scale-out triggers. The 3-minute average
+    #: still contains pre-deploy samples right after a VM lands, so
+    #: without a refractory period one load step can double-deploy.
+    scale_out_cooldown_s: float = 180.0
+    min_frequency_ghz: float = 3.4
+    max_frequency_ghz: float = 4.1
+    frequency_bin_count: int = 8
+    min_vms: int = 1
+    max_vms: int = 16
+    #: OC_E/OC_A scale-out/in also apply; setting this False gives the
+    #: Figure 15 validation setup (scale-up/down only).
+    enable_scale_out: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale_in_threshold < self.scale_out_threshold <= 1.0:
+            raise ConfigurationError("need 0 < scale_in < scale_out <= 1")
+        if not 0.0 < self.scale_down_threshold <= self.scale_up_threshold <= 1.0:
+            raise ConfigurationError("need 0 < scale_down <= scale_up <= 1")
+        if self.scale_up_threshold > self.scale_out_threshold:
+            raise ConfigurationError(
+                "scale-up must trigger at or below the scale-out threshold "
+                "(scaling up exists to preempt scaling out)"
+            )
+        if self.min_frequency_ghz >= self.max_frequency_ghz:
+            raise ConfigurationError("frequency range must be non-empty")
+        if self.decision_interval_s <= 0:
+            raise ConfigurationError("decision interval must be positive")
+        if self.min_vms < 1 or self.max_vms < self.min_vms:
+            raise ConfigurationError("need 1 <= min_vms <= max_vms")
+
+    def frequency_ladder(self) -> list[float]:
+        """The discrete frequency bins available for scale-up/down."""
+        return frequency_bins(
+            self.min_frequency_ghz, self.max_frequency_ghz, self.frequency_bin_count
+        )
+
+    def with_mode(self, mode: ScalerMode) -> "AutoscalePolicy":
+        """A copy of this policy under a different controller mode."""
+        from dataclasses import replace
+
+        return replace(self, mode=mode)
+
+
+#: The paper's exact experimental policy (Section VI-D).
+PAPER_POLICY = AutoscalePolicy()
+
+
+__all__ = ["ScalerMode", "AutoscalePolicy", "PAPER_POLICY"]

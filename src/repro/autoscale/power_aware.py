@@ -1,0 +1,151 @@
+"""Power-budget arbitration across co-hosted deployments.
+
+The paper's §IV power discussion meets its §V auto-scaling use-case
+here: several deployments (groups of VMs) share one server's delivery
+budget, each wanting its own scale-up frequency. The coordinator grants
+frequencies priority-first — "workload-priority-based capping [to]
+minimize the impact on critical/overclocked workloads" — stepping the
+low-priority groups down bin by bin until the projected draw fits.
+
+Power is modelled additively per core group (modern servers run
+per-core P-states): each group pays ``busy_cores × core_watts(f)``, and
+the host's idle/uncore/memory floor is paid once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError, PowerBudgetExceeded
+from ..silicon.configs import B2, FrequencyConfig
+from ..silicon.server import ServerPowerModel
+from ..units import frequency_bins
+
+
+@dataclass(frozen=True)
+class FrequencyRequest:
+    """One deployment's ask for the next interval."""
+
+    group: str
+    priority: int
+    requested_ghz: float
+    busy_cores: float
+
+    def __post_init__(self) -> None:
+        if self.requested_ghz <= 0:
+            raise ConfigurationError(f"{self.group}: frequency must be positive")
+        if self.busy_cores < 0:
+            raise ConfigurationError(f"{self.group}: busy cores must be non-negative")
+
+
+@dataclass(frozen=True)
+class FrequencyGrant:
+    """The coordinator's answer for one group."""
+
+    group: str
+    granted_ghz: float
+    throttled: bool
+
+
+class PowerBudgetCoordinator:
+    """Arbitrates per-group frequencies under a shared power budget."""
+
+    def __init__(
+        self,
+        budget_watts: float,
+        power_model: ServerPowerModel | None = None,
+        min_ghz: float = 3.4,
+        max_ghz: float = 4.1,
+        bin_count: int = 8,
+    ) -> None:
+        if budget_watts <= 0:
+            raise ConfigurationError("power budget must be positive")
+        self.budget_watts = budget_watts
+        self.power_model = power_model if power_model is not None else ServerPowerModel()
+        self.ladder = frequency_bins(min_ghz, max_ghz, bin_count)
+        self.min_ghz = min_ghz
+        self.max_ghz = max_ghz
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def _config_for(self, frequency_ghz: float) -> FrequencyConfig:
+        span = self.max_ghz - self.min_ghz
+        offset = 50.0 * max(0.0, (frequency_ghz - self.min_ghz) / span) if span > 0 else 0.0
+        return FrequencyConfig(
+            name=f"arb@{frequency_ghz:.2f}",
+            core_ghz=frequency_ghz,
+            voltage_offset_mv=offset,
+            turbo_enabled=None,
+            llc_ghz=B2.llc_ghz,
+            memory_ghz=B2.memory_ghz,
+        )
+
+    def _floor_watts(self) -> float:
+        """Host power with zero busy cores (idle + uncore + memory)."""
+        return self.power_model.watts(self._config_for(self.min_ghz), 0.0)
+
+    def projected_watts(self, grants: dict[str, float], requests: list[FrequencyRequest]) -> float:
+        """Host draw with each group at its granted frequency."""
+        total = self._floor_watts()
+        for request in requests:
+            config = self._config_for(grants[request.group])
+            total += request.busy_cores * self.power_model.core_watts(config)
+        return total
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+    def arbitrate(self, requests: list[FrequencyRequest]) -> list[FrequencyGrant]:
+        """Grant frequencies, shedding low-priority groups first.
+
+        Every request is clamped into the ladder, then low-priority
+        groups step down bin by bin (round-robin among the lowest
+        priority present) until the projection fits. Raises
+        :class:`PowerBudgetExceeded` when even everyone-at-minimum
+        does not fit.
+        """
+        if not requests:
+            return []
+        names = [request.group for request in requests]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate group names in arbitration")
+        grants: dict[str, float] = {
+            request.group: min(max(request.requested_ghz, self.min_ghz), self.max_ghz)
+            for request in requests
+        }
+        # Snap to ladder bins.
+        for group, frequency in grants.items():
+            grants[group] = min(
+                (bin_ghz for bin_ghz in self.ladder if bin_ghz >= frequency - 1e-9),
+                default=self.ladder[-1],
+            )
+
+        by_priority = sorted(requests, key=lambda r: r.priority)
+        while self.projected_watts(grants, requests) > self.budget_watts:
+            # Find the lowest-priority group that can still step down.
+            stepped = False
+            for request in by_priority:
+                current = grants[request.group]
+                lower = [bin_ghz for bin_ghz in self.ladder if bin_ghz < current - 1e-9]
+                if lower:
+                    grants[request.group] = lower[-1]
+                    stepped = True
+                    break
+            if not stepped:
+                raise PowerBudgetExceeded(
+                    f"cannot fit {self.projected_watts(grants, requests):.0f} W into "
+                    f"the {self.budget_watts:.0f} W budget even at minimum frequency"
+                )
+        return [
+            FrequencyGrant(
+                group=request.group,
+                granted_ghz=grants[request.group],
+                throttled=grants[request.group]
+                < min(max(request.requested_ghz, self.min_ghz), self.max_ghz) - 1e-9,
+            )
+            for request in requests
+        ]
+
+
+__all__ = ["FrequencyRequest", "FrequencyGrant", "PowerBudgetCoordinator"]

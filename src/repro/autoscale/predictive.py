@@ -1,0 +1,126 @@
+"""Predictive scale-out and its combination with overclocking.
+
+The paper (Section V) notes that "providers have started predicting
+surges in load and scaling out proactively, [but] the time required for
+scaling out can still impact application performance" — overclocking
+covers the residual window. This module supplies the missing piece: a
+load forecaster plus a predictive wrapper that triggers scale-outs
+*ahead* of the threshold crossing, composable with the OC modes.
+
+The forecaster is deliberately simple (linear trend over a trailing
+window): the point of the paper's argument is that even a good
+predictor leaves a gap that frequency can fill instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..telemetry.metrics import TimeSeries
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """One utilization forecast."""
+
+    horizon_s: float
+    predicted: float
+    slope_per_s: float
+
+
+class TrendForecaster:
+    """Least-squares linear trend over a trailing window of samples."""
+
+    def __init__(self, window_s: float = 120.0) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("forecast window must be positive")
+        self.window_s = window_s
+
+    def forecast(self, series: TimeSeries, now: float, horizon_s: float) -> Forecast | None:
+        """Extrapolate ``series`` ``horizon_s`` ahead; None if too little data."""
+        if horizon_s < 0:
+            raise ConfigurationError("horizon must be non-negative")
+        times = []
+        values = []
+        for sample in series:
+            if now - self.window_s <= sample.time <= now:
+                times.append(sample.time)
+                values.append(sample.value)
+        if len(times) < 2:
+            return None
+        count = len(times)
+        mean_t = sum(times) / count
+        mean_v = sum(values) / count
+        denominator = sum((t - mean_t) ** 2 for t in times)
+        if denominator == 0:
+            return None
+        slope = sum((t - mean_t) * (v - mean_v) for t, v in zip(times, values)) / denominator
+        predicted = mean_v + slope * (now + horizon_s - mean_t)
+        return Forecast(
+            horizon_s=horizon_s,
+            predicted=min(1.0, max(0.0, predicted)),
+            slope_per_s=slope,
+        )
+
+
+class PredictiveTrigger:
+    """Decides whether to scale out *now* so capacity lands in time.
+
+    Fires when the forecast at ``deploy_latency_s`` ahead crosses the
+    scale-out threshold while the current value still sits below it —
+    i.e., exactly the window a reactive controller would waste.
+    """
+
+    def __init__(
+        self,
+        forecaster: TrendForecaster,
+        threshold: float,
+        deploy_latency_s: float,
+        min_slope_per_s: float = 1e-5,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError("threshold must be in (0, 1]")
+        if deploy_latency_s <= 0:
+            raise ConfigurationError("deploy latency must be positive")
+        self.forecaster = forecaster
+        self.threshold = threshold
+        self.deploy_latency_s = deploy_latency_s
+        self.min_slope_per_s = min_slope_per_s
+
+    def should_preprovision(self, series: TimeSeries, now: float) -> bool:
+        """True when a scale-out started now would land just in time."""
+        latest = series.latest()
+        if latest is None or latest.value >= self.threshold:
+            return False  # reactive logic already owns this case
+        forecast = self.forecaster.forecast(series, now, self.deploy_latency_s)
+        if forecast is None:
+            return False
+        return (
+            forecast.predicted > self.threshold
+            and forecast.slope_per_s > self.min_slope_per_s
+        )
+
+    def residual_exposure_s(self, series: TimeSeries, now: float) -> float:
+        """Seconds of over-threshold exposure a *reactive* controller
+        would suffer: time for the trend to cross the threshold, minus
+        nothing (it only reacts after the crossing), capped at the
+        deploy latency. Zero when the trend is flat or already covered.
+
+        This is the window the paper proposes to cover with frequency.
+        """
+        forecast = self.forecaster.forecast(series, now, self.deploy_latency_s)
+        latest = series.latest()
+        if forecast is None or latest is None:
+            return 0.0
+        if forecast.slope_per_s <= self.min_slope_per_s:
+            return 0.0
+        if latest.value >= self.threshold:
+            return self.deploy_latency_s
+        time_to_cross = (self.threshold - latest.value) / forecast.slope_per_s
+        if time_to_cross >= self.deploy_latency_s:
+            return 0.0
+        return self.deploy_latency_s - time_to_cross
+
+
+__all__ = ["TrendForecaster", "Forecast", "PredictiveTrigger"]

@@ -1,0 +1,105 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table3              # one experiment to stdout
+    python -m repro fig9 fig10          # several at once
+    python -m repro all                 # everything fast (skips the
+                                        # closed-loop simulations)
+    python -m repro fig16               # the full auto-scaler (minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    autoscaling,
+    characterization,
+    environment,
+    highperf_vms,
+    oversubscription,
+    packing_churn,
+    tco_experiments,
+    usecases,
+)
+
+#: Experiment registry: name -> (description, formatter, slow?).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
+    "table1": ("Cooling technology comparison", characterization.format_table1, False),
+    "table2": ("Dielectric fluid properties", characterization.format_table2, False),
+    "table3": ("Air vs 2PIC thermals and turbo", characterization.format_table3, False),
+    "table5": ("Lifetime projections", characterization.format_table5, False),
+    "table6": ("TCO analysis", tco_experiments.format_table6, False),
+    "power": ("Per-server power savings (Section IV)", characterization.format_power_savings, False),
+    "fig4": ("Operating frequency domains", characterization.format_fig4, False),
+    "fig5": ("Frequency bands, SKUs, dense packing", usecases.format_fig5, False),
+    "fig6": ("Static vs virtual failover buffers", usecases.format_fig6, False),
+    "fig7": ("Capacity-crisis bridging", usecases.format_fig7, False),
+    "fig8": ("Scale-up maneuvers (hide vs avoid)", usecases.format_fig8, True),
+    "fig9": ("Overclocking cloud applications", highperf_vms.format_fig9, False),
+    "fig10": ("STREAM bandwidth", highperf_vms.format_fig10, False),
+    "fig11": ("GPU overclocking for VGG", highperf_vms.format_fig11, False),
+    "fig12": ("SQL latency vs pcores", oversubscription.format_fig12, False),
+    "fig13": ("Mixed oversubscription scenarios", oversubscription.format_fig13, False),
+    "tco-oversub": ("Oversubscription TCO (Section VI-C)", tco_experiments.format_oversubscription_tco, False),
+    "environment": ("WUE, vapor management, air ceiling", environment.format_environment, False),
+    "churn": ("Packing density under VM churn", packing_churn.format_packing_churn, False),
+    "fig15": ("Eq. 1 model validation (DES, ~1 min)", autoscaling.format_fig15, True),
+    "fig16": ("Full auto-scaler + Table XI (DES, minutes)", autoscaling.format_table11, True),
+}
+
+
+def list_experiments() -> str:
+    """Human-readable registry listing."""
+    lines = ["Available experiments:"]
+    for name, (description, _, slow) in EXPERIMENTS.items():
+        marker = "  [slow]" if slow else ""
+        lines.append(f"  {name:12s} {description}{marker}")
+    lines.append("  all          every fast experiment")
+    return "\n".join(lines)
+
+
+def run(names: list[str], stream=None) -> int:
+    """Run the named experiments, printing each; returns an exit code."""
+    stream = stream if stream is not None else sys.stdout
+    if not names or names == ["list"]:
+        print(list_experiments(), file=stream)
+        return 0
+    if names == ["all"]:
+        names = [name for name, (_, _, slow) in EXPERIMENTS.items() if not slow]
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=stream)
+        print(list_experiments(), file=stream)
+        return 2
+    for name in names:
+        _, formatter, _ = EXPERIMENTS[name]
+        print(formatter(), file=stream)
+        print(file=stream)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate tables and figures from 'Cost-Efficient Overclocking "
+            "in Immersion-Cooled Datacenters' (ISCA 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (see 'list'), or 'all' for every fast one",
+    )
+    args = parser.parse_args(argv)
+    return run(args.experiments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

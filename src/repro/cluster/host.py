@@ -1,0 +1,146 @@
+"""Physical host: server + cooling + frequency configuration + VMs.
+
+A :class:`Host` composes the silicon substrate (server spec, power
+model), a cooling solution (which bounds sustainable power and therefore
+whether overclocking is *guaranteed*), and the currently hosted VMs.
+It exposes the knobs the use-cases in Section V turn: frequency
+configuration changes, oversubscribed VM admission, and power draw.
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, ConfigurationError, FrequencyError
+from ..silicon.configs import B2, FrequencyConfig
+from ..silicon.server import ServerPowerModel, ServerSpec, TANK1_SERVER
+from ..thermal.cooling import CoolingTechnology, TWO_PHASE_IMMERSION
+from .vm import VMInstance, VMSpec
+
+
+class Host:
+    """One server hosting VMs under a cooling solution."""
+
+    def __init__(
+        self,
+        host_id: str,
+        spec: ServerSpec = TANK1_SERVER,
+        cooling: CoolingTechnology = TWO_PHASE_IMMERSION,
+        config: FrequencyConfig = B2,
+        oversubscription_ratio: float = 1.0,
+        power_model: ServerPowerModel | None = None,
+    ) -> None:
+        if oversubscription_ratio < 1.0:
+            raise ConfigurationError("oversubscription ratio must be >= 1.0")
+        self.host_id = host_id
+        self.spec = spec
+        self.cooling = cooling
+        self._config = config
+        self.oversubscription_ratio = oversubscription_ratio
+        self.power_model = power_model if power_model is not None else ServerPowerModel(spec)
+        self._vms: dict[str, VMInstance] = {}
+        self._validate_config(config)
+
+    # ------------------------------------------------------------------
+    # Frequency control
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> FrequencyConfig:
+        return self._config
+
+    def _validate_config(self, config: FrequencyConfig) -> None:
+        domains = self.spec.cpu.domains
+        domains.validate(config.core_ghz)
+        if config.is_overclocked:
+            if not self.spec.cpu.unlocked:
+                raise FrequencyError(
+                    f"host {self.host_id}: {self.spec.cpu.name} is locked and "
+                    "cannot be overclocked"
+                )
+            if not self.cooling.is_liquid:
+                # Air cooling can only *opportunistically* reach the
+                # overclocking domain; sustained overclocking requires a
+                # cooling solution with the thermal headroom.
+                raise FrequencyError(
+                    f"host {self.host_id}: sustained overclocking requires liquid "
+                    f"cooling, not {self.cooling.name}"
+                )
+
+    def set_config(self, config: FrequencyConfig) -> None:
+        """Apply a Table VII frequency configuration."""
+        self._validate_config(config)
+        self._config = config
+
+    @property
+    def is_overclocked(self) -> bool:
+        return self._config.is_overclocked
+
+    # ------------------------------------------------------------------
+    # VM admission
+    # ------------------------------------------------------------------
+    @property
+    def vcore_capacity(self) -> int:
+        """Sellable vcores (pcores × oversubscription ratio)."""
+        return int(self.spec.pcores * self.oversubscription_ratio)
+
+    @property
+    def committed_vcores(self) -> int:
+        return sum(vm.spec.vcores for vm in self._vms.values() if vm.is_active)
+
+    @property
+    def free_vcores(self) -> int:
+        return self.vcore_capacity - self.committed_vcores
+
+    @property
+    def committed_memory_gb(self) -> float:
+        return sum(vm.spec.memory_gb for vm in self._vms.values() if vm.is_active)
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.spec.memory.capacity_gb - self.committed_memory_gb
+
+    @property
+    def vms(self) -> tuple[VMInstance, ...]:
+        return tuple(self._vms.values())
+
+    def fits(self, spec: VMSpec) -> bool:
+        """True when the VM fits both the vcore and memory dimensions."""
+        return spec.vcores <= self.free_vcores and spec.memory_gb <= self.free_memory_gb
+
+    def place(self, vm: VMInstance) -> None:
+        """Admit a VM (raises :class:`CapacityError` when it cannot fit)."""
+        if vm.vm_id in self._vms:
+            raise ConfigurationError(f"VM {vm.vm_id} is already on host {self.host_id}")
+        if not self.fits(vm.spec):
+            raise CapacityError(
+                f"host {self.host_id}: VM {vm.vm_id} needs {vm.spec.vcores} vcores / "
+                f"{vm.spec.memory_gb} GB but only {self.free_vcores} vcores / "
+                f"{self.free_memory_gb} GB are free"
+            )
+        self._vms[vm.vm_id] = vm
+
+    def evict(self, vm_id: str) -> VMInstance:
+        """Remove a VM from the host."""
+        try:
+            return self._vms.pop(vm_id)
+        except KeyError:
+            raise ConfigurationError(f"no VM {vm_id} on host {self.host_id}") from None
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def power_watts(self, utilization: float = 1.0, memory_activity: float = 1.0) -> float:
+        """Wall power with the committed vcores busy at ``utilization``.
+
+        Busy core-equivalents are capped at the physical core count —
+        oversubscribed vcores time-share, they do not mint new silicon.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization must be within [0, 1]")
+        busy = min(float(self.spec.pcores), self.committed_vcores * utilization)
+        return self.power_model.watts(self._config, busy, memory_activity)
+
+    def peak_power_watts(self) -> float:
+        """Worst-case draw (all pcores busy under the current config)."""
+        return self.power_model.watts(self._config, float(self.spec.pcores), 1.0)
+
+
+__all__ = ["Host"]

@@ -1,0 +1,192 @@
+"""Live VM migration and the overclock stop-gap (paper Section V).
+
+The paper's dense-packing discussion: when co-located VMs collide,
+"overclocking could be used simply as a stop-gap solution to
+performance loss until live VM migration (which is a resource-hungry
+and lengthy operation) can eliminate the problem completely."
+
+:class:`MigrationManager` models that operation on the DES: migration
+copies the VM's memory over a bandwidth-limited channel (plus dirty-page
+rounds), taxes the source host's CPU while it runs, and swaps the VM's
+placement on completion. :func:`overclock_stopgap_plan` composes the
+pieces: overclock the crowded host immediately, migrate, then restore
+nominal frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import CapacityError, ConfigurationError
+from ..silicon.configs import B2, FrequencyConfig, OC1
+from ..sim.kernel import Simulator
+from .host import Host
+from .vm import VMInstance
+
+#: Default migration channel bandwidth, GB/s (25 GbE NIC share).
+DEFAULT_BANDWIDTH_GB_S = 2.5
+
+#: Dirty-page overhead: total bytes moved ≈ memory × this factor
+#: (pre-copy rounds re-send pages the guest keeps writing).
+DIRTY_PAGE_FACTOR = 1.35
+
+#: CPU tax on the source host while a migration is in flight, in
+#: core-equivalents (compression + dirty-page tracking).
+MIGRATION_CPU_TAX_CORES = 2.0
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Prediction for one migration."""
+
+    vm_id: str
+    memory_gb: float
+    duration_s: float
+    bytes_moved_gb: float
+
+
+def plan_migration(
+    vm: VMInstance, bandwidth_gb_s: float = DEFAULT_BANDWIDTH_GB_S
+) -> MigrationPlan:
+    """Predict a migration's duration from the VM's memory footprint."""
+    if bandwidth_gb_s <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    moved = vm.spec.memory_gb * DIRTY_PAGE_FACTOR
+    return MigrationPlan(
+        vm_id=vm.vm_id,
+        memory_gb=vm.spec.memory_gb,
+        duration_s=moved / bandwidth_gb_s,
+        bytes_moved_gb=moved,
+    )
+
+
+@dataclass
+class MigrationRecord:
+    """One migration's lifecycle on the simulator."""
+
+    plan: MigrationPlan
+    source_id: str
+    destination_id: str
+    started_at: float
+    completed_at: float | None = None
+
+    @property
+    def in_flight(self) -> bool:
+        return self.completed_at is None
+
+
+class MigrationManager:
+    """Executes live migrations on the discrete-event simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_gb_s: float = DEFAULT_BANDWIDTH_GB_S,
+    ) -> None:
+        self._sim = simulator
+        self.bandwidth_gb_s = bandwidth_gb_s
+        self._records: list[MigrationRecord] = []
+
+    @property
+    def records(self) -> tuple[MigrationRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for record in self._records if record.in_flight)
+
+    def migrate(
+        self,
+        vm: VMInstance,
+        source: Host,
+        destination: Host,
+        on_complete: Callable[[MigrationRecord], None] | None = None,
+    ) -> MigrationRecord:
+        """Start migrating ``vm`` from ``source`` to ``destination``.
+
+        The destination must have room *now* (memory is reserved for
+        the whole copy); the VM keeps running on the source until the
+        switchover at completion.
+        """
+        if not destination.fits(vm.spec):
+            raise CapacityError(
+                f"destination {destination.host_id} cannot fit VM {vm.vm_id}"
+            )
+        plan = plan_migration(vm, self.bandwidth_gb_s)
+        record = MigrationRecord(
+            plan=plan,
+            source_id=source.host_id,
+            destination_id=destination.host_id,
+            started_at=self._sim.now,
+        )
+        self._records.append(record)
+        # Reserve the destination immediately; release the source at cut-over.
+        placeholder = VMInstance(vm_id=f"{vm.vm_id}:migrating", spec=vm.spec)
+        destination.place(placeholder)
+
+        def cut_over() -> None:
+            record.completed_at = self._sim.now
+            destination.evict(placeholder.vm_id)
+            source.evict(vm.vm_id)
+            destination.place(vm)
+            if on_complete is not None:
+                on_complete(record)
+
+        self._sim.after(plan.duration_s, cut_over, name=f"migrate:{vm.vm_id}")
+        return record
+
+
+@dataclass(frozen=True)
+class StopgapOutcome:
+    """Result of the overclock-until-migrated maneuver."""
+
+    migrated_vm_id: str
+    overclocked_for_s: float
+    source_restored: bool
+
+
+def overclock_stopgap_plan(
+    simulator: Simulator,
+    manager: MigrationManager,
+    crowded_host: Host,
+    vm: VMInstance,
+    destination: Host,
+    overclock_config: FrequencyConfig = OC1,
+    nominal_config: FrequencyConfig = B2,
+    on_done: Callable[[StopgapOutcome], None] | None = None,
+) -> MigrationRecord:
+    """Overclock the crowded host now; migrate; restore nominal after.
+
+    This is the paper's stop-gap: the performance hit from the collision
+    is compensated instantly by frequency while the slow, resource-hungry
+    migration drains one VM away.
+    """
+    crowded_host.set_config(overclock_config)
+    started = simulator.now
+
+    def complete(record: MigrationRecord) -> None:
+        crowded_host.set_config(nominal_config)
+        if on_done is not None:
+            on_done(
+                StopgapOutcome(
+                    migrated_vm_id=record.plan.vm_id,
+                    overclocked_for_s=simulator.now - started,
+                    source_restored=True,
+                )
+            )
+
+    return manager.migrate(vm, crowded_host, destination, on_complete=complete)
+
+
+__all__ = [
+    "MigrationPlan",
+    "MigrationRecord",
+    "MigrationManager",
+    "StopgapOutcome",
+    "plan_migration",
+    "overclock_stopgap_plan",
+    "DEFAULT_BANDWIDTH_GB_S",
+    "DIRTY_PAGE_FACTOR",
+    "MIGRATION_CPU_TAX_CORES",
+]

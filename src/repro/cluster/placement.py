@@ -1,0 +1,180 @@
+"""Multi-dimensional VM placement (paper Section V, "Dense VM packing").
+
+Providers place VMs with multi-dimensional bin packing over vcores and
+memory (the paper cites Protean). This module implements first-fit and
+best-fit policies over a pool of :class:`~repro.cluster.host.Host`
+objects, plus the packing-density accounting behind the paper's claim
+that overclocking-backed oversubscription raises VMs/server by ~20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterable, Sequence
+
+from ..errors import PlacementError
+from .host import Host
+from .vm import VMInstance, VMSpec
+
+
+class PlacementPolicy(Enum):
+    """Host-selection rule."""
+
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+    WORST_FIT = "worst-fit"
+
+
+@dataclass(frozen=True)
+class PackingStats:
+    """Fleet-level packing density summary."""
+
+    hosts: int
+    hosts_used: int
+    vms: int
+    total_vcores_placed: int
+    total_pcores: int
+
+    @property
+    def vms_per_used_host(self) -> float:
+        if self.hosts_used == 0:
+            return 0.0
+        return self.vms / self.hosts_used
+
+    @property
+    def vcore_to_pcore_ratio(self) -> float:
+        if self.total_pcores == 0:
+            return 0.0
+        return self.total_vcores_placed / self.total_pcores
+
+
+class PlacementEngine:
+    """Places VMs on hosts under a policy."""
+
+    def __init__(self, hosts: Sequence[Host], policy: PlacementPolicy = PlacementPolicy.BEST_FIT) -> None:
+        self._hosts = list(hosts)
+        self.policy = policy
+        self._assignments: dict[str, Host] = {}
+
+    @property
+    def hosts(self) -> tuple[Host, ...]:
+        return tuple(self._hosts)
+
+    def add_host(self, host: Host) -> None:
+        self._hosts.append(host)
+
+    def remove_host(self, host_id: str) -> None:
+        """Withdraw a host from placement (e.g. it failed). Existing
+        assignment records are kept for eviction bookkeeping."""
+        for index, host in enumerate(self._hosts):
+            if host.host_id == host_id:
+                del self._hosts[index]
+                return
+        raise PlacementError(f"no host {host_id} in the placement pool")
+
+    def host_of(self, vm_id: str) -> Host | None:
+        """The host a VM was placed on, if any."""
+        return self._assignments.get(vm_id)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _candidates(self, spec: VMSpec) -> list[Host]:
+        return [host for host in self._hosts if host.fits(spec)]
+
+    def _select(self, candidates: list[Host], spec: VMSpec) -> Host:
+        if self.policy is PlacementPolicy.FIRST_FIT:
+            return candidates[0]
+        # Score by free vcores after placement (memory as tiebreaker).
+        def leftover(host: Host) -> tuple[int, float]:
+            return (host.free_vcores - spec.vcores, host.free_memory_gb - spec.memory_gb)
+
+        if self.policy is PlacementPolicy.BEST_FIT:
+            return min(candidates, key=leftover)
+        return max(candidates, key=leftover)
+
+    def place(self, vm: VMInstance) -> Host:
+        """Place one VM; raises :class:`PlacementError` when nothing fits."""
+        candidates = self._candidates(vm.spec)
+        if not candidates:
+            raise PlacementError(
+                f"no host can fit VM {vm.vm_id} "
+                f"({vm.spec.vcores} vcores, {vm.spec.memory_gb} GB)"
+            )
+        host = self._select(candidates, vm.spec)
+        host.place(vm)
+        self._assignments[vm.vm_id] = host
+        return host
+
+    def place_all(self, vms: Iterable[VMInstance]) -> dict[str, Host]:
+        """Place a batch (first-fit-decreasing order by vcores).
+
+        Returns the assignment map; raises on the first VM that cannot
+        be placed (partial placements stay in effect, mirroring how a
+        real allocator degrades).
+        """
+        ordered = sorted(vms, key=lambda vm: vm.spec.vcores, reverse=True)
+        return {vm.vm_id: self.place(vm) for vm in ordered}
+
+    def evict(self, vm_id: str) -> None:
+        """Remove a VM from its host."""
+        host = self._assignments.pop(vm_id, None)
+        if host is None:
+            raise PlacementError(f"VM {vm_id} is not placed")
+        host.evict(vm_id)
+
+    # ------------------------------------------------------------------
+    # Density accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> PackingStats:
+        """Current packing density across the pool."""
+        used = [host for host in self._hosts if host.committed_vcores > 0]
+        return PackingStats(
+            hosts=len(self._hosts),
+            hosts_used=len(used),
+            vms=len(self._assignments),
+            total_vcores_placed=sum(h.committed_vcores for h in self._hosts),
+            total_pcores=sum(h.spec.pcores for h in self._hosts),
+        )
+
+
+def packing_density_gain(
+    make_host: Callable[[str, float], Host],
+    vm_spec: VMSpec,
+    host_count: int,
+    oversubscription_ratio: float,
+) -> float:
+    """Fractional VMs-per-host gain of oversubscribed vs 1:1 packing.
+
+    ``make_host(host_id, ratio)`` builds a fresh host with the given
+    oversubscription ratio. With the paper's parameters (4-vcore VMs on
+    28-pcore hosts, ratio ~1.2) this lands near the advertised "+20%
+    packing density".
+    """
+
+    def fill(ratio: float) -> int:
+        hosts = [make_host(f"h{i}-{ratio}", ratio) for i in range(host_count)]
+        engine = PlacementEngine(hosts, PlacementPolicy.FIRST_FIT)
+        placed = 0
+        while True:
+            vm = VMInstance(vm_id=f"vm-{ratio}-{placed}", spec=vm_spec)
+            try:
+                engine.place(vm)
+            except PlacementError:
+                return placed
+            placed += 1
+
+    baseline = fill(1.0)
+    oversubscribed = fill(oversubscription_ratio)
+    if baseline == 0:
+        raise PlacementError("baseline packing placed zero VMs; host too small?")
+    return oversubscribed / baseline - 1.0
+
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementEngine",
+    "PackingStats",
+    "packing_density_gain",
+]

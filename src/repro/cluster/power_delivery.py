@@ -1,0 +1,183 @@
+"""Datacenter power-delivery hierarchy with oversubscription (§IV).
+
+Cloud providers provision more IT equipment than the delivery
+infrastructure could supply at simultaneous peak ("power
+oversubscription"), betting on workload diversity. The paper warns that
+overclocking "increases the chance of hitting limits and triggering
+power capping mechanisms" and recommends (a) overclocking during
+under-utilized periods and (b) workload-priority-based capping.
+
+:class:`PowerDeliveryTree` models the breaker hierarchy — server feeds
+into rack PDU into row into facility — checks live draw against every
+level, and resolves breaches with the priority-aware
+:class:`~repro.cluster.power_cap.PowerCapGovernor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, PowerBudgetExceeded
+from .host import Host
+from .power_cap import CapResult, PowerCapGovernor
+
+
+@dataclass
+class PowerNode:
+    """One breaker level in the delivery tree."""
+
+    name: str
+    limit_watts: float
+    children: list["PowerNode"] = field(default_factory=list)
+    hosts: list[tuple[Host, int]] = field(default_factory=list)  # (host, priority)
+
+    def __post_init__(self) -> None:
+        if self.limit_watts <= 0:
+            raise ConfigurationError(f"{self.name}: breaker limit must be positive")
+        if self.children and self.hosts:
+            raise ConfigurationError(
+                f"{self.name}: a node holds either child nodes or hosts, not both"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def all_hosts(self) -> list[tuple[Host, int]]:
+        """Every (host, priority) under this node."""
+        if self.hosts:
+            return list(self.hosts)
+        collected: list[tuple[Host, int]] = []
+        for child in self.children:
+            collected.extend(child.all_hosts())
+        return collected
+
+    def provisioned_watts(self) -> float:
+        """Sum of worst-case host draws under this node."""
+        return sum(host.peak_power_watts() for host, _ in self.all_hosts())
+
+    def draw_watts(self, utilization: float = 1.0) -> float:
+        """Current draw under this node at the given utilization."""
+        return sum(host.power_watts(utilization) for host, _ in self.all_hosts())
+
+    def oversubscription_ratio(self) -> float:
+        """Provisioned peak over the breaker limit (> 1 = oversubscribed)."""
+        return self.provisioned_watts() / self.limit_watts
+
+
+@dataclass(frozen=True)
+class BreachReport:
+    """One breaker found over its limit."""
+
+    node_name: str
+    limit_watts: float
+    draw_watts: float
+
+    @property
+    def excess_watts(self) -> float:
+        return self.draw_watts - self.limit_watts
+
+
+class PowerDeliveryTree:
+    """The full breaker hierarchy for one facility."""
+
+    def __init__(self, root: PowerNode) -> None:
+        self.root = root
+
+    def _walk(self, node: PowerNode) -> list[PowerNode]:
+        nodes = [node]
+        for child in node.children:
+            nodes.extend(self._walk(child))
+        return nodes
+
+    @property
+    def nodes(self) -> list[PowerNode]:
+        return self._walk(self.root)
+
+    def find_breaches(self, utilization: float = 1.0) -> list[BreachReport]:
+        """Every breaker whose live draw exceeds its limit."""
+        reports = []
+        for node in self.nodes:
+            draw = node.draw_watts(utilization)
+            if draw > node.limit_watts:
+                reports.append(
+                    BreachReport(
+                        node_name=node.name, limit_watts=node.limit_watts, draw_watts=draw
+                    )
+                )
+        return reports
+
+    def enforce(
+        self,
+        governor: PowerCapGovernor | None = None,
+        utilization: float = 1.0,
+    ) -> list[CapResult]:
+        """Resolve every breach bottom-up with priority-aware capping.
+
+        Lower-priority hosts shed frequency first within each breached
+        breaker (the paper's recommended mitigation, after Dynamo/Flex).
+        Raises :class:`PowerBudgetExceeded` when a breach survives even
+        with every host at its frequency floor.
+        """
+        governor = governor if governor is not None else PowerCapGovernor()
+        results: list[CapResult] = []
+        # Children before parents: capping a rack may already fix the row.
+        for node in reversed(self.nodes):
+            draw = node.draw_watts(utilization)
+            if draw <= node.limit_watts:
+                continue
+            results.extend(
+                governor.enforce_priority_aware(
+                    node.all_hosts(), node.limit_watts, utilization
+                )
+            )
+        remaining = self.find_breaches(utilization)
+        if remaining:
+            raise PowerBudgetExceeded(
+                f"breakers still over limit after capping: "
+                f"{[r.node_name for r in remaining]}"
+            )
+        return results
+
+    def overclock_headroom_watts(self, utilization: float = 1.0) -> float:
+        """Spare power under the tightest breaker — what overclocking may
+        consume right now ("overclock during periods of power
+        under-utilization")."""
+        return min(
+            node.limit_watts - node.draw_watts(utilization) for node in self.nodes
+        )
+
+
+def build_two_rack_row(
+    hosts_per_rack: int,
+    make_host,
+    rack_limit_watts: float,
+    row_limit_watts: float,
+    low_priority_rack: int = 0,
+) -> PowerDeliveryTree:
+    """Convenience builder: one row feeding two racks of hosts.
+
+    Hosts in ``low_priority_rack`` get priority 0 (shed first); the
+    other rack gets priority 10.
+    """
+    if hosts_per_rack < 1:
+        raise ConfigurationError("need at least one host per rack")
+    racks = []
+    for rack_index in range(2):
+        priority = 0 if rack_index == low_priority_rack else 10
+        hosts = [
+            (make_host(f"r{rack_index}-h{host_index}"), priority)
+            for host_index in range(hosts_per_rack)
+        ]
+        racks.append(
+            PowerNode(name=f"rack-{rack_index}", limit_watts=rack_limit_watts, hosts=hosts)
+        )
+    root = PowerNode(name="row", limit_watts=row_limit_watts, children=racks)
+    return PowerDeliveryTree(root)
+
+
+__all__ = [
+    "PowerNode",
+    "PowerDeliveryTree",
+    "BreachReport",
+    "build_two_rack_row",
+]

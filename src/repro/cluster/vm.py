@@ -1,0 +1,79 @@
+"""Virtual machine specs and instances.
+
+VMs are the provider's unit of sale: a vcore count and a memory size.
+:class:`VMInstance` tracks lifecycle state — the paper's auto-scaling
+story revolves around the fact that CREATING → RUNNING takes tens of
+seconds to minutes, while a frequency change takes tens of microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+
+
+class VMState(Enum):
+    """Lifecycle states of a VM."""
+
+    CREATING = "creating"
+    RUNNING = "running"
+    DELETING = "deleting"
+    DELETED = "deleted"
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Shape of a VM (the sellable SKU)."""
+
+    vcores: int
+    memory_gb: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.vcores < 1:
+            raise ConfigurationError("a VM needs at least one vcore")
+        if self.memory_gb <= 0:
+            raise ConfigurationError("a VM needs positive memory")
+
+
+@dataclass
+class VMInstance:
+    """A deployed (or deploying) VM."""
+
+    vm_id: str
+    spec: VMSpec
+    state: VMState = VMState.CREATING
+    created_at: float = 0.0
+    running_since: float | None = None
+    deleted_at: float | None = None
+    #: Name of the workload the VM runs, if known to the provider.
+    workload_name: str = ""
+
+    def mark_running(self, time: float) -> None:
+        if self.state is not VMState.CREATING:
+            raise ConfigurationError(f"VM {self.vm_id} is {self.state.value}, not creating")
+        self.state = VMState.RUNNING
+        self.running_since = time
+
+    def mark_deleted(self, time: float) -> None:
+        if self.state is VMState.DELETED:
+            raise ConfigurationError(f"VM {self.vm_id} is already deleted")
+        self.state = VMState.DELETED
+        self.deleted_at = time
+
+    @property
+    def is_active(self) -> bool:
+        """True while the VM occupies host resources."""
+        return self.state in (VMState.CREATING, VMState.RUNNING)
+
+    def running_seconds(self, now: float) -> float:
+        """Wall time spent RUNNING up to ``now``."""
+        if self.running_since is None:
+            return 0.0
+        end = self.deleted_at if self.deleted_at is not None else now
+        return max(0.0, end - self.running_since)
+
+
+__all__ = ["VMSpec", "VMInstance", "VMState"]

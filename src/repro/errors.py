@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. More specific subclasses exist for
+each subsystem so tests and applications can assert on precise failure
+modes (configuration mistakes, thermal violations, capacity exhaustion,
+and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class ThermalError(ReproError):
+    """A thermal model was asked to operate outside its valid envelope."""
+
+
+class CoolingCapacityExceeded(ThermalError):
+    """Component power exceeds the maximum heat a cooling solution removes."""
+
+
+class FrequencyError(ReproError):
+    """A frequency outside a component's supported range was requested."""
+
+
+class VoltageError(ReproError):
+    """A voltage outside a component's supported range was requested."""
+
+
+class ReliabilityError(ReproError):
+    """A reliability/lifetime model was used outside its calibrated range."""
+
+
+class StabilityError(ReproError):
+    """A component crashed or became unstable under excessive overclocking."""
+
+
+class CapacityError(ReproError):
+    """A host, tank, or fleet has no room for the requested resources."""
+
+
+class PlacementError(CapacityError):
+    """The VM placement engine could not place a VM."""
+
+
+class PowerBudgetExceeded(ReproError):
+    """A power cap or delivery limit was breached."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was driven with invalid inputs."""
+
+
+class TCOError(ReproError):
+    """The TCO model received inconsistent cost inputs."""

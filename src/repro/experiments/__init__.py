@@ -1,0 +1,53 @@
+"""Experiment reproductions — one entry point per paper table/figure.
+
+Each module runs the relevant substrate models end-to-end and returns
+the rows/series the paper reports; ``format_*`` helpers render them as
+monospace tables. The ``benchmarks/`` directory contains one
+pytest-benchmark per experiment wrapping these entry points.
+
+Index (see DESIGN.md for the full mapping):
+
+=============  ==========================================
+Experiment     Entry point
+=============  ==========================================
+Table I        :func:`characterization.run_table1`
+Table II       :func:`characterization.run_table2`
+Table III      :func:`characterization.run_table3`
+Table V        :func:`characterization.run_table5`
+Table VI       :func:`tco_experiments.format_table6`
+§IV power      :func:`characterization.run_power_savings`
+Figure 4       :func:`characterization.run_fig4`
+Figure 9       :func:`highperf_vms.run_fig9`
+Figure 10      :func:`highperf_vms.run_fig10`
+Figure 11      :func:`highperf_vms.run_fig11`
+Figure 12      :func:`oversubscription.run_fig12`
+Figure 13      :func:`oversubscription.run_fig13`
+Figure 15      :func:`autoscaling.run_fig15`
+Fig 16/Tab XI  :func:`autoscaling.run_fig16`
+=============  ==========================================
+"""
+
+from . import (
+    autoscaling,
+    characterization,
+    environment,
+    highperf_vms,
+    oversubscription,
+    packing_churn,
+    tco_experiments,
+    usecases,
+)
+from .tables import pct, render_table
+
+__all__ = [
+    "autoscaling",
+    "environment",
+    "packing_churn",
+    "characterization",
+    "highperf_vms",
+    "oversubscription",
+    "tco_experiments",
+    "usecases",
+    "render_table",
+    "pct",
+]

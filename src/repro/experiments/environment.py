@@ -1,0 +1,82 @@
+"""Environmental and motivation analyses (paper §IV "Environmental
+impact" and the introduction's air-cooling-limits argument).
+
+Not a numbered table in the paper, but directly claimed results:
+
+* WUE of a 2PIC facility "at par with evaporative-cooled datacenters";
+* sealed tanks with mechanical + chemical vapor traps;
+* the air-cooling power ceiling that motivates liquid cooling as TDPs
+  head past 500 W.
+"""
+
+from __future__ import annotations
+
+from ..silicon.turbo import air_cooling_power_ceiling, opportunity_vs_tdp
+from ..thermal.facility import (
+    ClimateProfile,
+    CondenserLoop,
+    DryCooler,
+    EVAPORATIVE_WUE_L_PER_KWH,
+    TEMPERATE_CLIMATE,
+    annual_vapor_budget,
+    wue_l_per_kwh,
+)
+from ..thermal.tank import large_tank
+from .tables import render_table
+
+#: A hot-climate profile for the at-par WUE comparison.
+HOT_CLIMATE = ClimateProfile(
+    bands=((18.0, 1000.0), (26.0, 2766.0), (32.0, 3000.0), (38.0, 2000.0))
+)
+
+#: HFE-7000-compatible loop: the coil must stay ≤ 29 degC.
+HFE_LOOP = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=27.0)
+
+#: FC-3284-compatible loop: the 50 degC boiling point relaxes the coil.
+FC_LOOP = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=40.0)
+
+
+def run_wue() -> list[tuple[str, float]]:
+    """WUE (L/kWh) for the cooling options across climates."""
+    cooler = DryCooler()
+    it_watts = 36 * 700.0  # the large tank's IT load
+    return [
+        ("Evaporative air (reference)", EVAPORATIVE_WUE_L_PER_KWH),
+        ("2PIC FC-3284, temperate", wue_l_per_kwh(FC_LOOP, cooler, it_watts, TEMPERATE_CLIMATE)),
+        ("2PIC FC-3284, hot climate", wue_l_per_kwh(FC_LOOP, cooler, it_watts, HOT_CLIMATE)),
+        ("2PIC HFE-7000, temperate", wue_l_per_kwh(HFE_LOOP, cooler, it_watts, TEMPERATE_CLIMATE)),
+        ("2PIC HFE-7000, hot climate", wue_l_per_kwh(HFE_LOOP, cooler, it_watts, HOT_CLIMATE)),
+    ]
+
+
+def format_environment() -> str:
+    wue_rows = [(name, f"{value:.2f}") for name, value in run_wue()]
+    wue_table = render_table(
+        ["Configuration", "WUE (L/kWh)"],
+        wue_rows,
+        title="Section IV — water usage effectiveness",
+    )
+    budget = annual_vapor_budget(large_tank(), servicing_events_per_year=24)
+    vapor_table = render_table(
+        ["Vapor accounting (large tank, 24 services/yr)", "grams"],
+        [
+            ("raw loss at the tank", f"{budget.raw_loss_grams:.0f}"),
+            ("captured by traps", f"{budget.captured_grams:.0f}"),
+            ("escaped to atmosphere", f"{budget.escaped_grams:.0f}"),
+        ],
+        title="Section IV — sealed-tank vapor management",
+    )
+    ceiling = air_cooling_power_ceiling()
+    curve = opportunity_vs_tdp()
+    motivation = render_table(
+        ["Future part TDP", "Air-sustainable frequency (x base)"],
+        [(f"{tdp:.0f} W", f"{ratio:.2f}") for tdp, ratio in curve],
+        title=(
+            f"Introduction — fixed air heatsink tops out at "
+            f"{ceiling:.0f} W per socket"
+        ),
+    )
+    return "\n\n".join([wue_table, vapor_table, motivation])
+
+
+__all__ = ["run_wue", "format_environment", "HOT_CLIMATE", "HFE_LOOP", "FC_LOOP"]

@@ -1,0 +1,149 @@
+"""High-performance VM experiments: Figures 9, 10, and 11.
+
+Figure 9 — normalized metric plus average and P99 server power for the
+eight cloud applications across the Table VII configurations.
+Figure 10 — STREAM kernel bandwidths across the same configurations.
+Figure 11 — VGG training time and GPU power across the Table VIII GPU
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..silicon.configs import (
+    B1,
+    B2,
+    B3,
+    B4,
+    CONFIG_ORDER,
+    FREQUENCY_CONFIGS,
+    FrequencyConfig,
+    OC1,
+    OC2,
+    OC3,
+)
+from ..silicon.gpu import GPU_BASE, OCG1, OCG2, OCG3
+from ..silicon.server import ServerPowerModel
+from ..workloads.base import Workload
+from ..workloads.catalog import FIGURE9_APPLICATIONS
+from ..workloads.stream import STREAM_KERNELS, StreamResult, sweep as stream_sweep
+from ..workloads.vgg import VGGRun, sweep as vgg_sweep
+from .tables import pct, render_table
+
+#: Sweep order for Figures 9 and 10.
+SWEEP_CONFIGS: tuple[FrequencyConfig, ...] = (B1, B2, B3, B4, OC1, OC2, OC3)
+
+#: Busy-core duty of a single hosted application during its run.
+APP_DUTY = 0.8
+
+
+@dataclass(frozen=True)
+class Fig9Cell:
+    """One (application, configuration) cell of Figure 9."""
+
+    application: str
+    config: str
+    normalized_metric: float
+    speedup: float
+    average_power_watts: float
+    p99_power_watts: float
+
+
+def run_fig9(
+    applications: tuple[Workload, ...] = FIGURE9_APPLICATIONS,
+    baseline: FrequencyConfig = B2,
+) -> list[Fig9Cell]:
+    """Normalized metric and server power for every app × configuration."""
+    power_model = ServerPowerModel()
+    cells: list[Fig9Cell] = []
+    for app in applications:
+        memory_activity = app.profile.memory_activity()
+        for config in SWEEP_CONFIGS:
+            busy_avg = app.cores * APP_DUTY
+            busy_p99 = float(app.cores)
+            cells.append(
+                Fig9Cell(
+                    application=app.name,
+                    config=config.name,
+                    normalized_metric=app.normalized_metric(config, baseline),
+                    speedup=app.speedup(config, baseline),
+                    average_power_watts=power_model.watts(config, busy_avg, memory_activity),
+                    p99_power_watts=power_model.watts(config, busy_p99, memory_activity),
+                )
+            )
+    return cells
+
+
+def format_fig9() -> str:
+    cells = run_fig9()
+    rows = [
+        (
+            cell.application,
+            cell.config,
+            f"{cell.normalized_metric:.3f}",
+            pct(cell.speedup - 1.0),
+            f"{cell.average_power_watts:.0f} W",
+            f"{cell.p99_power_watts:.0f} W",
+        )
+        for cell in cells
+    ]
+    return render_table(
+        ["Application", "Config", "Norm metric", "Speedup", "Avg power", "P99 power"],
+        rows,
+        title="Figure 9 — overclocking cloud applications (normalized to B2)",
+    )
+
+
+def run_fig10() -> list[StreamResult]:
+    """STREAM bandwidth for every kernel × configuration."""
+    return stream_sweep(list(SWEEP_CONFIGS))
+
+
+def format_fig10() -> str:
+    results = run_fig10()
+    by_kernel: dict[str, dict[str, float]] = {}
+    for result in results:
+        by_kernel.setdefault(result.kernel, {})[result.config] = result.bandwidth_mb_s
+    rows = []
+    for kernel in STREAM_KERNELS:
+        bandwidths = by_kernel[kernel]
+        rows.append(
+            (kernel, *(f"{bandwidths[name] / 1000:.1f}" for name in CONFIG_ORDER))
+        )
+    return render_table(
+        ["Kernel"] + [f"{name} (GB/s)" for name in CONFIG_ORDER],
+        rows,
+        title="Figure 10 — STREAM sustainable bandwidth",
+    )
+
+
+def run_fig11() -> list[VGGRun]:
+    """VGG normalized time and GPU power for every model × GPU config."""
+    return vgg_sweep([GPU_BASE, OCG1, OCG2, OCG3])
+
+
+def format_fig11() -> str:
+    runs = run_fig11()
+    rows = [
+        (run.model, run.config, f"{run.normalized_time:.3f}", f"{run.power_watts:.0f} W")
+        for run in runs
+    ]
+    return render_table(
+        ["Model", "Config", "Norm time", "P99 GPU power"],
+        rows,
+        title="Figure 11 — GPU overclocking for VGG training",
+    )
+
+
+__all__ = [
+    "Fig9Cell",
+    "run_fig9",
+    "format_fig9",
+    "run_fig10",
+    "format_fig10",
+    "run_fig11",
+    "format_fig11",
+    "SWEEP_CONFIGS",
+    "APP_DUTY",
+]

@@ -1,0 +1,178 @@
+"""Dense-packing experiments: Figures 12–13 and the packing-density claim.
+
+Figure 12 — average P95 latency of four SQL VMs as the pcore assignment
+shrinks from 16 (no oversubscription) to 8 (50%), under B2 and OC3, plus
+the server power draws the paper quotes.
+Figure 13 — three mixed batch/latency scenarios (Table X) at 20 vcores
+on 16 pcores, improvement per application under oversubscribed B2 and
+oversubscribed OC3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.hypervisor import OversubscribedHost, ScenarioInstance
+from ..silicon.configs import B2, OC3
+from ..silicon.server import ServerPowerModel
+from ..workloads.catalog import BI, SPECJBB, SQL, TERASORT
+from ..workloads.oltp import (
+    OversubscriptionPoint,
+    cores_saved_by_overclocking,
+    pcore_sweep,
+)
+from .tables import pct, render_table
+
+#: Duty cycle of latency-sensitive VMs in the Table X scenarios.
+LATENCY_DUTY = 0.75
+
+#: Average busy fraction of the SQL pcores during the Figure 12 runs
+#: (used for the power readings the paper quotes alongside the figure).
+FIG12_UTILIZATION = {B2.name: 0.60, OC3.name: 0.62}
+
+
+@dataclass(frozen=True)
+class Fig12Point:
+    """One point of Figure 12 with its power readings."""
+
+    config: str
+    pcores: int
+    p95_latency_ms: float
+    saturated: bool
+    average_power_watts: float
+    p99_power_watts: float
+
+
+def run_fig12(pcore_range: range = range(8, 17, 2)) -> list[Fig12Point]:
+    """Latency and power across the pcore sweep for B2 and OC3."""
+    power_model = ServerPowerModel()
+    points: list[Fig12Point] = []
+    for config in (B2, OC3):
+        utilization = FIG12_UTILIZATION[config.name]
+        for point in pcore_sweep(config, pcore_range):
+            busy_avg = point.pcores * utilization
+            busy_p99 = point.pcores * min(1.0, utilization + 0.08)
+            points.append(
+                Fig12Point(
+                    config=point.config,
+                    pcores=point.pcores,
+                    p95_latency_ms=point.p95_latency_ms,
+                    saturated=point.saturated,
+                    average_power_watts=power_model.watts(config, busy_avg),
+                    p99_power_watts=power_model.watts(config, busy_p99),
+                )
+            )
+    return points
+
+
+def format_fig12() -> str:
+    rows = [
+        (
+            point.config,
+            point.pcores,
+            f"{point.p95_latency_ms:.1f} ms" + (" (saturated)" if point.saturated else ""),
+            f"{point.average_power_watts:.0f} W",
+            f"{point.p99_power_watts:.0f} W",
+        )
+        for point in run_fig12()
+    ]
+    saved = cores_saved_by_overclocking(OC3)
+    table = render_table(
+        ["Config", "pcores", "Avg P95 latency", "Avg power", "P99 power"],
+        rows,
+        title="Figure 12 — SQL latency under core oversubscription",
+    )
+    return table + f"\n\nOverclocking (OC3) matches B2@16 pcores with {16 - saved} pcores: {saved} pcores saved."
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — Table X mixed scenarios
+# ----------------------------------------------------------------------
+def table10_scenario(name: str) -> list[ScenarioInstance]:
+    """Build one of the paper's Table X scenarios (20 vcores)."""
+    counts = {
+        "Scenario 1": (1, 1, 1, 2),
+        "Scenario 2": (1, 1, 2, 1),
+        "Scenario 3": (2, 1, 1, 1),
+    }
+    if name not in counts:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(f"unknown scenario {name!r}; available: {sorted(counts)}")
+    n_sql, n_bi, n_jbb, n_ts = counts[name]
+    instances: list[ScenarioInstance] = []
+    for index in range(n_sql):
+        instances.append(
+            ScenarioInstance(SQL, 4, duty=LATENCY_DUTY, latency_sensitive=True,
+                             instance_id=f"SQL-{index}")
+        )
+    for index in range(n_bi):
+        instances.append(ScenarioInstance(BI, 4, duty=1.0, instance_id=f"BI-{index}"))
+    for index in range(n_jbb):
+        instances.append(
+            ScenarioInstance(SPECJBB, 4, duty=LATENCY_DUTY, latency_sensitive=True,
+                             instance_id=f"SPECJBB-{index}")
+        )
+    for index in range(n_ts):
+        instances.append(ScenarioInstance(TERASORT, 4, duty=1.0, instance_id=f"TeraSort-{index}"))
+    return instances
+
+
+SCENARIO_NAMES: tuple[str, ...] = ("Scenario 1", "Scenario 2", "Scenario 3")
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """One application bar-pair of Figure 13."""
+
+    scenario: str
+    instance: str
+    b2_improvement: float
+    oc3_improvement: float
+
+
+def run_fig13(
+    pcores: int = 16, baseline_pcores: int = 20
+) -> list[Fig13Row]:
+    """Improvements under oversubscribed B2 and OC3, per Table X scenario."""
+    host = OversubscribedHost(pcores=pcores)
+    rows: list[Fig13Row] = []
+    for name in SCENARIO_NAMES:
+        instances = table10_scenario(name)
+        b2_result = host.compare(instances, B2, baseline_pcores)
+        oc3_result = host.compare(instances, OC3, baseline_pcores)
+        for instance_id in b2_result:
+            rows.append(
+                Fig13Row(
+                    scenario=name,
+                    instance=instance_id,
+                    b2_improvement=b2_result[instance_id],
+                    oc3_improvement=oc3_result[instance_id],
+                )
+            )
+    return rows
+
+
+def format_fig13() -> str:
+    rows = [
+        (row.scenario, row.instance, pct(row.b2_improvement), pct(row.oc3_improvement))
+        for row in run_fig13()
+    ]
+    return render_table(
+        ["Scenario", "Instance", "B2 oversubscribed", "OC3 oversubscribed"],
+        rows,
+        title="Figure 13 — 20 vcores on 16 pcores, improvement vs B2 with 20 pcores",
+    )
+
+
+__all__ = [
+    "Fig12Point",
+    "run_fig12",
+    "format_fig12",
+    "Fig13Row",
+    "run_fig13",
+    "format_fig13",
+    "table10_scenario",
+    "SCENARIO_NAMES",
+    "LATENCY_DUTY",
+]

@@ -1,0 +1,155 @@
+"""Packing density under realistic VM churn (paper Section V / VI-C).
+
+The paper's static claim — overclocking-backed oversubscription packs
+~20% more VMs — is exercised here under *churn*: a synthetic multi-day
+arrival/lifetime trace (see :mod:`repro.workloads.vmtrace`) is replayed
+against two fleets, one at 1:1 vcore:pcore and one at 1.2:1 with the
+hosts overclocked to compensate. The oversubscribed fleet should admit
+more VMs and reject fewer at equal hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..cluster.host import Host
+from ..cluster.placement import PlacementEngine, PlacementPolicy
+from ..cluster.vm import VMInstance
+from ..errors import PlacementError
+from ..silicon.configs import OC1
+from ..thermal.cooling import TWO_PHASE_IMMERSION
+from ..workloads.vmtrace import VMArrival, VMTraceGenerator
+from .tables import pct, render_table
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Outcome of replaying a trace against one fleet configuration."""
+
+    label: str
+    oversubscription_ratio: float
+    arrivals: int
+    admitted: int
+    rejected: int
+    peak_committed_vcores: int
+
+    @property
+    def admission_rate(self) -> float:
+        if self.arrivals == 0:
+            return 1.0
+        return self.admitted / self.arrivals
+
+
+def replay_trace(
+    trace: list[VMArrival],
+    host_count: int,
+    oversubscription_ratio: float,
+    label: str,
+) -> ChurnResult:
+    """Replay arrivals/departures against a fresh fleet."""
+    hosts = [
+        Host(
+            f"{label}-h{index}",
+            cooling=TWO_PHASE_IMMERSION,
+            oversubscription_ratio=oversubscription_ratio,
+        )
+        for index in range(host_count)
+    ]
+    if oversubscription_ratio > 1.0:
+        for host in hosts:
+            host.set_config(OC1)  # compensate the oversubscription
+    engine = PlacementEngine(hosts, PlacementPolicy.BEST_FIT)
+
+    departures: list[tuple[float, str]] = []
+    admitted = 0
+    rejected = 0
+    peak = 0
+    for index, arrival in enumerate(trace):
+        while departures and departures[0][0] <= arrival.arrival_time:
+            _, vm_id = heapq.heappop(departures)
+            engine.evict(vm_id)
+        vm = VMInstance(vm_id=f"{label}-vm{index}", spec=arrival.spec)
+        try:
+            engine.place(vm)
+        except PlacementError:
+            rejected += 1
+            continue
+        admitted += 1
+        heapq.heappush(departures, (arrival.departure_time, vm.vm_id))
+        peak = max(peak, engine.stats().total_vcores_placed)
+    return ChurnResult(
+        label=label,
+        oversubscription_ratio=oversubscription_ratio,
+        arrivals=len(trace),
+        admitted=admitted,
+        rejected=rejected,
+        peak_committed_vcores=peak,
+    )
+
+
+#: Lifetime mix for the churn experiment: the catalog default includes
+#: two-week services that never depart within a short horizon, so the
+#: experiment uses compressed lifetimes (same bimodal shape) that reach
+#: steady state within the 3-day replay.
+CHURN_LIFETIME_MIX: tuple[tuple[float, float, float], ...] = (
+    (0.60, 1_800.0, 1.0),    # short batch/dev
+    (0.30, 10_800.0, 0.8),   # 3-hour services
+    (0.10, 86_400.0, 0.7),   # day-long services
+)
+
+
+def run_packing_churn(
+    host_count: int = 8,
+    rate_per_hour: float = 13.0,
+    horizon_days: float = 3.0,
+    seed: int = 11,
+) -> tuple[ChurnResult, ChurnResult]:
+    """The two-fleet comparison on one shared trace.
+
+    The default rate puts the 1:1 fleet around 85–95% occupancy at
+    steady state, where big-VM admissions start failing — the regime
+    where the oversubscription dividend shows.
+    """
+    generator = VMTraceGenerator(
+        rate_per_hour=rate_per_hour, seed=seed, lifetime_mix=CHURN_LIFETIME_MIX
+    )
+    trace = generator.trace(horizon_days * 86_400.0)
+    baseline = replay_trace(trace, host_count, 1.0, "baseline")
+    oversubscribed = replay_trace(trace, host_count, 1.2, "oversub")
+    return baseline, oversubscribed
+
+
+def format_packing_churn() -> str:
+    baseline, oversubscribed = run_packing_churn()
+    gain = oversubscribed.admitted / baseline.admitted - 1.0 if baseline.admitted else 0.0
+    rows = [
+        (
+            result.label,
+            f"{result.oversubscription_ratio:.1f}",
+            result.arrivals,
+            result.admitted,
+            result.rejected,
+            result.peak_committed_vcores,
+            f"{result.admission_rate:.1%}",
+        )
+        for result in (baseline, oversubscribed)
+    ]
+    table = render_table(
+        ["Fleet", "Ratio", "Arrivals", "Admitted", "Rejected", "Peak vcores", "Admission"],
+        rows,
+        title="Packing density under churn (3-day synthetic trace, 8 hosts)",
+    )
+    peak_gain = (
+        oversubscribed.peak_committed_vcores / baseline.peak_committed_vcores - 1.0
+        if baseline.peak_committed_vcores
+        else 0.0
+    )
+    return table + (
+        f"\n\nOverclocking-backed oversubscription admits {pct(gain)} more VMs, "
+        f"cuts rejections {baseline.rejected} -> {oversubscribed.rejected}, and "
+        f"raises peak packed vcores by {pct(peak_gain)} on the same hardware."
+    )
+
+
+__all__ = ["ChurnResult", "replay_trace", "run_packing_churn", "format_packing_churn"]

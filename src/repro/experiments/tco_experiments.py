@@ -1,0 +1,59 @@
+"""TCO experiments: Table VI and the Section VI-C oversubscription numbers."""
+
+from __future__ import annotations
+
+from ..tco.analysis import build_table6, oversubscription_analysis
+from .tables import pct, render_table
+
+#: Human labels matching the paper's row names.
+CATEGORY_LABELS: dict[str, str] = {
+    "servers": "Servers",
+    "network": "Network",
+    "dc_construction": "DC construction",
+    "energy": "Energy",
+    "operations": "Operations",
+    "design_taxes_fees": "Design, taxes, fees",
+    "immersion": "Immersion",
+}
+
+
+def format_table6() -> str:
+    table = build_table6()
+    rows = [
+        (
+            CATEGORY_LABELS[row.category],
+            f"{row.non_overclockable_pct:+d}%" if row.non_overclockable_pct else "",
+            f"{row.overclockable_pct:+d}%" if row.overclockable_pct else "",
+        )
+        for row in table.rows
+    ]
+    rows.append(
+        (
+            "Cost per physical core",
+            f"{table.non_overclockable_total_pct:+d}%",
+            f"{table.overclockable_total_pct:+d}%",
+        )
+    )
+    return render_table(
+        ["", "Non-overclockable 2PIC", "Overclockable 2PIC"],
+        rows,
+        title="Table VI — TCO relative to the air-cooled baseline",
+    )
+
+
+def format_oversubscription_tco() -> str:
+    analysis = oversubscription_analysis(oversubscription=0.10)
+    return render_table(
+        ["Scenario", "Cost per virtual core"],
+        [
+            ("Overclockable 2PIC +10% oversub vs air-cooled", pct(analysis.oc_2pic_vs_air)),
+            (
+                "Non-overclockable 2PIC +10% oversub vs itself",
+                pct(analysis.non_oc_2pic_vs_itself),
+            ),
+        ],
+        title="Section VI-C — TCO impact of denser VM packing",
+    )
+
+
+__all__ = ["format_table6", "format_oversubscription_tco", "CATEGORY_LABELS"]

@@ -1,0 +1,82 @@
+"""Reliability substrate: lifetime, stability, and wear-out models.
+
+Implements the paper's Section IV reliability analysis — the Table IV
+failure modes, the Table V composite lifetime projections, the
+computational-stability characterization, and the proposed wear-out
+counter / lifetime-credit mechanism.
+"""
+
+from .failure_modes import (
+    BOLTZMANN_EV_PER_K,
+    DEFAULT_FAILURE_MODES,
+    Electromigration,
+    FailureMode,
+    GateOxideBreakdown,
+    OperatingCondition,
+    REFERENCE_DELTA_TJ_C,
+    REFERENCE_TJ_MAX_C,
+    REFERENCE_VOLTAGE_V,
+    ThermalCycling,
+)
+from .lifetime import (
+    voltage_for_socket_watts,
+    AIR_BASELINE_REFERENCE_C,
+    AIR_BASELINE_RESISTANCE_C_PER_W,
+    CompositeLifetimeModel,
+    LifetimeProjection,
+    NOMINAL_SOCKET_WATTS,
+    NOMINAL_VOLTAGE_V,
+    OVERCLOCKED_SOCKET_WATTS,
+    OVERCLOCKED_VOLTAGE_V,
+    RATED_LIFETIME_YEARS,
+    air_condition,
+    immersion_condition,
+    iso_lifetime_overclock_watts,
+    project_table5,
+)
+from .governor import GuardDecision, LIFETIME_NEUTRAL_RATIO, OverclockGuard
+from .montecarlo import (
+    FleetReliabilityResult,
+    compare_conditions,
+    simulate_fleet,
+)
+from .stability import SIX_MONTHS_HOURS, StabilityModel, StabilityMonitor
+from .wearout import WearoutCounter, WearSegment
+
+__all__ = [
+    "FleetReliabilityResult",
+    "simulate_fleet",
+    "compare_conditions",
+    "OverclockGuard",
+    "GuardDecision",
+    "LIFETIME_NEUTRAL_RATIO",
+    "OperatingCondition",
+    "FailureMode",
+    "GateOxideBreakdown",
+    "Electromigration",
+    "ThermalCycling",
+    "DEFAULT_FAILURE_MODES",
+    "BOLTZMANN_EV_PER_K",
+    "REFERENCE_TJ_MAX_C",
+    "REFERENCE_DELTA_TJ_C",
+    "REFERENCE_VOLTAGE_V",
+    "CompositeLifetimeModel",
+    "LifetimeProjection",
+    "air_condition",
+    "immersion_condition",
+    "project_table5",
+    "iso_lifetime_overclock_watts",
+    "voltage_for_socket_watts",
+    "RATED_LIFETIME_YEARS",
+    "NOMINAL_SOCKET_WATTS",
+    "OVERCLOCKED_SOCKET_WATTS",
+    "NOMINAL_VOLTAGE_V",
+    "OVERCLOCKED_VOLTAGE_V",
+    "AIR_BASELINE_REFERENCE_C",
+    "AIR_BASELINE_RESISTANCE_C_PER_W",
+    "StabilityModel",
+    "StabilityMonitor",
+    "SIX_MONTHS_HOURS",
+    "WearoutCounter",
+    "WearSegment",
+]

@@ -1,0 +1,173 @@
+"""Individual silicon failure-mode models (paper Table IV).
+
+Three time-dependent degradation processes govern processor lifetime:
+
+* **Gate-oxide breakdown** — depends on junction temperature and
+  voltage. Voltage acceleration is exponential; the temperature
+  dependence is weak/non-Arrhenius for ultra-thin oxides (the paper
+  cites DiMaria & Stathis).
+* **Electromigration** — Black's-equation Arrhenius dependence on
+  junction temperature (the paper's Table IV marks it
+  temperature-dependent only).
+* **Thermal cycling** — Coffin–Manson power law in the junction
+  temperature *swing* ΔTj; absolute temperature and voltage do not
+  matter.
+
+Each model returns a time-to-failure in years for a steady operating
+condition; the composite model in :mod:`repro.reliability.lifetime`
+combines them by summing damage rates.
+
+Calibration provenance: the constants below were least-squares fitted
+(on log-lifetime) to reproduce the paper's Table V — the output of a
+validated 5 nm composite model from a large fabrication company that the
+paper used but did not publish. See DESIGN.md for the substitution note
+and tests/test_reliability.py for the row-by-row verification.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ReliabilityError
+from ..units import celsius_to_kelvin
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV_PER_K = 8.617e-5
+
+#: Reference operating condition: the paper's air-cooled baseline
+#: (Tj,max 85 °C, ΔTj 65 °C, 0.90 V, 5-year rated lifetime).
+REFERENCE_TJ_MAX_C = 85.0
+REFERENCE_DELTA_TJ_C = 65.0
+REFERENCE_VOLTAGE_V = 0.90
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """A steady electro-thermal operating point for lifetime evaluation."""
+
+    tj_max_c: float
+    tj_min_c: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.tj_max_c < self.tj_min_c:
+            raise ReliabilityError("tj_max_c must be >= tj_min_c")
+        if self.voltage_v <= 0:
+            raise ReliabilityError("voltage must be positive")
+
+    @property
+    def delta_tj_c(self) -> float:
+        """Junction temperature swing (drives thermal cycling)."""
+        return self.tj_max_c - self.tj_min_c
+
+
+class FailureMode(ABC):
+    """Base class for one degradation process."""
+
+    #: Table IV dependency flags.
+    depends_on_temperature: bool = False
+    depends_on_delta_t: bool = False
+    depends_on_voltage: bool = False
+
+    name: str = "failure mode"
+
+    @abstractmethod
+    def lifetime_years(self, condition: OperatingCondition) -> float:
+        """Projected time-to-failure under a steady condition."""
+
+    def damage_rate_per_year(self, condition: OperatingCondition) -> float:
+        """Fraction of this mode's life consumed per year of operation."""
+        return 1.0 / self.lifetime_years(condition)
+
+
+@dataclass(frozen=True)
+class GateOxideBreakdown(FailureMode):
+    """TDDB: exponential voltage acceleration, weak temperature term.
+
+    ``L = C · exp(−γ(V − V_ref)) · exp(Ea/k · (1/T − 1/T_ref))``
+    """
+
+    scale_years: float = 15.6927
+    voltage_acceleration_per_v: float = 17.3648
+    activation_energy_ev: float = 0.1101
+
+    name = "gate oxide breakdown"
+    depends_on_temperature = True
+    depends_on_voltage = True
+
+    def lifetime_years(self, condition: OperatingCondition) -> float:
+        t_k = celsius_to_kelvin(condition.tj_max_c)
+        t_ref_k = celsius_to_kelvin(REFERENCE_TJ_MAX_C)
+        voltage_term = math.exp(
+            -self.voltage_acceleration_per_v * (condition.voltage_v - REFERENCE_VOLTAGE_V)
+        )
+        thermal_term = math.exp(
+            self.activation_energy_ev / BOLTZMANN_EV_PER_K * (1.0 / t_k - 1.0 / t_ref_k)
+        )
+        return self.scale_years * voltage_term * thermal_term
+
+
+@dataclass(frozen=True)
+class Electromigration(FailureMode):
+    """Black's equation with a fixed current-density term folded into the scale.
+
+    ``L = C · exp(Ea/k · (1/T − 1/T_ref))``
+    """
+
+    scale_years: float = 10.8748
+    activation_energy_ev: float = 1.6
+
+    name = "electromigration"
+    depends_on_temperature = True
+
+    def lifetime_years(self, condition: OperatingCondition) -> float:
+        t_k = celsius_to_kelvin(condition.tj_max_c)
+        t_ref_k = celsius_to_kelvin(REFERENCE_TJ_MAX_C)
+        return self.scale_years * math.exp(
+            self.activation_energy_ev / BOLTZMANN_EV_PER_K * (1.0 / t_k - 1.0 / t_ref_k)
+        )
+
+
+@dataclass(frozen=True)
+class ThermalCycling(FailureMode):
+    """Coffin–Manson: ``L = C · (ΔT_ref/ΔT)^q``.
+
+    Immersion narrows the temperature swing dramatically (the pool pins
+    the floor at the boiling point), which is why immersion rows in
+    Table V gain lifetime even while overclocked.
+    """
+
+    scale_years: float = 20.0
+    exponent: float = 2.35
+
+    name = "thermal cycling"
+    depends_on_delta_t = True
+
+    def lifetime_years(self, condition: OperatingCondition) -> float:
+        delta = condition.delta_tj_c
+        if delta <= 0:
+            return math.inf
+        return self.scale_years * (REFERENCE_DELTA_TJ_C / delta) ** self.exponent
+
+
+DEFAULT_FAILURE_MODES: tuple[FailureMode, ...] = (
+    GateOxideBreakdown(),
+    Electromigration(),
+    ThermalCycling(),
+)
+
+
+__all__ = [
+    "OperatingCondition",
+    "FailureMode",
+    "GateOxideBreakdown",
+    "Electromigration",
+    "ThermalCycling",
+    "DEFAULT_FAILURE_MODES",
+    "REFERENCE_TJ_MAX_C",
+    "REFERENCE_DELTA_TJ_C",
+    "REFERENCE_VOLTAGE_V",
+    "BOLTZMANN_EV_PER_K",
+]

@@ -1,0 +1,143 @@
+"""The overclocking guard: safety envelope for sustained overclocking.
+
+The paper's Section IV take-aways each come with a "must be carefully
+managed" clause. :class:`OverclockGuard` is that management loop in one
+object — before granting a frequency it checks, in order:
+
+1. **stability** — the requested ratio must be below the crash margin,
+   and the correctable-error monitor must not be alarming;
+2. **lifetime** — the wear-out counter must afford the extra damage (or
+   the request stays within the lifetime-neutral green band);
+3. **power** — the host's delivery headroom must cover the extra watts.
+
+The guard returns the highest safe ratio at or below the request, so
+callers can ask for the moon and get the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .failure_modes import OperatingCondition
+from .stability import StabilityModel, StabilityMonitor
+from .wearout import WearoutCounter
+
+#: Ratio at or below which lifetime is unaffected in the paper's
+#: HFE-7000 configuration (the Figure 5 green band).
+LIFETIME_NEUTRAL_RATIO = 1.23
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    """The guard's answer to one overclock request."""
+
+    requested_ratio: float
+    granted_ratio: float
+    limited_by: str  # "none", "stability", "alarm", "lifetime", "power"
+
+    @property
+    def granted(self) -> bool:
+        return self.granted_ratio > 1.0
+
+
+class OverclockGuard:
+    """Grants the largest safe overclock ratio for one host."""
+
+    def __init__(
+        self,
+        stability: StabilityModel | None = None,
+        monitor: StabilityMonitor | None = None,
+        wearout: WearoutCounter | None = None,
+        overclocked_condition: OperatingCondition | None = None,
+        nominal_condition: OperatingCondition | None = None,
+        extra_watts_per_ratio: float = 435.0,
+        step_ratio: float = 0.01,
+    ) -> None:
+        """``extra_watts_per_ratio`` converts ratio above 1.0 into added
+        socket watts (the paper's measured slope: +100 W buys +23%, i.e.
+        ~435 W per unit ratio)."""
+        if step_ratio <= 0:
+            raise ConfigurationError("step ratio must be positive")
+        self.stability = stability if stability is not None else StabilityModel()
+        self.monitor = monitor
+        self.wearout = wearout
+        self.overclocked_condition = overclocked_condition
+        self.nominal_condition = nominal_condition
+        self.extra_watts_per_ratio = extra_watts_per_ratio
+        self.step_ratio = step_ratio
+        self._alarmed = False
+
+    # ------------------------------------------------------------------
+    # Telemetry feed
+    # ------------------------------------------------------------------
+    def observe_errors(self, time_hours: float, cumulative_errors: float) -> None:
+        """Feed the correctable-error counter; an alarm forces base clock
+        until :meth:`clear_alarm`."""
+        if self.monitor is None:
+            return
+        if self.monitor.observe(time_hours, cumulative_errors):
+            self._alarmed = True
+
+    def clear_alarm(self) -> None:
+        """Operator acknowledgement after investigating an error spike."""
+        self._alarmed = False
+
+    @property
+    def alarmed(self) -> bool:
+        return self._alarmed
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        requested_ratio: float,
+        power_headroom_watts: float = float("inf"),
+        utilization: float = 1.0,
+    ) -> GuardDecision:
+        """Largest safe ratio at or below the request."""
+        if requested_ratio < 1.0:
+            raise ConfigurationError("requested ratio must be >= 1.0")
+        if self._alarmed:
+            return GuardDecision(requested_ratio, 1.0, "alarm")
+
+        ratio = requested_ratio
+        limited_by = "none"
+
+        # 1. Stability: never at or beyond the crash margin; stay inside
+        #    the stable envelope.
+        stable_max = self.stability.max_stable_ratio()
+        if ratio > stable_max:
+            ratio = stable_max
+            limited_by = "stability"
+
+        # 2. Power: the extra watts must fit the delivery headroom.
+        max_by_power = 1.0 + power_headroom_watts / self.extra_watts_per_ratio
+        if ratio > max_by_power:
+            ratio = max(1.0, max_by_power)
+            limited_by = "power"
+
+        # 3. Lifetime: beyond the neutral band the wear-out budget pays.
+        if (
+            ratio > LIFETIME_NEUTRAL_RATIO
+            and self.wearout is not None
+            and self.overclocked_condition is not None
+            and self.nominal_condition is not None
+        ):
+            affordable_hours = self.wearout.affordable_overclock_hours(
+                self.overclocked_condition, self.nominal_condition, utilization
+            )
+            if affordable_hours < 1.0:
+                ratio = LIFETIME_NEUTRAL_RATIO
+                limited_by = "lifetime"
+
+        ratio = min(ratio, requested_ratio)
+        return GuardDecision(
+            requested_ratio=requested_ratio,
+            granted_ratio=round(ratio, 6),
+            limited_by=limited_by if ratio < requested_ratio else "none",
+        )
+
+
+__all__ = ["OverclockGuard", "GuardDecision", "LIFETIME_NEUTRAL_RATIO"]

@@ -1,0 +1,122 @@
+"""Monte Carlo fleet reliability (extension of the Table V analysis).
+
+Table V gives deterministic lifetime *projections*; a fleet operator
+cares about the failure-time distribution: how many servers die per
+year (AFR), and how wide the spread is. This module samples per-mode
+failure times — Weibull-distributed around each mode's projected
+characteristic life — takes the series-system minimum per server, and
+aggregates annualized failure rates per operating condition.
+
+Typical Weibull shapes: oxide breakdown and electromigration are
+wear-out modes (shape ≈ 2), thermal cycling fatigue is steeper
+(shape ≈ 3).
+
+Note on views: the deterministic composite in
+:mod:`repro.reliability.lifetime` adds damage *rates* (competing wear on
+shared structures), while this Monte Carlo treats modes as independent
+competing risks (min of independent failure times) — a strictly more
+optimistic composite. Compare conditions within one view; do not mix
+the deterministic projection of one condition with the Monte Carlo of
+another.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .failure_modes import (
+    DEFAULT_FAILURE_MODES,
+    Electromigration,
+    FailureMode,
+    GateOxideBreakdown,
+    OperatingCondition,
+    ThermalCycling,
+)
+
+#: Weibull shape per failure-mode class.
+DEFAULT_SHAPES: dict[type, float] = {
+    GateOxideBreakdown: 2.0,
+    Electromigration: 2.0,
+    ThermalCycling: 3.0,
+}
+
+
+@dataclass(frozen=True)
+class FleetReliabilityResult:
+    """Aggregated Monte Carlo outcome for one operating condition."""
+
+    condition: OperatingCondition
+    servers: int
+    mean_lifetime_years: float
+    p10_lifetime_years: float
+    median_lifetime_years: float
+    #: Fraction of servers failed within the rated 5-year service life.
+    failed_within_5y: float
+
+    def annualized_failure_rate(self, horizon_years: float = 5.0) -> float:
+        """Average fraction of the fleet failing per year of service."""
+        if horizon_years <= 0:
+            raise ConfigurationError("horizon must be positive")
+        return self.failed_within_5y / horizon_years
+
+
+def _characteristic_life(mode: FailureMode, condition: OperatingCondition, shape: float) -> float:
+    """Weibull scale so the distribution's *mean* equals the projection."""
+    mean = mode.lifetime_years(condition)
+    if math.isinf(mean):
+        return math.inf
+    return mean / math.gamma(1.0 + 1.0 / shape)
+
+
+def simulate_fleet(
+    condition: OperatingCondition,
+    servers: int = 10_000,
+    seed: int = 0,
+    modes: tuple[FailureMode, ...] = DEFAULT_FAILURE_MODES,
+    shapes: dict[type, float] | None = None,
+) -> FleetReliabilityResult:
+    """Sample per-server failure times and summarize the fleet."""
+    if servers < 1:
+        raise ConfigurationError("need at least one server")
+    shapes = shapes if shapes is not None else DEFAULT_SHAPES
+    rng = np.random.default_rng(seed)
+    lifetimes = np.full(servers, np.inf)
+    for mode in modes:
+        shape = shapes.get(type(mode), 2.0)
+        scale = _characteristic_life(mode, condition, shape)
+        if math.isinf(scale):
+            continue
+        samples = scale * rng.weibull(shape, size=servers)
+        lifetimes = np.minimum(lifetimes, samples)
+    return FleetReliabilityResult(
+        condition=condition,
+        servers=servers,
+        mean_lifetime_years=float(np.mean(lifetimes)),
+        p10_lifetime_years=float(np.percentile(lifetimes, 10.0)),
+        median_lifetime_years=float(np.median(lifetimes)),
+        failed_within_5y=float(np.mean(lifetimes < 5.0)),
+    )
+
+
+def compare_conditions(
+    conditions: dict[str, OperatingCondition],
+    servers: int = 10_000,
+    seed: int = 0,
+) -> dict[str, FleetReliabilityResult]:
+    """Monte Carlo summary for several operating conditions."""
+    return {
+        label: simulate_fleet(condition, servers=servers, seed=seed)
+        for label, condition in conditions.items()
+    }
+
+
+__all__ = [
+    "FleetReliabilityResult",
+    "simulate_fleet",
+    "compare_conditions",
+    "DEFAULT_SHAPES",
+]

@@ -1,0 +1,126 @@
+"""Computational stability under overclocking (paper Section IV).
+
+Excessive overclocking induces bitflips from aggressive circuit timing
+and voltage droop. The paper's six-month characterization found:
+
+* no correctable errors on small tank #1 (W-3175X at up to +23% over
+  all-core turbo);
+* 56 CPU cache correctable errors on small tank #2 over six months of
+  "very aggressive" overclocking;
+* no silent errors anywhere;
+* ungraceful crashes only when voltage/frequency were pushed to excess.
+
+:class:`StabilityModel` captures this shape: a negligible background
+error rate inside the stable margin (+23% over turbo), an exponential
+ramp beyond it, and a crash threshold past the ramp.
+:class:`StabilityMonitor` implements the paper's proposed guardrail —
+watch the *rate of change* of correctable errors and back off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, StabilityError
+
+#: Six months expressed in hours — the paper's characterization window.
+SIX_MONTHS_HOURS = 183.0 * 24.0
+
+
+@dataclass(frozen=True)
+class StabilityModel:
+    """Correctable-error rate and crash behaviour vs overclock ratio.
+
+    ``overclock_ratio`` is frequency divided by the part's all-core
+    turbo (1.0 = stock, 1.23 = the paper's stable envelope).
+    """
+
+    #: Overclock ratio up to which operation is error-free in practice.
+    stable_margin: float = 1.23
+    #: Ratio at which the part ungracefully crashes.
+    crash_margin: float = 1.35
+    #: Error rate (errors/hour) at the stable margin boundary.
+    base_error_rate_per_hour: float = 0.013
+    #: e-folding width of the exponential ramp, in ratio units.
+    ramp_width: float = 0.025
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.stable_margin < self.crash_margin:
+            raise ConfigurationError("need 1.0 <= stable_margin < crash_margin")
+        if self.ramp_width <= 0:
+            raise ConfigurationError("ramp width must be positive")
+
+    def correctable_error_rate_per_hour(self, overclock_ratio: float) -> float:
+        """Expected correctable errors per hour at ``overclock_ratio``."""
+        if overclock_ratio <= 0:
+            raise ConfigurationError("overclock ratio must be positive")
+        if overclock_ratio <= self.stable_margin:
+            return 0.0
+        excess = overclock_ratio - self.stable_margin
+        return self.base_error_rate_per_hour * math.exp(excess / self.ramp_width)
+
+    def expected_errors(self, overclock_ratio: float, hours: float) -> float:
+        """Expected correctable-error count over ``hours`` of operation."""
+        if hours < 0:
+            raise ConfigurationError("hours must be non-negative")
+        return self.correctable_error_rate_per_hour(overclock_ratio) * hours
+
+    def crashes(self, overclock_ratio: float) -> bool:
+        """True when the part cannot operate at this ratio at all."""
+        return overclock_ratio >= self.crash_margin
+
+    def check(self, overclock_ratio: float) -> None:
+        """Raise :class:`StabilityError` at crash-inducing ratios."""
+        if self.crashes(overclock_ratio):
+            raise StabilityError(
+                f"overclock ratio {overclock_ratio:.3f} is at or beyond the crash "
+                f"margin {self.crash_margin:.3f}"
+            )
+
+    def max_stable_ratio(self) -> float:
+        """Largest ratio with a zero observed error rate."""
+        return self.stable_margin
+
+
+@dataclass
+class StabilityMonitor:
+    """Watches correctable-error counts and flags runaway growth.
+
+    The paper proposes "monitoring the rate of change in correctable
+    errors" as the production guardrail. The monitor keeps the last
+    observation and reports when the inter-observation error *rate*
+    exceeds a threshold, signalling the controller to reduce frequency.
+    """
+
+    rate_threshold_per_hour: float = 1.0
+    _last_time_hours: float | None = field(default=None, init=False)
+    _last_count: float = field(default=0.0, init=False)
+    alarms: int = field(default=0, init=False)
+
+    def observe(self, time_hours: float, cumulative_errors: float) -> bool:
+        """Record a counter reading; returns True when an alarm fires."""
+        if cumulative_errors < 0:
+            raise ConfigurationError("error counts cannot be negative")
+        if self._last_time_hours is None:
+            self._last_time_hours = time_hours
+            self._last_count = cumulative_errors
+            return False
+        if time_hours < self._last_time_hours:
+            raise ConfigurationError("observations must be in time order")
+        if cumulative_errors < self._last_count:
+            raise ConfigurationError("cumulative error counts cannot decrease")
+        span = time_hours - self._last_time_hours
+        delta = cumulative_errors - self._last_count
+        self._last_time_hours = time_hours
+        self._last_count = cumulative_errors
+        if span <= 0:
+            return False
+        rate = delta / span
+        if rate > self.rate_threshold_per_hour:
+            self.alarms += 1
+            return True
+        return False
+
+
+__all__ = ["StabilityModel", "StabilityMonitor", "SIX_MONTHS_HOURS"]

@@ -1,0 +1,121 @@
+"""Silicon substrate: CPUs, GPUs, memory, servers, and operating points.
+
+Implements the paper's Section IV characterization machinery — operating
+domains (Fig. 4), the measured W-3175X voltage/frequency curve, dynamic
+and leakage power models, the Table III turbo solve, and the Table VII /
+Table VIII experimental configurations.
+"""
+
+from .configs import (
+    B1,
+    B2,
+    B3,
+    B4,
+    CONFIG_ORDER,
+    FREQUENCY_CONFIGS,
+    OC1,
+    OC2,
+    OC3,
+    FrequencyConfig,
+    config_by_name,
+)
+from .cpu import (
+    CORE_I9900K,
+    CPU,
+    CPU_CATALOG,
+    CPUSpec,
+    XEON_8168,
+    XEON_8180,
+    XEON_W3175X,
+    air_cooled_cpu,
+    immersed_cpu,
+    round_to_bin,
+)
+from .domains import Domain, OperatingDomains
+from .gpu import (
+    GPU,
+    GPU_BASE,
+    GPU_CONFIGS,
+    GPUConfig,
+    GPUSpec,
+    OCG1,
+    OCG2,
+    OCG3,
+    RTX_2080TI,
+)
+from .memory import DIMMSpec, MemorySystem, OCP_MEMORY, SMALL_TANK_MEMORY
+from .power_model import (
+    DynamicPowerModel,
+    LeakageModel,
+    SocketOperatingPoint,
+    solve_socket_power,
+)
+from .turbo import (
+    TurboDecision,
+    TurboGovernor,
+    air_cooling_power_ceiling,
+    opportunity_vs_tdp,
+)
+from .server import (
+    OCP_BLADE_8168,
+    OCP_BLADE_8180,
+    ServerPowerModel,
+    ServerSpec,
+    TANK1_SERVER,
+)
+from .vf_curve import VFCurve, VFPoint, w3175x_vf_curve
+
+__all__ = [
+    "TurboDecision",
+    "TurboGovernor",
+    "air_cooling_power_ceiling",
+    "opportunity_vs_tdp",
+    "FrequencyConfig",
+    "B1",
+    "B2",
+    "B3",
+    "B4",
+    "OC1",
+    "OC2",
+    "OC3",
+    "FREQUENCY_CONFIGS",
+    "CONFIG_ORDER",
+    "config_by_name",
+    "CPU",
+    "CPUSpec",
+    "CPU_CATALOG",
+    "XEON_8168",
+    "XEON_8180",
+    "XEON_W3175X",
+    "CORE_I9900K",
+    "air_cooled_cpu",
+    "immersed_cpu",
+    "round_to_bin",
+    "Domain",
+    "OperatingDomains",
+    "GPU",
+    "GPUSpec",
+    "GPUConfig",
+    "RTX_2080TI",
+    "GPU_BASE",
+    "OCG1",
+    "OCG2",
+    "OCG3",
+    "GPU_CONFIGS",
+    "DIMMSpec",
+    "MemorySystem",
+    "OCP_MEMORY",
+    "SMALL_TANK_MEMORY",
+    "DynamicPowerModel",
+    "LeakageModel",
+    "SocketOperatingPoint",
+    "solve_socket_power",
+    "ServerSpec",
+    "ServerPowerModel",
+    "OCP_BLADE_8168",
+    "OCP_BLADE_8180",
+    "TANK1_SERVER",
+    "VFCurve",
+    "VFPoint",
+    "w3175x_vf_curve",
+]

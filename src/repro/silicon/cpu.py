@@ -1,0 +1,251 @@
+"""CPU catalog and electro-thermal CPU model.
+
+The catalog carries the four processors the paper's prototypes use:
+
+* **Xeon Platinum 8168** (24-core, 205 W) and **8180** (28-core, 205 W) —
+  the locked server parts in the large tank, used for the Table III
+  thermal characterization;
+* **Xeon W-3175X** (28-core, 255 W, unlocked) — small tank #1, the
+  overclocking workhorse behind Tables V/VII and Figures 9–16;
+* **Core i9-9900K** (8-core, 95 W, unlocked) — small tank #2's host CPU
+  for the GPU experiments.
+
+:class:`CPU` composes a spec with a junction model and solves for the
+TDP-limited all-core turbo frequency; the paper's "+1 frequency bin in
+2PIC" result (Table III) falls out of the leakage reclaimed at the lower
+junction temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, FrequencyError
+from ..thermal.chamber import ThermalChamber
+from ..thermal.fluids import DielectricFluid
+from ..thermal.junction import BECPlacement, JunctionModel, immersion_junction_model
+from ..units import FREQUENCY_BIN_GHZ
+from .domains import OperatingDomains
+from .power_model import (
+    DynamicPowerModel,
+    LeakageModel,
+    SocketOperatingPoint,
+    solve_socket_power,
+)
+from .vf_curve import VFCurve, w3175x_vf_curve
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of a processor model."""
+
+    name: str
+    cores: int
+    tdp_watts: float
+    domains: OperatingDomains
+    #: All-core turbo measured in the air-cooled baseline; the dynamic
+    #: power model is calibrated at this point.
+    allcore_turbo_air_ghz: float
+    unlocked: bool
+    #: Junction-to-air resistance measured in the thermal chamber (°C/W).
+    air_thermal_resistance: float
+    #: BEC placement used when the part is immersed (Table III).
+    immersion_bec: BECPlacement
+    nominal_voltage_v: float = 0.90
+    die_area_cm2: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"{self.name}: cores must be >= 1")
+        if self.tdp_watts <= 0:
+            raise ConfigurationError(f"{self.name}: TDP must be positive")
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+XEON_8168 = CPUSpec(
+    name="Xeon Platinum 8168",
+    cores=24,
+    tdp_watts=205.0,
+    domains=OperatingDomains(min_ghz=1.2, base_ghz=2.7, turbo_ghz=3.7, overclock_max_ghz=3.7),
+    allcore_turbo_air_ghz=3.1,
+    unlocked=False,
+    air_thermal_resistance=0.22,
+    immersion_bec=BECPlacement.COPPER_PLATE,
+)
+
+XEON_8180 = CPUSpec(
+    name="Xeon Platinum 8180",
+    cores=28,
+    tdp_watts=205.0,
+    domains=OperatingDomains(min_ghz=1.2, base_ghz=2.5, turbo_ghz=3.8, overclock_max_ghz=3.8),
+    allcore_turbo_air_ghz=2.6,
+    unlocked=False,
+    air_thermal_resistance=0.21,
+    immersion_bec=BECPlacement.CPU_IHS,
+)
+
+XEON_W3175X = CPUSpec(
+    name="Xeon W-3175X",
+    cores=28,
+    tdp_watts=255.0,
+    # All-core turbo 3.4 GHz (config B2); the overclocking ceiling of
+    # 4.5 GHz is where the paper's prototypes became unstable.
+    domains=OperatingDomains(min_ghz=1.2, base_ghz=3.1, turbo_ghz=3.4, overclock_max_ghz=4.5),
+    allcore_turbo_air_ghz=3.4,
+    unlocked=True,
+    air_thermal_resistance=0.20,
+    immersion_bec=BECPlacement.CPU_IHS,
+)
+
+CORE_I9900K = CPUSpec(
+    name="Core i9-9900K",
+    cores=8,
+    tdp_watts=95.0,
+    domains=OperatingDomains(min_ghz=0.8, base_ghz=3.6, turbo_ghz=4.7, overclock_max_ghz=5.1),
+    allcore_turbo_air_ghz=4.7,
+    unlocked=True,
+    air_thermal_resistance=0.35,
+    immersion_bec=BECPlacement.CPU_IHS,
+)
+
+CPU_CATALOG: dict[str, CPUSpec] = {
+    spec.name: spec for spec in (XEON_8168, XEON_8180, XEON_W3175X, CORE_I9900K)
+}
+
+
+def round_to_bin(frequency_ghz: float, bin_ghz: float = FREQUENCY_BIN_GHZ) -> float:
+    """Round a frequency to the nearest hardware bin (100 MHz).
+
+    The result is quantized to 4 decimals so repeated bin arithmetic
+    cannot accumulate float dust (3.4000000000000004 must compare equal
+    to the 3.4 GHz domain boundary).
+    """
+    return round(round(frequency_ghz / bin_ghz) * bin_ghz, 4)
+
+
+class CPU:
+    """A processor operating under a specific cooling solution."""
+
+    def __init__(
+        self,
+        spec: CPUSpec,
+        junction: JunctionModel,
+        leakage: LeakageModel | None = None,
+        vf_curve: VFCurve | None = None,
+    ) -> None:
+        self.spec = spec
+        self.junction = junction
+        self.leakage = leakage if leakage is not None else LeakageModel()
+        if vf_curve is not None:
+            self.vf_curve = vf_curve
+        elif spec.name == XEON_W3175X.name:
+            self.vf_curve = w3175x_vf_curve()
+        else:
+            # Locked parts: flat-ish curve around nominal voltage through
+            # the rated range.
+            self.vf_curve = VFCurve(
+                [
+                    (spec.domains.min_ghz, spec.nominal_voltage_v - 0.15),
+                    (spec.domains.turbo_ghz, spec.nominal_voltage_v),
+                ]
+            )
+        self._dynamic = self._calibrate_dynamic_model()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _calibrate_dynamic_model(self) -> DynamicPowerModel:
+        """Anchor dynamic power so the air-cooled part sustains its
+        measured all-core turbo exactly at TDP."""
+        chamber = ThermalChamber()
+        air_junction = chamber.junction_model(self.spec.air_thermal_resistance)
+        tj_at_tdp = air_junction.junction_temp_c(self.spec.tdp_watts)
+        leak = self.leakage.watts(tj_at_tdp, self.spec.nominal_voltage_v)
+        dynamic_budget = self.spec.tdp_watts - leak
+        if dynamic_budget <= 0:
+            raise ConfigurationError(
+                f"{self.spec.name}: leakage exceeds TDP in calibration"
+            )
+        return DynamicPowerModel(
+            ref_watts=dynamic_budget,
+            ref_frequency_ghz=self.spec.allcore_turbo_air_ghz,
+            ref_voltage_v=self.spec.nominal_voltage_v,
+        )
+
+    @property
+    def dynamic_model(self) -> DynamicPowerModel:
+        return self._dynamic
+
+    # ------------------------------------------------------------------
+    # Operating points
+    # ------------------------------------------------------------------
+    def allcore_turbo_ghz(self, power_budget_watts: float | None = None) -> float:
+        """TDP-limited all-core turbo under this CPU's cooling.
+
+        Reproduces Table III: cooler junctions leak less, freeing dynamic
+        budget, which buys frequency bins. The result is clamped to the
+        part's rated turbo ceiling (locked parts cannot exceed it).
+        """
+        budget = self.spec.tdp_watts if power_budget_watts is None else power_budget_watts
+        tj = self.junction.junction_temp_c(budget)
+        leak = self.leakage.watts(tj, self.spec.nominal_voltage_v)
+        dynamic_budget = budget - leak
+        if dynamic_budget <= 0:
+            return self.spec.domains.min_ghz
+        frequency = self._dynamic.frequency_for_budget(dynamic_budget)
+        frequency = round_to_bin(frequency)
+        return min(frequency, self.spec.domains.turbo_ghz)
+
+    def operating_point(
+        self, frequency_ghz: float, voltage_offset_mv: float = 0.0, activity: float = 1.0
+    ) -> SocketOperatingPoint:
+        """Converged power/thermal state at an explicit frequency.
+
+        Raises :class:`FrequencyError` outside the operating domains and
+        for overclocked frequencies on locked parts.
+        """
+        domain = self.spec.domains.validate(frequency_ghz)
+        if not self.spec.unlocked and frequency_ghz > self.spec.domains.turbo_ghz:
+            raise FrequencyError(
+                f"{self.spec.name} is locked; cannot exceed "
+                f"{self.spec.domains.turbo_ghz} GHz"
+            )
+        del domain
+        voltage = self.vf_curve.voltage_at(frequency_ghz, voltage_offset_mv)
+        return solve_socket_power(
+            self._dynamic, self.leakage, self.junction, frequency_ghz, voltage, activity
+        )
+
+    def static_power_savings_vs(self, hotter: "CPU", power_watts: float | None = None) -> float:
+        """Leakage saved by this (cooler) CPU vs ``hotter`` at equal power."""
+        power = self.spec.tdp_watts if power_watts is None else power_watts
+        hot_tj = hotter.junction.junction_temp_c(power)
+        cold_tj = self.junction.junction_temp_c(power)
+        return self.leakage.savings_watts(hot_tj, cold_tj, self.spec.nominal_voltage_v)
+
+
+def air_cooled_cpu(spec: CPUSpec, chamber: ThermalChamber | None = None) -> CPU:
+    """Build a CPU cooled by the (paper-default) thermal chamber."""
+    chamber = chamber if chamber is not None else ThermalChamber()
+    return CPU(spec, chamber.junction_model(spec.air_thermal_resistance))
+
+
+def immersed_cpu(spec: CPUSpec, fluid: DielectricFluid) -> CPU:
+    """Build a CPU submerged in a 2PIC pool of ``fluid``."""
+    return CPU(spec, immersion_junction_model(fluid, bec=spec.immersion_bec))
+
+
+__all__ = [
+    "CPUSpec",
+    "CPU",
+    "XEON_8168",
+    "XEON_8180",
+    "XEON_W3175X",
+    "CORE_I9900K",
+    "CPU_CATALOG",
+    "round_to_bin",
+    "air_cooled_cpu",
+    "immersed_cpu",
+]

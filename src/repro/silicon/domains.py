@@ -1,0 +1,83 @@
+"""Processor operating-frequency domains (paper Figure 4).
+
+Manufacturers define a *guaranteed* range (min to base frequency), a
+*turbo* range that is entered opportunistically when thermal and power
+budgets permit, and — beyond the rated envelope — an *overclocking*
+domain. Past the overclocking ceiling lies the non-operating domain,
+where the part crashes or is damaged.
+
+The paper's key observation is that air cooling only reaches the turbo
+domain reliably, while 2PIC provides *guaranteed* overclocking: the
+whole overclocking domain becomes sustainable, irrespective of
+utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError, FrequencyError
+
+
+class Domain(Enum):
+    """Which Figure 4 band a frequency falls into."""
+
+    GUARANTEED = "guaranteed"
+    TURBO = "turbo"
+    OVERCLOCKING = "overclocking"
+    NON_OPERATING = "non-operating"
+
+
+@dataclass(frozen=True)
+class OperatingDomains:
+    """Frequency band boundaries for one processor, in GHz."""
+
+    min_ghz: float
+    base_ghz: float
+    turbo_ghz: float
+    overclock_max_ghz: float
+
+    def __post_init__(self) -> None:
+        if not self.min_ghz <= self.base_ghz <= self.turbo_ghz <= self.overclock_max_ghz:
+            raise ConfigurationError(
+                "domain boundaries must satisfy min <= base <= turbo <= overclock_max"
+            )
+        if self.min_ghz <= 0:
+            raise ConfigurationError("minimum frequency must be positive")
+
+    def classify(self, frequency_ghz: float) -> Domain:
+        """Return the band containing ``frequency_ghz``.
+
+        Frequencies below ``min_ghz`` and above ``overclock_max_ghz`` are
+        both non-operating (the part will not run there).
+        """
+        if frequency_ghz < self.min_ghz or frequency_ghz > self.overclock_max_ghz:
+            return Domain.NON_OPERATING
+        if frequency_ghz <= self.base_ghz:
+            return Domain.GUARANTEED
+        if frequency_ghz <= self.turbo_ghz:
+            return Domain.TURBO
+        return Domain.OVERCLOCKING
+
+    def validate(self, frequency_ghz: float) -> Domain:
+        """Like :meth:`classify` but raises for non-operating frequencies."""
+        domain = self.classify(frequency_ghz)
+        if domain is Domain.NON_OPERATING:
+            raise FrequencyError(
+                f"{frequency_ghz:.2f} GHz is outside the operating range "
+                f"[{self.min_ghz:.2f}, {self.overclock_max_ghz:.2f}] GHz"
+            )
+        return domain
+
+    @property
+    def overclock_headroom_fraction(self) -> float:
+        """Fractional frequency gain of max overclock over turbo."""
+        return self.overclock_max_ghz / self.turbo_ghz - 1.0
+
+    def is_overclocked(self, frequency_ghz: float) -> bool:
+        """True when ``frequency_ghz`` is beyond the rated turbo ceiling."""
+        return self.validate(frequency_ghz) is Domain.OVERCLOCKING
+
+
+__all__ = ["Domain", "OperatingDomains"]

@@ -1,0 +1,186 @@
+"""Server assembly: component power budget and whole-server power model.
+
+Two concrete servers from the paper:
+
+* the **Open Compute blade** in the large tank — 2 × 205 W Skylake
+  sockets, 24 DIMMs (120 W), motherboard (26 W), FPGA (30 W), six flash
+  drives (72 W), fans (42 W): a 700 W budget (Section III);
+* the **small-tank-#1 Xeon W-3175X server** (255 W TDP, 128 GB) whose
+  measured power traces appear in Figures 9, 12 and 16.
+
+:class:`ServerPowerModel` produces whole-server watts from a Table VII
+frequency configuration plus per-core activity — it is the simulated
+"wall power meter" behind every power bar in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .configs import B2, FrequencyConfig
+from .cpu import CPUSpec, XEON_8168, XEON_8180, XEON_W3175X
+from .memory import MemorySystem, OCP_MEMORY, SMALL_TANK_MEMORY
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Bill of materials and power budget for one server."""
+
+    name: str
+    cpu: CPUSpec
+    sockets: int
+    memory: MemorySystem
+    motherboard_watts: float
+    fpga_watts: float
+    storage_watts: float
+    fan_watts: float
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigurationError("a server has at least one socket")
+
+    @property
+    def pcores(self) -> int:
+        """Physical core count across all sockets."""
+        return self.cpu.cores * self.sockets
+
+    def max_power_watts(self, with_fans: bool = True) -> float:
+        """Peak power budget (CPUs at TDP, everything else at max)."""
+        total = (
+            self.cpu.tdp_watts * self.sockets
+            + self.memory.power_watts()
+            + self.motherboard_watts
+            + self.fpga_watts
+            + self.storage_watts
+        )
+        if with_fans:
+            total += self.fan_watts
+        return total
+
+    def component_budget(self, with_fans: bool = True) -> dict[str, float]:
+        """Per-component peak power (the Section III breakdown)."""
+        budget = {
+            "cpu": self.cpu.tdp_watts * self.sockets,
+            "memory": self.memory.power_watts(),
+            "motherboard": self.motherboard_watts,
+            "fpga": self.fpga_watts,
+            "storage": self.storage_watts,
+        }
+        if with_fans:
+            budget["fans"] = self.fan_watts
+        return budget
+
+    def overclocked_power_watts(
+        self, extra_per_socket_watts: float = 100.0, with_fans: bool = False
+    ) -> float:
+        """Peak power when overclocked (+100 W per socket per Section IV)."""
+        return self.max_power_watts(with_fans) + extra_per_socket_watts * self.sockets
+
+
+#: The large tank's Open Compute 2-socket blade (the 8168 variant; half
+#: the tank used 8180s with the same budget).
+OCP_BLADE_8168 = ServerSpec(
+    name="OCP blade (2x Xeon 8168)",
+    cpu=XEON_8168,
+    sockets=2,
+    memory=OCP_MEMORY,
+    motherboard_watts=26.0,
+    fpga_watts=30.0,
+    storage_watts=72.0,
+    fan_watts=42.0,
+)
+
+OCP_BLADE_8180 = ServerSpec(
+    name="OCP blade (2x Xeon 8180)",
+    cpu=XEON_8180,
+    sockets=2,
+    memory=OCP_MEMORY,
+    motherboard_watts=26.0,
+    fpga_watts=30.0,
+    storage_watts=72.0,
+    fan_watts=42.0,
+)
+
+#: Small tank #1's server: single W-3175X, 128 GB, no FPGA, fans removed.
+TANK1_SERVER = ServerSpec(
+    name="Small tank #1 (Xeon W-3175X)",
+    cpu=XEON_W3175X,
+    sockets=1,
+    memory=SMALL_TANK_MEMORY,
+    motherboard_watts=26.0,
+    fpga_watts=0.0,
+    storage_watts=24.0,
+    fan_watts=0.0,
+)
+
+
+@dataclass
+class ServerPowerModel:
+    """Whole-server power as a function of configuration and activity.
+
+    ``P = idle + Σ_busy-cores core_watts(f, V) + uncore(f_llc) + memory(f_mem)``
+
+    Calibrated against the Figure 12 measurements of the small-tank-#1
+    server: B2 with 12 busy pcores averages ≈120 W, 16 busy ≈130 W;
+    OC3 ≈160/173 W.
+    """
+
+    spec: ServerSpec = field(default_factory=lambda: TANK1_SERVER)
+    idle_watts: float = 40.0
+    #: Dynamic power of one fully-busy core at B2 (3.4 GHz, 0.90 V).
+    core_watts_at_b2: float = 5.4
+    uncore_watts_nominal: float = 10.0
+    memory_watts_nominal: float = 30.0
+    nominal_voltage_v: float = 0.90
+
+    def core_watts(self, config: FrequencyConfig) -> float:
+        """Per-busy-core dynamic power under ``config``."""
+        voltage = self.nominal_voltage_v + config.voltage_offset_mv / 1000.0
+        return (
+            self.core_watts_at_b2
+            * (voltage / self.nominal_voltage_v) ** 2
+            * (config.core_ghz / B2.core_ghz)
+        )
+
+    def uncore_watts(self, config: FrequencyConfig) -> float:
+        """Uncore/LLC power (quadratic in the uncore clock)."""
+        return self.uncore_watts_nominal * (config.llc_ghz / B2.llc_ghz) ** 2
+
+    def memory_watts(self, config: FrequencyConfig) -> float:
+        """Memory power (super-linear in the memory clock)."""
+        return self.memory_watts_nominal * (config.memory_ghz / B2.memory_ghz) ** 2
+
+    def watts(
+        self,
+        config: FrequencyConfig,
+        busy_cores: float,
+        memory_activity: float = 1.0,
+    ) -> float:
+        """Server power with ``busy_cores`` core-equivalents of activity.
+
+        ``busy_cores`` may be fractional (e.g. 12 cores at 62% busy is
+        7.44 core-equivalents). ``memory_activity`` scales the memory
+        term for workloads that barely touch DRAM.
+        """
+        if busy_cores < 0 or busy_cores > self.spec.pcores:
+            raise ConfigurationError(
+                f"busy_cores must be within [0, {self.spec.pcores}]"
+            )
+        if not 0.0 <= memory_activity <= 1.0:
+            raise ConfigurationError("memory_activity must be within [0, 1]")
+        return (
+            self.idle_watts
+            + busy_cores * self.core_watts(config)
+            + self.uncore_watts(config)
+            + self.memory_watts(config) * memory_activity
+        )
+
+
+__all__ = [
+    "ServerSpec",
+    "ServerPowerModel",
+    "OCP_BLADE_8168",
+    "OCP_BLADE_8180",
+    "TANK1_SERVER",
+]

@@ -1,0 +1,197 @@
+"""Opportunistic turbo/overclock governor (paper Section IV, Figure 4).
+
+Two observations from the paper drive this module:
+
+* "Our analysis of Azure's production telemetry reveals opportunities to
+  operate processors at even higher frequencies (overclocking domain)
+  still with air cooling, depending on the number of active cores and
+  their utilizations." — :class:`TurboGovernor` computes that
+  opportunity: with few active cores the TDP budget concentrates on
+  them, buying frequency; 2PIC converts the opportunity into a
+  *guarantee* by lifting the thermal ceiling.
+* "Such opportunities will diminish in future component generations
+  with higher TDP values, as air cooling will reach its limits." —
+  :func:`air_cooling_power_ceiling` and :func:`opportunity_vs_tdp`
+  quantify the diminishing headroom as TDP grows under a fixed
+  air heatsink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import FREQUENCY_BIN_GHZ
+from .cpu import CPU, round_to_bin
+from .domains import Domain
+
+
+@dataclass(frozen=True)
+class TurboDecision:
+    """The governor's outcome for one (active cores, utilization) state."""
+
+    frequency_ghz: float
+    domain: Domain
+    power_watts: float
+    junction_temp_c: float
+    #: True when the frequency exceeds the rated turbo ceiling — only
+    #: sustainable under liquid cooling.
+    is_overclock: bool
+
+
+class TurboGovernor:
+    """Chooses the highest sustainable frequency for the active cores.
+
+    The budget model: dynamic power scales with the active-core share
+    and their utilization; leakage burns at the whole-die junction
+    temperature. The governor walks frequency bins downward from the
+    ceiling until both the power budget (TDP, or an explicit budget for
+    overclockable parts) and the junction limit hold.
+    """
+
+    def __init__(
+        self,
+        cpu: CPU,
+        power_budget_watts: float | None = None,
+        tj_limit_c: float | None = None,
+        allow_overclock: bool | None = None,
+        stability_ceiling_ratio: float = 1.23,
+    ) -> None:
+        if stability_ceiling_ratio < 1.0:
+            raise ConfigurationError("stability ceiling ratio must be >= 1")
+        self.cpu = cpu
+        self.power_budget_watts = (
+            cpu.spec.tdp_watts if power_budget_watts is None else power_budget_watts
+        )
+        self.tj_limit_c = cpu.junction.tj_max_c if tj_limit_c is None else tj_limit_c
+        self.allow_overclock = (
+            cpu.spec.unlocked if allow_overclock is None else allow_overclock
+        )
+        #: The paper's stable envelope: +23% over all-core turbo showed
+        #: no errors; the governor never ventures past it.
+        self.stability_ceiling_ratio = stability_ceiling_ratio
+
+    def _ceiling_ghz(self) -> float:
+        domains = self.cpu.spec.domains
+        if not self.allow_overclock:
+            return domains.turbo_ghz
+        stable = round_to_bin(domains.turbo_ghz * self.stability_ceiling_ratio)
+        return min(domains.overclock_max_ghz, stable)
+
+    def decide(self, active_cores: int, utilization: float = 1.0) -> TurboDecision:
+        """Highest sustainable frequency with ``active_cores`` busy.
+
+        ``utilization`` is the busy fraction of those active cores.
+        """
+        spec = self.cpu.spec
+        if not 1 <= active_cores <= spec.cores:
+            raise ConfigurationError(
+                f"active_cores must be within [1, {spec.cores}]"
+            )
+        if not 0.0 < utilization <= 1.0:
+            raise ConfigurationError("utilization must be in (0, 1]")
+        from .power_model import solve_socket_power
+
+        activity = (active_cores / spec.cores) * utilization
+        frequency = self._ceiling_ghz()
+        floor = spec.domains.min_ghz
+        point = None
+        while frequency >= floor:
+            voltage = self.cpu.vf_curve.voltage_at(frequency)
+            point = solve_socket_power(
+                self.cpu.dynamic_model,
+                self.cpu.leakage,
+                self.cpu.junction,
+                frequency,
+                voltage,
+                activity,
+            )
+            if (
+                point.total_watts <= self.power_budget_watts
+                and point.junction_temp_c <= self.tj_limit_c
+            ):
+                break
+            frequency = round_to_bin(frequency - FREQUENCY_BIN_GHZ)
+        else:
+            # Even the floor violates a limit; report the floor state.
+            frequency = floor
+            voltage = self.cpu.vf_curve.voltage_at(frequency)
+            point = solve_socket_power(
+                self.cpu.dynamic_model,
+                self.cpu.leakage,
+                self.cpu.junction,
+                frequency,
+                voltage,
+                activity,
+            )
+        return TurboDecision(
+            frequency_ghz=frequency,
+            domain=spec.domains.classify(frequency),
+            power_watts=point.total_watts,
+            junction_temp_c=point.junction_temp_c,
+            is_overclock=frequency > spec.domains.turbo_ghz,
+        )
+
+    def opportunity_curve(self, utilization: float = 1.0) -> list[TurboDecision]:
+        """Sustainable frequency for every active-core count (Fig. 4's
+        'depending on the number of active cores')."""
+        return [
+            self.decide(active, utilization)
+            for active in range(1, self.cpu.spec.cores + 1)
+        ]
+
+
+def air_cooling_power_ceiling(
+    thermal_resistance_c_per_w: float = 0.22,
+    reference_temp_c: float = 47.0,
+    tj_max_c: float = 105.0,
+) -> float:
+    """Largest socket power a fixed air heatsink can hold below Tj,max.
+
+    The intro's motivation: "manufacturers expect to produce CPUs and
+    GPUs capable of drawing more than 500 W in just a few years" — far
+    beyond this ceiling, which is why liquid cooling becomes mandatory.
+    """
+    headroom = tj_max_c - reference_temp_c
+    if headroom <= 0:
+        return 0.0
+    return headroom / thermal_resistance_c_per_w
+
+
+def opportunity_vs_tdp(
+    tdp_sweep_watts: tuple[float, ...] = (205.0, 305.0, 400.0, 500.0),
+    thermal_resistance_c_per_w: float = 0.22,
+    reference_temp_c: float = 47.0,
+    tj_max_c: float = 105.0,
+    leakage_watts: float = 30.0,
+) -> list[tuple[float, float]]:
+    """All-core frequency headroom of future generations under fixed air.
+
+    Each future part is modelled as a scaled generation: its dynamic
+    power at base frequency equals ``TDP − leakage`` (bigger dies, same
+    heatsink). The sustainable power is capped by the air-cooling
+    junction ceiling, and frequency follows the cube-root law. Entries
+    are ``(tdp, frequency_ratio)`` where 1.0 means the part holds its
+    base frequency; below 1.0 air cooling cannot even deliver base —
+    the paper's "TDP beyond the capabilities of air cooling".
+    """
+    ceiling = air_cooling_power_ceiling(
+        thermal_resistance_c_per_w, reference_temp_c, tj_max_c
+    )
+    results = []
+    for tdp in tdp_sweep_watts:
+        if tdp <= leakage_watts:
+            raise ConfigurationError("TDP must exceed leakage")
+        sustainable = min(tdp, ceiling)
+        dynamic_budget = max(0.0, sustainable - leakage_watts)
+        ratio = (dynamic_budget / (tdp - leakage_watts)) ** (1.0 / 3.0)
+        results.append((tdp, ratio))
+    return results
+
+
+__all__ = [
+    "TurboDecision",
+    "TurboGovernor",
+    "air_cooling_power_ceiling",
+    "opportunity_vs_tdp",
+]

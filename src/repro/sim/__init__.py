@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate under every closed-loop experiment in the
+library: the cluster model, the M/G/k client-server application, and the
+overclocking-enhanced auto-scaler all schedule their work through a
+:class:`~repro.sim.kernel.Simulator`.
+"""
+
+from .events import Event, EventQueue
+from .kernel import Simulator
+from .processes import OpenLoopSource, PiecewiseSchedule, ScheduleStep
+from .random import RandomStreams
+from .resources import Resource, Store
+from .trace import SimTrace, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "OpenLoopSource",
+    "PiecewiseSchedule",
+    "ScheduleStep",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "SimTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,146 @@
+"""Resource primitives for discrete-event models.
+
+Two classic DES building blocks used by the cluster models:
+
+* :class:`Resource` — a counted resource (e.g. migration-channel slots,
+  deployment workers). Acquisitions beyond capacity queue FIFO and are
+  granted as releases arrive.
+* :class:`Store` — a FIFO buffer of items with blocking consumers
+  (e.g. a work queue between producers and a pool of workers).
+
+Both deliver grants via callbacks on the simulator, keeping the whole
+library's no-coroutine style: model code stays plain Python functions
+scheduled on the event kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError, SimulationError
+from .kernel import Simulator
+
+
+@dataclass
+class _Waiter:
+    callback: Callable[[], None]
+    amount: int
+    cancelled: bool = False
+
+
+class Resource:
+    """A counted resource with FIFO queueing."""
+
+    def __init__(self, simulator: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ConfigurationError("resource capacity must be >= 1")
+        self._sim = simulator
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[_Waiter] = deque()
+        self._grants = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for waiter in self._waiters if not waiter.cancelled)
+
+    @property
+    def total_grants(self) -> int:
+        return self._grants
+
+    def acquire(self, on_grant: Callable[[], None], amount: int = 1) -> _Waiter:
+        """Request ``amount`` units; ``on_grant`` fires when granted.
+
+        Grants are delivered through the event queue (never inline), so
+        callers can treat acquisition as asynchronous uniformly. The
+        returned handle's ``cancelled`` flag can be set to abandon a
+        queued request.
+        """
+        if not 1 <= amount <= self.capacity:
+            raise ConfigurationError(
+                f"{self.name}: amount must be within [1, {self.capacity}]"
+            )
+        waiter = _Waiter(callback=on_grant, amount=amount)
+        self._waiters.append(waiter)
+        self._drain()
+        return waiter
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units to the pool."""
+        if amount < 1:
+            raise ConfigurationError("release amount must be >= 1")
+        if amount > self._in_use:
+            raise SimulationError(
+                f"{self.name}: releasing {amount} but only {self._in_use} in use"
+            )
+        self._in_use -= amount
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            head = self._waiters[0]
+            if head.cancelled:
+                self._waiters.popleft()
+                continue
+            if head.amount > self.available:
+                return
+            self._waiters.popleft()
+            self._in_use += head.amount
+            self._grants += 1
+            self._sim.after(0.0, head.callback, name=f"{self.name}:grant")
+
+
+class Store:
+    """A FIFO item buffer with blocking consumers."""
+
+    def __init__(self, simulator: Simulator, name: str = "store", max_items: int | None = None) -> None:
+        if max_items is not None and max_items < 1:
+            raise ConfigurationError("max_items must be >= 1 when set")
+        self._sim = simulator
+        self.name = name
+        self.max_items = max_items
+        self._items: deque[object] = deque()
+        self._consumers: deque[Callable[[object], None]] = deque()
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Items rejected because the buffer was full."""
+        return self._dropped
+
+    def put(self, item: object) -> bool:
+        """Insert an item; returns False when a bounded store is full."""
+        if self._consumers:
+            consumer = self._consumers.popleft()
+            self._sim.after(0.0, lambda: consumer(item), name=f"{self.name}:deliver")
+            return True
+        if self.max_items is not None and len(self._items) >= self.max_items:
+            self._dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self, on_item: Callable[[object], None]) -> None:
+        """Request the next item; ``on_item`` fires when one is available."""
+        if self._items:
+            item = self._items.popleft()
+            self._sim.after(0.0, lambda: on_item(item), name=f"{self.name}:deliver")
+            return
+        self._consumers.append(on_item)
+
+
+__all__ = ["Resource", "Store"]

@@ -1,0 +1,51 @@
+"""TCO substrate: the paper's Table VI cost model and analyses.
+
+Implements Section IV's TCO comparison (air vs non-overclockable vs
+overclockable 2PIC) and Section VI-C's oversubscription economics.
+"""
+
+from .analysis import (
+    OversubscriptionTCO,
+    Table6,
+    Table6Row,
+    build_table6,
+    cost_per_vcore,
+    oversubscription_analysis,
+)
+from .sensitivity import (
+    OversubscriptionPoint,
+    SensitivityPoint,
+    sweep_energy_share,
+    sweep_immersion_pue,
+    sweep_oversubscription,
+)
+from .model import (
+    AIR_BASELINE,
+    CATEGORY_ORDER,
+    DEFAULT_BASELINE_SHARES,
+    DatacenterScenario,
+    NON_OC_2PIC,
+    OC_2PIC,
+    TCOModel,
+)
+
+__all__ = [
+    "SensitivityPoint",
+    "OversubscriptionPoint",
+    "sweep_energy_share",
+    "sweep_immersion_pue",
+    "sweep_oversubscription",
+    "TCOModel",
+    "DatacenterScenario",
+    "AIR_BASELINE",
+    "NON_OC_2PIC",
+    "OC_2PIC",
+    "DEFAULT_BASELINE_SHARES",
+    "CATEGORY_ORDER",
+    "Table6",
+    "Table6Row",
+    "build_table6",
+    "cost_per_vcore",
+    "OversubscriptionTCO",
+    "oversubscription_analysis",
+]

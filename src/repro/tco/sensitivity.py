@@ -1,0 +1,131 @@
+"""TCO sensitivity analysis (extension of Table VI).
+
+The paper reports one calibrated TCO point; an operator deciding on
+2PIC wants to know how robust the −7%/−4% is to the inputs. This
+module sweeps the main levers — the energy share of TCO, the achieved
+immersion PUE, the overclocking energy uplift, and the oversubscription
+level — and reports the resulting cost per core/vcore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TCOError
+from ..thermal.cooling import CoolingTechnology, TWO_PHASE_IMMERSION
+from .analysis import cost_per_vcore
+from .model import (
+    AIR_BASELINE,
+    DEFAULT_BASELINE_SHARES,
+    DatacenterScenario,
+    NON_OC_2PIC,
+    OC_2PIC,
+    TCOModel,
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One point of a sweep."""
+
+    parameter: str
+    value: float
+    non_oc_cost_per_pcore: float
+    oc_cost_per_pcore: float
+
+
+def sweep_energy_share(
+    shares: tuple[float, ...] = (0.08, 0.13, 0.18, 0.25)
+) -> list[SensitivityPoint]:
+    """Vary energy's share of the baseline TCO (electricity price proxy).
+
+    The other shares are rescaled proportionally so the total stays 1.
+    """
+    points = []
+    for energy_share in shares:
+        if not 0.0 < energy_share < 1.0:
+            raise TCOError("energy share must be in (0, 1)")
+        others = {k: v for k, v in DEFAULT_BASELINE_SHARES.items() if k != "energy"}
+        other_total = sum(others.values())
+        scale = (1.0 - energy_share) / other_total
+        adjusted = {k: v * scale for k, v in others.items()}
+        adjusted["energy"] = energy_share
+        model = TCOModel(baseline_shares=adjusted)
+        points.append(
+            SensitivityPoint(
+                parameter="energy_share",
+                value=energy_share,
+                non_oc_cost_per_pcore=model.cost_per_pcore_exact(NON_OC_2PIC),
+                oc_cost_per_pcore=model.cost_per_pcore_exact(OC_2PIC),
+            )
+        )
+    return points
+
+
+def sweep_immersion_pue(
+    peak_pues: tuple[float, ...] = (1.03, 1.06, 1.10, 1.15)
+) -> list[SensitivityPoint]:
+    """Vary the achieved 2PIC peak PUE (deployment quality proxy).
+
+    The density amortization — the biggest saving — shrinks as the
+    achieved PUE degrades toward air cooling's.
+    """
+    points = []
+    for peak in peak_pues:
+        cooling = CoolingTechnology(
+            name=f"2PIC@{peak}",
+            average_pue=max(1.01, peak - 0.01),
+            peak_pue=peak,
+            fan_overhead=0.0,
+            max_server_cooling_watts=TWO_PHASE_IMMERSION.max_server_cooling_watts,
+            is_liquid=True,
+        )
+        non_oc = DatacenterScenario(f"non-OC 2PIC@{peak}", cooling, overclockable=False)
+        oc = DatacenterScenario(f"OC 2PIC@{peak}", cooling, overclockable=True)
+        model = TCOModel()
+        points.append(
+            SensitivityPoint(
+                parameter="immersion_peak_pue",
+                value=peak,
+                non_oc_cost_per_pcore=model.cost_per_pcore_exact(non_oc),
+                oc_cost_per_pcore=model.cost_per_pcore_exact(oc),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class OversubscriptionPoint:
+    """Cost per vcore at one oversubscription level."""
+
+    oversubscription: float
+    oc_cost_per_vcore_vs_air: float
+
+
+def sweep_oversubscription(
+    levels: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
+) -> list[OversubscriptionPoint]:
+    """Cost per virtual core of overclockable 2PIC vs oversubscription.
+
+    The paper's Section VI-C point (10% → −13%) sits on this curve.
+    """
+    model = TCOModel()
+    air = cost_per_vcore(AIR_BASELINE, 0.0, model)
+    points = []
+    for level in levels:
+        cost = cost_per_vcore(OC_2PIC, level, model)
+        points.append(
+            OversubscriptionPoint(
+                oversubscription=level, oc_cost_per_vcore_vs_air=cost / air - 1.0
+            )
+        )
+    return points
+
+
+__all__ = [
+    "SensitivityPoint",
+    "OversubscriptionPoint",
+    "sweep_energy_share",
+    "sweep_immersion_pue",
+    "sweep_oversubscription",
+]

@@ -1,0 +1,29 @@
+"""Telemetry: simulated performance counters, metrics, and power meters.
+
+This subpackage supplies the observability layer the paper's auto-scaler
+depends on — per-core Aperf/Pperf counters, windowed utilization
+averages, latency percentiles, and time-weighted power statistics.
+"""
+
+from .counters import CoreCounters, CounterDelta, CounterSnapshot
+from .export import write_json, write_records_csv, write_timeseries_csv
+from .histogram import LogHistogram
+from .metrics import Sample, StateIntegrator, TimeSeries
+from .percentiles import LatencyRecorder, percentile
+from .power_meter import PowerMeter
+
+__all__ = [
+    "LogHistogram",
+    "write_records_csv",
+    "write_timeseries_csv",
+    "write_json",
+    "CoreCounters",
+    "CounterDelta",
+    "CounterSnapshot",
+    "Sample",
+    "StateIntegrator",
+    "TimeSeries",
+    "LatencyRecorder",
+    "percentile",
+    "PowerMeter",
+]

@@ -1,0 +1,117 @@
+"""Simulated hardware performance counters.
+
+The paper's auto-scaler consumes two per-core, architecture-independent
+counters (Section VI-D, citing Mubeen's workload frequency scaling law):
+
+* ``Aperf`` — cycles in which the core is active and running;
+* ``Pperf`` — like ``Aperf`` but excluding cycles in which the active
+  core is stalled on some dependency (e.g. a memory access).
+
+The ratio ``ΔPperf/ΔAperf`` over an observation window is therefore the
+*scalable fraction* of the workload: the share of active cycles that
+speed up when the clock speeds up. Our simulated cores accumulate both
+counters from (busy-time, scalable-fraction, frequency) contributions
+supplied by the hypervisor scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..units import ghz_to_mhz
+
+
+@dataclass
+class CounterSnapshot:
+    """A point-in-time reading of one core's counters."""
+
+    time: float
+    aperf: float
+    pperf: float
+    busy_seconds: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterDelta":
+        """Counter movement between ``earlier`` and this snapshot."""
+        if earlier.time > self.time:
+            raise WorkloadError("snapshots supplied in the wrong order")
+        return CounterDelta(
+            interval=self.time - earlier.time,
+            aperf=self.aperf - earlier.aperf,
+            pperf=self.pperf - earlier.pperf,
+            busy_seconds=self.busy_seconds - earlier.busy_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """Counter movement over an observation window."""
+
+    interval: float
+    aperf: float
+    pperf: float
+    busy_seconds: float
+
+    @property
+    def scalable_fraction(self) -> float:
+        """``ΔPperf/ΔAperf`` — the frequency-scalable share of active cycles.
+
+        Returns 1.0 for an idle window (no active cycles): with no
+        evidence of stalls, the conservative assumption for the
+        auto-scaler is that work would scale with frequency.
+        """
+        if self.aperf <= 0:
+            return 1.0
+        return min(1.0, max(0.0, self.pperf / self.aperf))
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the window (0..1)."""
+        if self.interval <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.busy_seconds / self.interval))
+
+
+class CoreCounters:
+    """Accumulates Aperf/Pperf for one (virtual or physical) core.
+
+    The hypervisor reports execution slices via :meth:`accumulate`; the
+    auto-scaler reads consistent snapshots via :meth:`snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._aperf = 0.0
+        self._pperf = 0.0
+        self._busy_seconds = 0.0
+
+    def accumulate(
+        self, busy_seconds: float, frequency_ghz: float, scalable_fraction: float
+    ) -> None:
+        """Record ``busy_seconds`` of execution at ``frequency_ghz``.
+
+        ``scalable_fraction`` is the workload's core-bound share: the
+        fraction of active cycles that are not stalled. Aperf advances by
+        the full active cycle count, Pperf by the unstalled share.
+        """
+        if busy_seconds < 0:
+            raise WorkloadError("busy_seconds must be non-negative")
+        if not 0.0 <= scalable_fraction <= 1.0:
+            raise WorkloadError("scalable_fraction must be within [0, 1]")
+        if frequency_ghz <= 0:
+            raise WorkloadError("frequency must be positive")
+        cycles = busy_seconds * ghz_to_mhz(frequency_ghz) * 1e6  # cycles = s * Hz
+        self._aperf += cycles
+        self._pperf += cycles * scalable_fraction
+        self._busy_seconds += busy_seconds
+
+    def snapshot(self, time: float) -> CounterSnapshot:
+        """Return a consistent reading of the counters at ``time``."""
+        return CounterSnapshot(
+            time=time,
+            aperf=self._aperf,
+            pperf=self._pperf,
+            busy_seconds=self._busy_seconds,
+        )
+
+
+__all__ = ["CoreCounters", "CounterSnapshot", "CounterDelta"]

@@ -1,0 +1,88 @@
+"""Result exporters: CSV and JSON snapshots of experiment outputs.
+
+Benchmarks print human tables; downstream analysis (plotting the
+figures, diffing runs) wants machine-readable files. These helpers
+serialize the common result shapes — time series, rows of dataclasses,
+plain dict records — with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import pathlib
+from typing import Any, Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .metrics import TimeSeries
+
+
+def _coerce_record(record: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(record) and not isinstance(record, type):
+        return dataclasses.asdict(record)
+    if isinstance(record, dict):
+        return dict(record)
+    raise ConfigurationError(
+        f"cannot serialize {type(record).__name__}: expected dataclass or dict"
+    )
+
+
+def write_records_csv(path: str | pathlib.Path, records: Iterable[Any]) -> int:
+    """Write dataclasses/dicts as CSV rows; returns the row count.
+
+    All records must share the first record's keys.
+    """
+    rows = [_coerce_record(record) for record in records]
+    if not rows:
+        raise ConfigurationError("no records to write")
+    fieldnames = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != fieldnames:
+            raise ConfigurationError("records have inconsistent fields")
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def write_timeseries_csv(
+    path: str | pathlib.Path,
+    series: TimeSeries | Sequence[TimeSeries],
+) -> int:
+    """Write one or more time series as long-format CSV
+    (``series,time,value``); returns the sample count."""
+    many = [series] if isinstance(series, TimeSeries) else list(series)
+    if not many:
+        raise ConfigurationError("no series to write")
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "time", "value"])
+        for index, one in enumerate(many):
+            name = one.name or f"series-{index}"
+            for sample in one:
+                writer.writerow([name, sample.time, sample.value])
+                count += 1
+    return count
+
+
+def write_json(path: str | pathlib.Path, payload: Any) -> None:
+    """Write a JSON snapshot (dataclasses are expanded recursively)."""
+
+    def default(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return dataclasses.asdict(obj)
+        raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, default=default) + "\n")
+
+
+__all__ = ["write_records_csv", "write_timeseries_csv", "write_json"]

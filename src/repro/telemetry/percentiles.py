@@ -1,0 +1,93 @@
+"""Percentile estimation for latency and power distributions.
+
+The paper reports P95 and P99 latencies and P99 power draw. We keep
+exact samples (experiments here are small enough) in
+:class:`LatencyRecorder` and compute percentiles with the standard
+nearest-rank-with-interpolation definition that NumPy uses, so reported
+numbers are stable across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """Return the ``q``-th percentile (0..100) of ``samples``."""
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile q must be within [0, 100]")
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot take a percentile of zero samples")
+    return float(np.percentile(data, q))
+
+
+class LatencyRecorder:
+    """Collects request latencies and summarizes them.
+
+    ``drop_warmup_before`` excludes samples whose *completion* time falls
+    in the warmup period, matching standard practice of discarding the
+    cold start from latency statistics.
+    """
+
+    def __init__(self, name: str = "", drop_warmup_before: float = 0.0) -> None:
+        self.name = name
+        self._warmup = drop_warmup_before
+        self._latencies: list[float] = []
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    def record(self, completion_time: float, latency: float) -> None:
+        """Record one request's end-to-end latency."""
+        if latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if completion_time < self._warmup:
+            self._dropped += 1
+            return
+        self._latencies.append(latency)
+
+    def extend(self, latencies: Iterable[float], completion_time: float = float("inf")) -> None:
+        """Record many latencies sharing one completion timestamp."""
+        for latency in latencies:
+            self.record(completion_time, latency)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._latencies)
+
+    @property
+    def dropped_warmup_samples(self) -> int:
+        return self._dropped
+
+    def mean(self) -> float:
+        if not self._latencies:
+            raise ConfigurationError(f"no latency samples recorded for {self.name!r}")
+        return float(np.mean(self._latencies))
+
+    def p50(self) -> float:
+        return percentile(self._latencies, 50.0)
+
+    def p95(self) -> float:
+        return percentile(self._latencies, 95.0)
+
+    def p99(self) -> float:
+        return percentile(self._latencies, 99.0)
+
+    def summary(self) -> dict[str, float]:
+        """Return mean/P50/P95/P99 and the sample count."""
+        return {
+            "count": float(len(self._latencies)),
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p95": self.p95(),
+            "p99": self.p99(),
+        }
+
+
+__all__ = ["LatencyRecorder", "percentile"]

@@ -1,0 +1,107 @@
+"""Thermal substrate: fluids, cooling technologies, junction models, tanks.
+
+Implements the paper's Sections II–III: the Table I cooling-technology
+comparison, Table II dielectric fluids, the Table III junction-temperature
+calibration, the three 2PIC tank prototypes, and the air-cooled thermal
+chamber baseline.
+"""
+
+from .chamber import PAPER_CHAMBER_CFM, PAPER_CHAMBER_INLET_C, ThermalChamber
+from .cooling import (
+    CHILLERS,
+    COOLING_TECHNOLOGIES,
+    CPU_COLD_PLATES,
+    DIRECT_EVAPORATIVE,
+    ONE_PHASE_IMMERSION,
+    TWO_PHASE_IMMERSION,
+    WATER_SIDE,
+    CoolingTechnology,
+    PowerSavingsBreakdown,
+    immersion_power_savings,
+    technology_by_name,
+)
+from .facility import (
+    CondenserLoop,
+    DryCooler,
+    ClimateProfile,
+    TEMPERATE_CLIMATE,
+    EVAPORATIVE_WUE_L_PER_KWH,
+    VaporBudget,
+    VaporTrap,
+    TANK_MECHANICAL_TRAP,
+    FACILITY_CHEMICAL_TRAP,
+    annual_vapor_budget,
+    annual_water_use_liters,
+    escaped_vapor_grams,
+    wue_l_per_kwh,
+)
+from .fluids import FC_3284, FLUIDS, HFE_7000, DielectricFluid, fluid_by_name
+from .junction import (
+    BEC_REQUIRED_FLUX_W_PER_CM2,
+    BECPlacement,
+    JunctionModel,
+    air_junction_model,
+    bec_required,
+    heat_flux_w_per_cm2,
+    immersion_junction_model,
+)
+from .tank import ImmersedLoad, ImmersionTank, large_tank, small_tank_1, small_tank_2
+from .transient import (
+    TemperaturePoint,
+    ThermalCycle,
+    ThermalRC,
+    count_cycles,
+    cycling_damage,
+)
+
+__all__ = [
+    "ThermalRC",
+    "TemperaturePoint",
+    "ThermalCycle",
+    "count_cycles",
+    "cycling_damage",
+    "CondenserLoop",
+    "DryCooler",
+    "ClimateProfile",
+    "TEMPERATE_CLIMATE",
+    "EVAPORATIVE_WUE_L_PER_KWH",
+    "VaporBudget",
+    "VaporTrap",
+    "TANK_MECHANICAL_TRAP",
+    "FACILITY_CHEMICAL_TRAP",
+    "annual_vapor_budget",
+    "annual_water_use_liters",
+    "escaped_vapor_grams",
+    "wue_l_per_kwh",
+    "ThermalChamber",
+    "PAPER_CHAMBER_CFM",
+    "PAPER_CHAMBER_INLET_C",
+    "CoolingTechnology",
+    "CHILLERS",
+    "WATER_SIDE",
+    "DIRECT_EVAPORATIVE",
+    "CPU_COLD_PLATES",
+    "ONE_PHASE_IMMERSION",
+    "TWO_PHASE_IMMERSION",
+    "COOLING_TECHNOLOGIES",
+    "technology_by_name",
+    "PowerSavingsBreakdown",
+    "immersion_power_savings",
+    "DielectricFluid",
+    "FC_3284",
+    "HFE_7000",
+    "FLUIDS",
+    "fluid_by_name",
+    "BECPlacement",
+    "JunctionModel",
+    "air_junction_model",
+    "immersion_junction_model",
+    "heat_flux_w_per_cm2",
+    "bec_required",
+    "BEC_REQUIRED_FLUX_W_PER_CM2",
+    "ImmersedLoad",
+    "ImmersionTank",
+    "small_tank_1",
+    "small_tank_2",
+    "large_tank",
+]

@@ -1,0 +1,54 @@
+"""Air-cooled baseline environment (paper Section III).
+
+The paper's air-cooled experiments ran in a thermal chamber supplying
+110 cubic feet of air per minute at 35 °C. :class:`ThermalChamber`
+models that baseline: given airflow and inlet temperature it produces a
+:class:`~repro.thermal.junction.JunctionModel` with the chassis air-rise
+scaled to the airflow (more CFM, less preheating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .junction import JunctionModel, air_junction_model
+
+#: The paper's chamber setting.
+PAPER_CHAMBER_CFM = 110.0
+PAPER_CHAMBER_INLET_C = 35.0
+
+#: Air-rise calibration: at the paper's 110 CFM the air picks up about
+#: 12 °C between inlet and the CPU heat sink, which reconciles the
+#: Table III air rows (Tj ≈ 47 °C + 0.22 °C/W × P).
+REFERENCE_AIR_RISE_C = 12.0
+
+
+@dataclass(frozen=True)
+class ThermalChamber:
+    """A controlled air supply for the air-cooled baseline server."""
+
+    airflow_cfm: float = PAPER_CHAMBER_CFM
+    inlet_temp_c: float = PAPER_CHAMBER_INLET_C
+
+    def __post_init__(self) -> None:
+        if self.airflow_cfm <= 0:
+            raise ConfigurationError("airflow must be positive")
+
+    def air_rise_c(self) -> float:
+        """Chassis preheating, inversely proportional to airflow."""
+        return REFERENCE_AIR_RISE_C * (PAPER_CHAMBER_CFM / self.airflow_cfm)
+
+    def junction_model(
+        self, thermal_resistance_c_per_w: float = 0.22, tj_max_c: float = 110.0
+    ) -> JunctionModel:
+        """Junction model for a CPU cooled by this chamber's air."""
+        return air_junction_model(
+            inlet_temp_c=self.inlet_temp_c,
+            thermal_resistance_c_per_w=thermal_resistance_c_per_w,
+            air_rise_c=self.air_rise_c(),
+            tj_max_c=tj_max_c,
+        )
+
+
+__all__ = ["ThermalChamber", "PAPER_CHAMBER_CFM", "PAPER_CHAMBER_INLET_C", "REFERENCE_AIR_RISE_C"]

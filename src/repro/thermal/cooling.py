@@ -1,0 +1,193 @@
+"""Datacenter cooling technology catalog and comparisons (paper Table I).
+
+Each :class:`CoolingTechnology` carries the publicly disclosed PUE
+figures, the server fan overhead measured on Open Compute Olympus
+servers, and the maximum per-server heat the technology can remove. The
+module also implements the Section IV power-savings decomposition: how
+much per-server power 2PIC reclaims from fans, PUE, and leakage compared
+with the air-cooled baseline (the paper's "182 W per server").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, CoolingCapacityExceeded
+
+
+@dataclass(frozen=True)
+class CoolingTechnology:
+    """One row of the paper's Table I."""
+
+    name: str
+    average_pue: float
+    peak_pue: float
+    #: Fraction of server power consumed by fans (0 for immersion).
+    fan_overhead: float
+    #: Maximum server power the technology can cool, in watts.
+    max_server_cooling_watts: float
+    is_liquid: bool
+    #: True when each new component needs bespoke engineering (cold plates).
+    per_component_engineering: bool = False
+
+    def __post_init__(self) -> None:
+        if self.average_pue < 1.0 or self.peak_pue < self.average_pue:
+            raise ConfigurationError(f"{self.name}: PUE values are inconsistent")
+        if not 0.0 <= self.fan_overhead < 1.0:
+            raise ConfigurationError(f"{self.name}: fan overhead must be in [0, 1)")
+        if self.max_server_cooling_watts <= 0:
+            raise ConfigurationError(f"{self.name}: max cooling must be positive")
+
+    def check_capacity(self, server_watts: float) -> None:
+        """Raise :class:`CoolingCapacityExceeded` if the server is too hot."""
+        if server_watts > self.max_server_cooling_watts:
+            raise CoolingCapacityExceeded(
+                f"{self.name} cools at most {self.max_server_cooling_watts:.0f} W per "
+                f"server but {server_watts:.0f} W was requested"
+            )
+
+    def fan_watts(self, server_watts: float) -> float:
+        """Fan power included in a server's draw under this technology."""
+        return server_watts * self.fan_overhead
+
+    def facility_watts(self, it_watts: float, peak: bool = False) -> float:
+        """Total facility power for ``it_watts`` of IT load (PUE applied)."""
+        pue = self.peak_pue if peak else self.average_pue
+        return it_watts * pue
+
+    def overhead_watts(self, it_watts: float, peak: bool = False) -> float:
+        """Non-IT facility power (cooling, distribution losses)."""
+        return self.facility_watts(it_watts, peak) - it_watts
+
+
+# ----------------------------------------------------------------------
+# Table I catalog
+# ----------------------------------------------------------------------
+CHILLERS = CoolingTechnology(
+    name="Chillers",
+    average_pue=1.70,
+    peak_pue=2.00,
+    fan_overhead=0.05,
+    max_server_cooling_watts=700.0,
+    is_liquid=False,
+)
+
+WATER_SIDE = CoolingTechnology(
+    name="Water-side economized",
+    average_pue=1.19,
+    peak_pue=1.25,
+    fan_overhead=0.06,
+    max_server_cooling_watts=700.0,
+    is_liquid=False,
+)
+
+DIRECT_EVAPORATIVE = CoolingTechnology(
+    name="Direct evaporative",
+    average_pue=1.12,
+    peak_pue=1.20,
+    fan_overhead=0.06,
+    max_server_cooling_watts=700.0,
+    is_liquid=False,
+)
+
+CPU_COLD_PLATES = CoolingTechnology(
+    name="CPU cold plates",
+    average_pue=1.08,
+    peak_pue=1.13,
+    fan_overhead=0.03,
+    max_server_cooling_watts=2000.0,
+    is_liquid=True,
+    per_component_engineering=True,
+)
+
+ONE_PHASE_IMMERSION = CoolingTechnology(
+    name="1PIC",
+    average_pue=1.05,
+    peak_pue=1.07,
+    fan_overhead=0.0,
+    max_server_cooling_watts=2000.0,
+    is_liquid=True,
+)
+
+TWO_PHASE_IMMERSION = CoolingTechnology(
+    name="2PIC",
+    average_pue=1.02,
+    peak_pue=1.03,
+    fan_overhead=0.0,
+    max_server_cooling_watts=4000.0,
+    is_liquid=True,
+)
+
+COOLING_TECHNOLOGIES: tuple[CoolingTechnology, ...] = (
+    CHILLERS,
+    WATER_SIDE,
+    DIRECT_EVAPORATIVE,
+    CPU_COLD_PLATES,
+    ONE_PHASE_IMMERSION,
+    TWO_PHASE_IMMERSION,
+)
+
+
+def technology_by_name(name: str) -> CoolingTechnology:
+    """Look up a Table I technology by name."""
+    for technology in COOLING_TECHNOLOGIES:
+        if technology.name == name:
+            return technology
+    raise ConfigurationError(
+        f"unknown cooling technology {name!r}; available: "
+        f"{[t.name for t in COOLING_TECHNOLOGIES]}"
+    )
+
+
+@dataclass(frozen=True)
+class PowerSavingsBreakdown:
+    """Per-server power reclaimed by moving from air to immersion (§IV)."""
+
+    static_watts: float
+    fan_watts: float
+    pue_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.static_watts + self.fan_watts + self.pue_watts
+
+
+def immersion_power_savings(
+    server_watts: float,
+    fan_watts: float,
+    static_savings_per_socket_watts: float,
+    sockets: int,
+    air: CoolingTechnology = DIRECT_EVAPORATIVE,
+    immersion: CoolingTechnology = TWO_PHASE_IMMERSION,
+) -> PowerSavingsBreakdown:
+    """Decompose the per-server savings of immersion over air cooling.
+
+    Reproduces the paper's Section IV arithmetic: 2 × 11 W of static
+    (leakage) power from the cooler junction, 42 W of fans, and
+    ``server_watts × air_peak_pue × (1 − immersion_peak/air_peak)`` of
+    facility overhead — about 182 W for the 700 W Open Compute server.
+    """
+    if sockets < 1:
+        raise ConfigurationError("a server has at least one socket")
+    pue_reduction_fraction = 1.0 - immersion.peak_pue / air.peak_pue
+    pue_watts = server_watts * air.peak_pue * pue_reduction_fraction
+    return PowerSavingsBreakdown(
+        static_watts=static_savings_per_socket_watts * sockets,
+        fan_watts=fan_watts,
+        pue_watts=pue_watts,
+    )
+
+
+__all__ = [
+    "CoolingTechnology",
+    "CHILLERS",
+    "WATER_SIDE",
+    "DIRECT_EVAPORATIVE",
+    "CPU_COLD_PLATES",
+    "ONE_PHASE_IMMERSION",
+    "TWO_PHASE_IMMERSION",
+    "COOLING_TECHNOLOGIES",
+    "technology_by_name",
+    "PowerSavingsBreakdown",
+    "immersion_power_savings",
+]

@@ -1,0 +1,276 @@
+"""Facility-level heat rejection, water usage, and vapor management.
+
+Models the rest of the paper's 2PIC thermal chain (Sections II and IV,
+"Environmental impact"):
+
+* **Condenser loop** — tank vapor condenses on a coil; a secondary
+  water loop carries the heat to a dry cooler. The coil must stay
+  below the fluid's dew point for condensation to work.
+* **Dry cooler** — rejects the loop heat to ambient air with a small
+  approach temperature; uses no water except on trim days.
+* **Water usage** — the paper "simulated the amount of water and
+  project that the WUE will be at par with evaporative-cooled
+  datacenters" (dry coolers need evaporative trim only on the hottest
+  hours).
+* **Vapor management** — both paper fluids have high global-warming
+  potential, so tanks are sealed and mechanical + chemical traps
+  capture vapor during servicing and load swings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ThermalError
+from ..units import JOULES_PER_KWH, SECONDS_PER_HOUR
+from .fluids import DielectricFluid
+from .tank import ImmersionTank
+
+#: Specific heat of water, J/(g·K).
+WATER_SPECIFIC_HEAT_J_PER_G_K = 4.186
+
+#: Typical WUE of a direct-evaporative air-cooled datacenter, L/kWh of
+#: IT energy (industry-reported range 1.0–1.2).
+EVAPORATIVE_WUE_L_PER_KWH = 1.05
+
+
+@dataclass(frozen=True)
+class CondenserLoop:
+    """The coil + secondary water loop inside/behind a 2PIC tank."""
+
+    #: Water flow through the coil, grams per second.
+    water_flow_g_per_s: float
+    #: Loop supply (coil inlet) temperature in Celsius.
+    supply_temp_c: float
+    #: Margin the coil must keep below the fluid's boiling point for
+    #: vapor to condense at a useful rate.
+    condensation_margin_c: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.water_flow_g_per_s <= 0:
+            raise ConfigurationError("water flow must be positive")
+
+    def return_temp_c(self, heat_watts: float) -> float:
+        """Loop return temperature after absorbing ``heat_watts``."""
+        if heat_watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        rise = heat_watts / (self.water_flow_g_per_s * WATER_SPECIFIC_HEAT_J_PER_G_K)
+        return self.supply_temp_c + rise
+
+    def check_condenses(self, fluid: DielectricFluid, heat_watts: float) -> float:
+        """Verify the coil can condense ``fluid`` at ``heat_watts``.
+
+        Returns the return temperature; raises :class:`ThermalError`
+        when the loop runs too warm to condense the vapor.
+        """
+        limit = fluid.boiling_point_c - self.condensation_margin_c
+        if self.supply_temp_c > limit:
+            raise ThermalError(
+                f"coil supply {self.supply_temp_c:.1f} degC is above the "
+                f"{limit:.1f} degC condensation limit for {fluid.name}"
+            )
+        return_temp = self.return_temp_c(heat_watts)
+        if return_temp > fluid.boiling_point_c:
+            raise ThermalError(
+                f"coil return {return_temp:.1f} degC exceeds {fluid.name}'s "
+                f"boiling point; raise the water flow"
+            )
+        return return_temp
+
+    def max_heat_watts(self, fluid: DielectricFluid) -> float:
+        """Largest heat load the loop can condense for ``fluid``."""
+        headroom = fluid.boiling_point_c - self.supply_temp_c
+        if headroom <= 0:
+            return 0.0
+        return headroom * self.water_flow_g_per_s * WATER_SPECIFIC_HEAT_J_PER_G_K
+
+
+@dataclass(frozen=True)
+class DryCooler:
+    """Rejects loop heat to ambient air; evaporative trim on hot hours."""
+
+    #: Smallest achievable difference between loop supply and ambient.
+    approach_temp_c: float = 6.0
+    #: Fan power as a fraction of rejected heat.
+    fan_power_fraction: float = 0.015
+    #: Latent heat of water evaporation, J/g — used for trim water.
+    water_latent_heat_j_per_g: float = 2260.0
+    #: Design temperature rise of the secondary loop: water flow is
+    #: sized so the loop warms by this much at full load.
+    design_rise_c: float = 10.0
+
+    def achievable_supply_temp_c(self, ambient_c: float) -> float:
+        """Coldest loop supply the cooler can deliver at ``ambient_c``."""
+        return ambient_c + self.approach_temp_c
+
+    def supports(self, loop: CondenserLoop, ambient_c: float) -> bool:
+        """True when dry operation alone reaches the loop's supply temp."""
+        return self.achievable_supply_temp_c(ambient_c) <= loop.supply_temp_c
+
+    def fan_watts(self, heat_watts: float) -> float:
+        """Fan power while rejecting ``heat_watts``."""
+        if heat_watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        return heat_watts * self.fan_power_fraction
+
+    def trim_water_g_per_s(self, loop: CondenserLoop, ambient_c: float, heat_watts: float) -> float:
+        """Evaporative trim water needed when ambient is too hot.
+
+        When the dry approach cannot reach the loop's supply temperature,
+        the evaporative stage must absorb the shortfall's share of the
+        design temperature rise; below the dry threshold no water is
+        used at all. Water scales linearly with load (the loop flow is
+        sized to the load at the design rise).
+        """
+        if heat_watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        shortfall_c = self.achievable_supply_temp_c(ambient_c) - loop.supply_temp_c
+        if shortfall_c <= 0:
+            return 0.0
+        fraction = min(1.0, shortfall_c / self.design_rise_c)
+        return heat_watts * fraction / self.water_latent_heat_j_per_g
+
+
+@dataclass(frozen=True)
+class ClimateProfile:
+    """Hours per year spent in each ambient-temperature band."""
+
+    #: (ambient Celsius, hours per year) pairs; hours should sum to ~8766.
+    bands: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.bands:
+            raise ConfigurationError("a climate profile needs at least one band")
+        if any(hours < 0 for _, hours in self.bands):
+            raise ConfigurationError("band hours must be non-negative")
+
+    @property
+    def total_hours(self) -> float:
+        return sum(hours for _, hours in self.bands)
+
+
+#: A temperate-climate default: mostly mild, ~6% of hours above 28 degC.
+TEMPERATE_CLIMATE = ClimateProfile(
+    bands=(
+        (5.0, 2000.0),
+        (15.0, 3466.0),
+        (22.0, 2000.0),
+        (28.0, 800.0),
+        (33.0, 400.0),
+        (38.0, 100.0),
+    )
+)
+
+
+def annual_water_use_liters(
+    loop: CondenserLoop,
+    cooler: DryCooler,
+    it_watts: float,
+    climate: ClimateProfile = TEMPERATE_CLIMATE,
+) -> float:
+    """Trim water consumed per year rejecting ``it_watts`` continuously."""
+    total_grams = 0.0
+    for ambient_c, hours in climate.bands:
+        rate = cooler.trim_water_g_per_s(loop, ambient_c, it_watts)
+        total_grams += rate * hours * SECONDS_PER_HOUR
+    return total_grams / 1000.0
+
+
+def wue_l_per_kwh(
+    loop: CondenserLoop,
+    cooler: DryCooler,
+    it_watts: float,
+    climate: ClimateProfile = TEMPERATE_CLIMATE,
+) -> float:
+    """Water Usage Effectiveness: liters per kWh of IT energy.
+
+    The paper projects 2PIC WUE "at par with evaporative-cooled
+    datacenters" once trim hours are accounted; compare against
+    :data:`EVAPORATIVE_WUE_L_PER_KWH`.
+    """
+    if it_watts <= 0:
+        raise ConfigurationError("IT load must be positive")
+    liters = annual_water_use_liters(loop, cooler, it_watts, climate)
+    it_kwh = it_watts * climate.total_hours * SECONDS_PER_HOUR / JOULES_PER_KWH
+    return liters / it_kwh
+
+
+@dataclass(frozen=True)
+class VaporTrap:
+    """One stage of vapor capture (mechanical at tank, chemical at facility)."""
+
+    name: str
+    capture_efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.capture_efficiency < 1.0:
+            raise ConfigurationError("capture efficiency must be in [0, 1)")
+
+
+#: The paper's two-stage capture: mechanical at the tank lid plus a
+#: chemical scrubber at the facility exhaust.
+TANK_MECHANICAL_TRAP = VaporTrap("tank mechanical trap", 0.90)
+FACILITY_CHEMICAL_TRAP = VaporTrap("facility chemical trap", 0.80)
+
+
+def escaped_vapor_grams(
+    raw_loss_grams: float,
+    traps: tuple[VaporTrap, ...] = (TANK_MECHANICAL_TRAP, FACILITY_CHEMICAL_TRAP),
+) -> float:
+    """Vapor reaching the atmosphere after the capture stages."""
+    if raw_loss_grams < 0:
+        raise ConfigurationError("vapor loss must be non-negative")
+    escaped = raw_loss_grams
+    for trap in traps:
+        escaped *= 1.0 - trap.capture_efficiency
+    return escaped
+
+
+@dataclass(frozen=True)
+class VaporBudget:
+    """Annualized fluid-loss accounting for one tank."""
+
+    raw_loss_grams: float
+    captured_grams: float
+    escaped_grams: float
+
+    @property
+    def capture_rate(self) -> float:
+        if self.raw_loss_grams == 0:
+            return 1.0
+        return self.captured_grams / self.raw_loss_grams
+
+
+def annual_vapor_budget(
+    tank: ImmersionTank,
+    servicing_events_per_year: int,
+    traps: tuple[VaporTrap, ...] = (TANK_MECHANICAL_TRAP, FACILITY_CHEMICAL_TRAP),
+) -> VaporBudget:
+    """Project a tank's yearly fluid loss under a servicing schedule."""
+    if servicing_events_per_year < 0:
+        raise ConfigurationError("servicing events must be non-negative")
+    raw = servicing_events_per_year * tank.vapor_loss_per_service_grams
+    escaped = escaped_vapor_grams(raw, traps)
+    return VaporBudget(
+        raw_loss_grams=raw,
+        captured_grams=raw - escaped,
+        escaped_grams=escaped,
+    )
+
+
+__all__ = [
+    "CondenserLoop",
+    "DryCooler",
+    "ClimateProfile",
+    "TEMPERATE_CLIMATE",
+    "annual_water_use_liters",
+    "wue_l_per_kwh",
+    "EVAPORATIVE_WUE_L_PER_KWH",
+    "VaporTrap",
+    "TANK_MECHANICAL_TRAP",
+    "FACILITY_CHEMICAL_TRAP",
+    "escaped_vapor_grams",
+    "VaporBudget",
+    "annual_vapor_budget",
+    "WATER_SPECIFIC_HEAT_J_PER_G_K",
+]

@@ -1,0 +1,85 @@
+"""Dielectric fluid properties (paper Table II).
+
+Engineered fluorinated fluids boil at a specific temperature; in a
+two-phase immersion tank the fluid pool sits at its boiling point and
+the phase change carries heat away at ``latent_heat_j_per_g`` joules per
+gram of vapor generated. The two fluids used in the paper's prototypes
+are 3M FC-3284 (Fluorinert) and 3M HFE-7000 (Novec 7000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DielectricFluid:
+    """Thermophysical properties of an immersion-cooling fluid."""
+
+    name: str
+    boiling_point_c: float
+    dielectric_constant: float
+    latent_heat_j_per_g: float
+    useful_life_years: float
+    #: Relative global-warming potential flag; both paper fluids are high
+    #: (Section IV, "Environmental impact").
+    high_gwp: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latent_heat_j_per_g <= 0:
+            raise ConfigurationError(f"{self.name}: latent heat must be positive")
+        if self.boiling_point_c <= 0:
+            raise ConfigurationError(f"{self.name}: boiling point must be positive (Celsius)")
+
+    def vaporization_rate_g_per_s(self, heat_watts: float) -> float:
+        """Grams of fluid boiled per second to remove ``heat_watts``.
+
+        In steady state the condenser returns the same mass flow to the
+        pool, so this is the internal circulation rate, not a loss rate.
+        """
+        if heat_watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        return heat_watts / self.latent_heat_j_per_g
+
+    def pool_temperature_c(self) -> float:
+        """Bulk pool temperature: a boiling pool sits at its boiling point."""
+        return self.boiling_point_c
+
+
+#: 3M Fluorinert FC-3284 — used in the large tank and small tank #2.
+FC_3284 = DielectricFluid(
+    name="3M FC-3284",
+    boiling_point_c=50.0,
+    dielectric_constant=1.86,
+    latent_heat_j_per_g=105.0,
+    useful_life_years=30.0,
+)
+
+#: 3M Novec HFE-7000 — used in small tank #1 (the overclockable Xeon).
+HFE_7000 = DielectricFluid(
+    name="3M HFE-7000",
+    boiling_point_c=34.0,
+    dielectric_constant=7.4,
+    latent_heat_j_per_g=142.0,
+    useful_life_years=30.0,
+)
+
+FLUIDS: dict[str, DielectricFluid] = {
+    "FC-3284": FC_3284,
+    "HFE-7000": HFE_7000,
+}
+
+
+def fluid_by_name(name: str) -> DielectricFluid:
+    """Look up a fluid by its short name (``"FC-3284"`` or ``"HFE-7000"``)."""
+    try:
+        return FLUIDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fluid {name!r}; available: {sorted(FLUIDS)}"
+        ) from None
+
+
+__all__ = ["DielectricFluid", "FC_3284", "HFE_7000", "FLUIDS", "fluid_by_name"]

@@ -1,0 +1,154 @@
+"""Junction temperature model.
+
+Steady-state junction temperature follows the standard one-resistor
+thermal network::
+
+    Tj = T_ref + R_th × P
+
+where ``T_ref`` is the heat sink's reference temperature — the air
+stream temperature at the heat sink for air cooling, or the fluid's
+boiling point (boiling pools sit at their boiling point) for two-phase
+immersion — and ``R_th`` is the junction-to-coolant thermal resistance
+in °C/W.
+
+Calibration (paper Table III): the air-cooled Open Compute platforms
+measure 0.21–0.22 °C/W; immersion with boiling-enhancement coating (BEC)
+on a copper plate measures 0.12 °C/W and BEC directly on the integrated
+heat spreader measures 0.08 °C/W. The paper's L-20227 BEC "improves
+boiling performance by 2× compared to un-coated smooth surfaces", which
+we model as halving the boiling resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError, ThermalError
+from .fluids import DielectricFluid
+
+
+class BECPlacement(Enum):
+    """Where the boiling-enhancement coating is applied (Table III)."""
+
+    NONE = "none"
+    COPPER_PLATE = "copper plate"
+    CPU_IHS = "CPU IHS"
+
+
+#: Calibrated junction-to-coolant resistances (°C/W) from Table III.
+IMMERSION_RESISTANCE_BY_PLACEMENT: dict[BECPlacement, float] = {
+    # Un-coated: BEC improves boiling 2x, so uncoated is ~2x the coated
+    # copper-plate figure.
+    BECPlacement.NONE: 0.24,
+    BECPlacement.COPPER_PLATE: 0.12,
+    BECPlacement.CPU_IHS: 0.08,
+}
+
+#: Heat-flux threshold above which BEC is required (Section II).
+BEC_REQUIRED_FLUX_W_PER_CM2 = 10.0
+
+
+@dataclass(frozen=True)
+class JunctionModel:
+    """Tj = reference + R_th × P, with an optional junction limit."""
+
+    reference_temp_c: float
+    thermal_resistance_c_per_w: float
+    #: Absolute junction ceiling; exceeding it raises :class:`ThermalError`
+    #: from :meth:`check` (processors throttle/shut down near this point).
+    tj_max_c: float = 110.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w <= 0:
+            raise ConfigurationError("thermal resistance must be positive")
+
+    def junction_temp_c(self, power_watts: float) -> float:
+        """Steady-state junction temperature at ``power_watts``."""
+        if power_watts < 0:
+            raise ConfigurationError("power must be non-negative")
+        return self.reference_temp_c + self.thermal_resistance_c_per_w * power_watts
+
+    def max_power_watts(self, tj_limit_c: float | None = None) -> float:
+        """Largest power keeping Tj at or below the limit."""
+        limit = self.tj_max_c if tj_limit_c is None else tj_limit_c
+        headroom = limit - self.reference_temp_c
+        if headroom <= 0:
+            return 0.0
+        return headroom / self.thermal_resistance_c_per_w
+
+    def check(self, power_watts: float) -> float:
+        """Return Tj, raising :class:`ThermalError` above ``tj_max_c``."""
+        tj = self.junction_temp_c(power_watts)
+        if tj > self.tj_max_c:
+            raise ThermalError(
+                f"junction temperature {tj:.1f}°C exceeds Tj,max {self.tj_max_c:.1f}°C "
+                f"at {power_watts:.0f} W"
+            )
+        return tj
+
+
+def air_junction_model(
+    inlet_temp_c: float,
+    thermal_resistance_c_per_w: float,
+    air_rise_c: float = 0.0,
+    tj_max_c: float = 110.0,
+) -> JunctionModel:
+    """Junction model for an air-cooled server.
+
+    ``air_rise_c`` captures preheating of the air stream inside the
+    chassis before it reaches the heat sink.
+    """
+    return JunctionModel(
+        reference_temp_c=inlet_temp_c + air_rise_c,
+        thermal_resistance_c_per_w=thermal_resistance_c_per_w,
+        tj_max_c=tj_max_c,
+    )
+
+
+def immersion_junction_model(
+    fluid: DielectricFluid,
+    bec: BECPlacement = BECPlacement.CPU_IHS,
+    thermal_resistance_c_per_w: float | None = None,
+    tj_max_c: float = 110.0,
+) -> JunctionModel:
+    """Junction model for a component submerged in a boiling pool.
+
+    The reference temperature is the fluid's boiling point; the
+    resistance defaults to the Table III calibration for the given BEC
+    placement.
+    """
+    resistance = (
+        IMMERSION_RESISTANCE_BY_PLACEMENT[bec]
+        if thermal_resistance_c_per_w is None
+        else thermal_resistance_c_per_w
+    )
+    return JunctionModel(
+        reference_temp_c=fluid.boiling_point_c,
+        thermal_resistance_c_per_w=resistance,
+        tj_max_c=tj_max_c,
+    )
+
+
+def heat_flux_w_per_cm2(power_watts: float, area_cm2: float) -> float:
+    """Surface heat flux of a component."""
+    if area_cm2 <= 0:
+        raise ConfigurationError("area must be positive")
+    return power_watts / area_cm2
+
+
+def bec_required(power_watts: float, area_cm2: float) -> bool:
+    """True when the surface needs boiling-enhancement coating (>10 W/cm²)."""
+    return heat_flux_w_per_cm2(power_watts, area_cm2) > BEC_REQUIRED_FLUX_W_PER_CM2
+
+
+__all__ = [
+    "BECPlacement",
+    "IMMERSION_RESISTANCE_BY_PLACEMENT",
+    "BEC_REQUIRED_FLUX_W_PER_CM2",
+    "JunctionModel",
+    "air_junction_model",
+    "immersion_junction_model",
+    "heat_flux_w_per_cm2",
+    "bec_required",
+]

@@ -1,0 +1,101 @@
+"""Small unit helpers and conversions used throughout the library.
+
+The library stores quantities in SI-ish base units:
+
+* power in **watts**
+* temperature in **degrees Celsius** (conversions to Kelvin provided for
+  Arrhenius-style models)
+* frequency in **GHz** (the paper quotes every frequency in GHz)
+* time in **seconds** for simulations and **years** for lifetime models
+* energy in **joules** (with kWh helpers for TCO work)
+
+Keeping the conversions in one module avoids scattering magic constants.
+"""
+
+from __future__ import annotations
+
+KELVIN_OFFSET = 273.15
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_YEAR = 8766.0  # average year including leap days
+SECONDS_PER_YEAR = HOURS_PER_YEAR * SECONDS_PER_HOUR
+
+JOULES_PER_KWH = 3.6e6
+
+MHZ_PER_GHZ = 1000.0
+
+#: Size of one Intel frequency "bin" in GHz (100 MHz), as used in the
+#: paper's Table III discussion ("an improvement of one frequency bin
+#: (3%, 100 MHz)").
+FREQUENCY_BIN_GHZ = 0.1
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - KELVIN_OFFSET
+
+
+def ghz_to_mhz(freq_ghz: float) -> float:
+    """Convert a frequency from GHz to MHz."""
+    return freq_ghz * MHZ_PER_GHZ
+
+
+def mhz_to_ghz(freq_mhz: float) -> float:
+    """Convert a frequency from MHz to GHz."""
+    return freq_mhz / MHZ_PER_GHZ
+
+
+def years_to_hours(years: float) -> float:
+    """Convert a duration from years to hours."""
+    return years * HOURS_PER_YEAR
+
+
+def hours_to_years(hours: float) -> float:
+    """Convert a duration from hours to years."""
+    return hours / HOURS_PER_YEAR
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert a duration from years to seconds."""
+    return years * SECONDS_PER_YEAR
+
+
+def watt_seconds_to_kwh(joules: float) -> float:
+    """Convert energy in joules (watt-seconds) to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert energy in kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def minutes(count: float) -> float:
+    """Return ``count`` minutes expressed in seconds (simulation time)."""
+    return count * SECONDS_PER_MINUTE
+
+
+def hours(count: float) -> float:
+    """Return ``count`` hours expressed in seconds (simulation time)."""
+    return count * SECONDS_PER_HOUR
+
+
+def frequency_bins(low_ghz: float, high_ghz: float, count: int) -> list[float]:
+    """Split ``[low_ghz, high_ghz]`` into ``count`` evenly spaced settings.
+
+    The returned list includes both endpoints and has ``count`` entries,
+    matching the paper's auto-scaler setup ("3.4 GHz (B2) to 4.1 GHz (OC1),
+    divided into 8 frequency bins").
+    """
+    if count < 2:
+        raise ValueError("frequency_bins requires count >= 2")
+    if high_ghz <= low_ghz:
+        raise ValueError("frequency_bins requires high_ghz > low_ghz")
+    step = (high_ghz - low_ghz) / (count - 1)
+    return [low_ghz + index * step for index in range(count)]

@@ -1,0 +1,87 @@
+"""Workload substrate: application models, queueing app, and generators.
+
+Implements the paper's Table IX application catalog with calibrated
+bottleneck profiles, the STREAM and VGG models behind Figures 10–11, the
+SQL oversubscription model behind Figure 12, and the M/G/k client-server
+application that drives the auto-scaling evaluation.
+"""
+
+from .base import (
+    ALL_COMPONENTS,
+    CPU_COMPONENTS,
+    GPU_COMPONENTS,
+    BottleneckProfile,
+    Workload,
+)
+from .catalog import (
+    APPLICATIONS,
+    BI,
+    CLIENT_SERVER,
+    DISKSPEED,
+    FIGURE9_APPLICATIONS,
+    KEY_VALUE,
+    PMBENCH,
+    SPECJBB,
+    SQL,
+    STREAM,
+    TERASORT,
+    TRAINING,
+    VGG,
+    workload_by_name,
+)
+from .oltp import (
+    BASE_P95_LATENCY_MS,
+    DEFAULT_DEMAND_PER_VCORE,
+    OversubscriptionPoint,
+    cores_saved_by_overclocking,
+    pcore_sweep,
+    sql_p95_latency_ms,
+)
+from .queueing import (
+    DEFAULT_SCALABLE_FRACTION,
+    DEFAULT_SERVICE_CV,
+    DEFAULT_SERVICE_MEAN_S,
+    LoadBalancer,
+    ServerVM,
+)
+from . import stream
+from . import vgg
+from .vmtrace import VMArrival, VMTraceGenerator, core_hours
+
+__all__ = [
+    "VMArrival",
+    "VMTraceGenerator",
+    "core_hours",
+    "BottleneckProfile",
+    "Workload",
+    "ALL_COMPONENTS",
+    "CPU_COMPONENTS",
+    "GPU_COMPONENTS",
+    "APPLICATIONS",
+    "FIGURE9_APPLICATIONS",
+    "SQL",
+    "TRAINING",
+    "KEY_VALUE",
+    "BI",
+    "CLIENT_SERVER",
+    "PMBENCH",
+    "DISKSPEED",
+    "SPECJBB",
+    "TERASORT",
+    "VGG",
+    "STREAM",
+    "workload_by_name",
+    "OversubscriptionPoint",
+    "sql_p95_latency_ms",
+    "pcore_sweep",
+    "cores_saved_by_overclocking",
+    "DEFAULT_DEMAND_PER_VCORE",
+    "BASE_P95_LATENCY_MS",
+    "ServerVM",
+    "LoadBalancer",
+    "DEFAULT_SERVICE_MEAN_S",
+    "DEFAULT_SERVICE_CV",
+    "DEFAULT_SCALABLE_FRACTION",
+    "stream",
+    "vgg",
+]

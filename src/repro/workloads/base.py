@@ -1,0 +1,144 @@
+"""Workload abstraction: bottleneck profiles and frequency sensitivity.
+
+The paper's central performance observation (Sections IV and VI-B) is
+that overclocking only helps when it speeds up the *bounding* component:
+"overclocking the CPU running a memory-bound workload will not result in
+much improvement". We capture each application as a
+:class:`BottleneckProfile` — the share of its execution time bound by
+each component — and predict the effect of a frequency configuration
+with a generalized Amdahl model::
+
+    time(config) / time(baseline) = Σ_c share_c / speedup_c + fixed
+
+where ``speedup_c`` is the component's clock ratio and ``fixed`` is the
+share no clock can improve (I/O waits, network, software overhead).
+
+The per-application shares in :mod:`repro.workloads.catalog` are the
+calibration knobs that reproduce Figure 9's who-benefits-from-what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, WorkloadError
+from ..silicon.configs import FrequencyConfig
+
+#: Component keys a profile may reference.
+CPU_COMPONENTS = ("core", "llc", "memory")
+GPU_COMPONENTS = ("gpu_core", "gpu_memory")
+ALL_COMPONENTS = CPU_COMPONENTS + GPU_COMPONENTS + ("io",)
+
+
+@dataclass(frozen=True)
+class BottleneckProfile:
+    """Execution-time decomposition of a workload.
+
+    Shares are fractions of baseline execution time bound by each
+    component; whatever is left is ``fixed`` (insensitive to any clock).
+    """
+
+    core: float = 0.0
+    llc: float = 0.0
+    memory: float = 0.0
+    io: float = 0.0
+    gpu_core: float = 0.0
+    gpu_memory: float = 0.0
+
+    def __post_init__(self) -> None:
+        shares = self.as_dict()
+        if any(share < 0 for share in shares.values()):
+            raise ConfigurationError("bottleneck shares must be non-negative")
+        if sum(shares.values()) > 1.0 + 1e-9:
+            raise ConfigurationError("bottleneck shares must sum to <= 1")
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "core": self.core,
+            "llc": self.llc,
+            "memory": self.memory,
+            "io": self.io,
+            "gpu_core": self.gpu_core,
+            "gpu_memory": self.gpu_memory,
+        }
+
+    @property
+    def fixed(self) -> float:
+        """Share of time no component clock can improve."""
+        return max(0.0, 1.0 - sum(self.as_dict().values()))
+
+    def time_scale(self, speedups: dict[str, float]) -> float:
+        """Relative execution time under per-component ``speedups``.
+
+        Missing components default to a speedup of 1 (unchanged clock);
+        1.0 means "same time as baseline", 0.8 means 20% faster.
+        """
+        total = self.fixed
+        for component, share in self.as_dict().items():
+            if share == 0.0:
+                continue
+            speedup = speedups.get(component, 1.0)
+            if speedup <= 0:
+                raise WorkloadError(f"speedup for {component} must be positive")
+            total += share / speedup
+        return total
+
+    def scalable_fraction(self) -> float:
+        """ΔPperf/ΔAperf proxy: the core-bound share of *active* cycles.
+
+        While a core is active (Aperf ticking), the unstalled share is
+        the core-bound time; llc/memory-bound time shows up as stalls
+        (Pperf frozen). I/O and fixed time leave the core idle, so they
+        appear in neither counter.
+        """
+        active = self.core + self.llc + self.memory
+        if active <= 0:
+            return 1.0
+        return self.core / active
+
+    def memory_activity(self) -> float:
+        """Memory subsystem duty factor, used by the server power model."""
+        return min(1.0, self.llc + self.memory + 0.3)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application from the paper's Table IX."""
+
+    name: str
+    cores: int
+    metric: str
+    higher_is_better: bool
+    profile: BottleneckProfile
+    description: str = ""
+    in_house: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"{self.name}: cores must be >= 1")
+
+    def normalized_metric(
+        self, config: FrequencyConfig, baseline: FrequencyConfig
+    ) -> float:
+        """Metric under ``config``, normalized to 1.0 at ``baseline``.
+
+        For time/latency metrics this is the time ratio (< 1 is faster);
+        for throughput metrics it is its reciprocal (> 1 is faster).
+        """
+        scale = self.profile.time_scale(config.speedups_over(baseline))
+        if self.higher_is_better:
+            return 1.0 / scale
+        return scale
+
+    def speedup(self, config: FrequencyConfig, baseline: FrequencyConfig) -> float:
+        """Performance gain factor (> 1 is better) regardless of metric polarity."""
+        return 1.0 / self.profile.time_scale(config.speedups_over(baseline))
+
+
+__all__ = [
+    "BottleneckProfile",
+    "Workload",
+    "ALL_COMPONENTS",
+    "CPU_COMPONENTS",
+    "GPU_COMPONENTS",
+]

@@ -1,0 +1,190 @@
+"""Application catalog (paper Table IX) with calibrated bottleneck profiles.
+
+Eleven applications: five in-house Microsoft workloads and six public
+benchmarks. The bottleneck shares are calibrated so the Figure 9
+reproduction matches the paper's qualitative findings:
+
+* every app gains 10–25% from some overclock;
+* core overclocking (OC1) gives the biggest single win for everything
+  except TeraSort and DiskSpeed;
+* cache overclocking (OC2) specifically accelerates Pmbench and
+  DiskSpeed;
+* memory overclocking (OC3) helps memory-bound SQL significantly and
+  four other apps slightly;
+* BI only benefits from core overclocking;
+* Training prefetches well, so faster cache/memory do not help it.
+"""
+
+from __future__ import annotations
+
+from .base import BottleneckProfile, Workload
+
+SQL = Workload(
+    name="SQL",
+    cores=4,
+    metric="P95 Lat",
+    higher_is_better=False,
+    profile=BottleneckProfile(core=0.45, llc=0.15, memory=0.35, io=0.0),
+    description="BenchCraft standard OLTP",
+    in_house=True,
+)
+
+TRAINING = Workload(
+    name="Training",
+    cores=4,
+    metric="Seconds",
+    higher_is_better=False,
+    # Predictable access pattern: the prefetcher hides cache/memory
+    # latency, so only the core clock matters.
+    profile=BottleneckProfile(core=0.85, llc=0.0, memory=0.0),
+    description="TensorFlow model CPU training",
+    in_house=True,
+)
+
+KEY_VALUE = Workload(
+    name="Key-Value",
+    cores=8,
+    metric="P99 Lat",
+    higher_is_better=False,
+    profile=BottleneckProfile(core=0.55, llc=0.15, memory=0.15),
+    description="Distributed key-value store",
+    in_house=True,
+)
+
+BI = Workload(
+    name="BI",
+    cores=4,
+    metric="Seconds",
+    higher_is_better=False,
+    # Core-bound: overclocking anything else burns power for nothing
+    # (the paper's poster child for careful overclocking).
+    profile=BottleneckProfile(core=0.75, llc=0.0, memory=0.0),
+    description="Business intelligence",
+    in_house=True,
+)
+
+CLIENT_SERVER = Workload(
+    name="Client-Server",
+    cores=4,
+    metric="P95 Lat",
+    higher_is_better=False,
+    profile=BottleneckProfile(core=0.70, llc=0.05, memory=0.05),
+    description="M/G/k queue application",
+    in_house=True,
+)
+
+PMBENCH = Workload(
+    name="Pmbench",
+    cores=2,
+    metric="Seconds",
+    higher_is_better=False,
+    # Paging microbenchmark: dominated by cache/TLB traffic, so the
+    # uncore clock is the lever.
+    profile=BottleneckProfile(core=0.30, llc=0.40, memory=0.20),
+    description="Paging performance",
+)
+
+DISKSPEED = Workload(
+    name="DiskSpeed",
+    cores=2,
+    metric="OPS/S",
+    higher_is_better=True,
+    profile=BottleneckProfile(core=0.20, llc=0.45, memory=0.15, io=0.15),
+    description="Microsoft's Disk IO bench",
+)
+
+SPECJBB = Workload(
+    name="SPECJBB",
+    cores=4,
+    metric="OPS/S",
+    higher_is_better=True,
+    profile=BottleneckProfile(core=0.65, llc=0.15, memory=0.10),
+    description="SpecJbb 2000",
+)
+
+TERASORT = Workload(
+    name="TeraSort",
+    cores=4,
+    metric="Seconds",
+    higher_is_better=False,
+    # Shuffle/spill heavy: memory and disk bound; core overclocking is
+    # *not* the biggest lever here.
+    profile=BottleneckProfile(core=0.25, llc=0.10, memory=0.30, io=0.25),
+    description="Hadoop TeraSort",
+)
+
+VGG = Workload(
+    name="VGG",
+    cores=16,
+    metric="Seconds",
+    higher_is_better=False,
+    profile=BottleneckProfile(gpu_core=0.65, gpu_memory=0.30),
+    description="CNN model GPU training",
+)
+
+STREAM = Workload(
+    name="STREAM",
+    cores=16,
+    metric="MB/S",
+    higher_is_better=True,
+    profile=BottleneckProfile(core=0.20, llc=0.15, memory=0.60),
+    description="Memory bandwidth",
+)
+
+#: Table IX in paper order.
+APPLICATIONS: tuple[Workload, ...] = (
+    SQL,
+    TRAINING,
+    KEY_VALUE,
+    BI,
+    CLIENT_SERVER,
+    PMBENCH,
+    DISKSPEED,
+    SPECJBB,
+    TERASORT,
+    VGG,
+    STREAM,
+)
+
+#: The CPU-tank applications shown in Figure 9 (VGG and STREAM have their
+#: own figures).
+FIGURE9_APPLICATIONS: tuple[Workload, ...] = (
+    SQL,
+    TRAINING,
+    KEY_VALUE,
+    BI,
+    CLIENT_SERVER,
+    PMBENCH,
+    DISKSPEED,
+    SPECJBB,
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up a Table IX application by name."""
+    for workload in APPLICATIONS:
+        if workload.name == name:
+            return workload
+    from ..errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown workload {name!r}; available: {[w.name for w in APPLICATIONS]}"
+    )
+
+
+__all__ = [
+    "SQL",
+    "TRAINING",
+    "KEY_VALUE",
+    "BI",
+    "CLIENT_SERVER",
+    "PMBENCH",
+    "DISKSPEED",
+    "SPECJBB",
+    "TERASORT",
+    "VGG",
+    "STREAM",
+    "APPLICATIONS",
+    "FIGURE9_APPLICATIONS",
+    "workload_by_name",
+]

@@ -1,0 +1,130 @@
+"""OLTP (SQL) latency-vs-oversubscription model (paper Figure 12).
+
+Four SQL VMs (4 vcores each) share a varying number of physical cores.
+We model the aggregate as a processor-sharing queue: offered load is the
+VMs' total core demand, capacity is the pcore pool scaled by the
+configuration's SQL speedup, and the P95 latency follows the standard
+heavy-traffic scaling ``S95 / (1 − ρ)``.
+
+This reproduces the paper's key crossover: OC3 with 12 pcores delivers
+the same average P95 latency (within ~1%) as B2 with all 16 pcores — the
+four freed cores are the oversubscription dividend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, WorkloadError
+from ..silicon.configs import B2, FrequencyConfig
+from .catalog import SQL
+
+#: Average per-vcore core demand of one SQL VM (busy fraction) at B2.
+DEFAULT_DEMAND_PER_VCORE = 0.6
+
+#: P95 latency of an unloaded SQL instance at B2, in milliseconds.
+BASE_P95_LATENCY_MS = 10.0
+
+#: Utilizations beyond this are treated as saturated (the queue grows
+#: without bound over any finite run; we report a steep finite penalty).
+SATURATION_RHO = 0.97
+
+
+@dataclass(frozen=True)
+class OversubscriptionPoint:
+    """One (config, pcores) cell of Figure 12."""
+
+    config: str
+    pcores: int
+    vcores: int
+    rho: float
+    p95_latency_ms: float
+    saturated: bool
+
+
+def sql_p95_latency_ms(
+    pcores: int,
+    config: FrequencyConfig,
+    vms: int = 4,
+    vcores_per_vm: int = 4,
+    demand_per_vcore: float = DEFAULT_DEMAND_PER_VCORE,
+    baseline: FrequencyConfig = B2,
+    base_p95_ms: float = BASE_P95_LATENCY_MS,
+) -> OversubscriptionPoint:
+    """P95 latency of the SQL VMs on ``pcores`` physical cores.
+
+    ``demand_per_vcore`` is each virtual core's average busy fraction;
+    the total offered load is ``vms × vcores_per_vm × demand``.
+    """
+    if pcores < 1:
+        raise ConfigurationError("pcores must be >= 1")
+    if not 0.0 < demand_per_vcore <= 1.0:
+        raise ConfigurationError("demand_per_vcore must be in (0, 1]")
+    vcores = vms * vcores_per_vm
+    if pcores > vcores:
+        raise WorkloadError(
+            "assigning more pcores than vcores models nothing: cap at vcores"
+        )
+    time_scale = SQL.profile.time_scale(config.speedups_over(baseline))
+    speedup = 1.0 / time_scale
+    offered = vcores * demand_per_vcore
+    capacity = pcores * speedup
+    rho = offered / capacity
+    service_p95 = base_p95_ms * time_scale
+    if rho < SATURATION_RHO:
+        latency = service_p95 / (1.0 - rho)
+        saturated = False
+    else:
+        # Saturated: report a steep, monotone penalty so sweeps stay
+        # plottable without pretending a steady state exists.
+        latency = service_p95 * (1.0 / (1.0 - SATURATION_RHO) + 400.0 * (rho - SATURATION_RHO))
+        saturated = True
+    return OversubscriptionPoint(
+        config=config.name,
+        pcores=pcores,
+        vcores=vcores,
+        rho=rho,
+        p95_latency_ms=latency,
+        saturated=saturated,
+    )
+
+
+def pcore_sweep(
+    config: FrequencyConfig,
+    pcore_range: range = range(8, 17, 2),
+    **kwargs,
+) -> list[OversubscriptionPoint]:
+    """Figure 12 sweep: P95 latency across the pcore assignments."""
+    return [sql_p95_latency_ms(pcores, config, **kwargs) for pcores in pcore_range]
+
+
+def cores_saved_by_overclocking(
+    overclocked: FrequencyConfig,
+    baseline: FrequencyConfig = B2,
+    full_pcores: int = 16,
+    tolerance: float = 0.02,
+    **kwargs,
+) -> int:
+    """Pcores reclaimable while matching the baseline's full-pcore latency.
+
+    The paper's result: OC3 matches B2@16 with 12 pcores, freeing 4.
+    """
+    target = sql_p95_latency_ms(full_pcores, baseline, **kwargs).p95_latency_ms
+    saved = 0
+    for pcores in range(full_pcores - 1, 0, -1):
+        point = sql_p95_latency_ms(pcores, overclocked, **kwargs)
+        if point.saturated or point.p95_latency_ms > target * (1.0 + tolerance):
+            break
+        saved = full_pcores - pcores
+    return saved
+
+
+__all__ = [
+    "OversubscriptionPoint",
+    "sql_p95_latency_ms",
+    "pcore_sweep",
+    "cores_saved_by_overclocking",
+    "DEFAULT_DEMAND_PER_VCORE",
+    "BASE_P95_LATENCY_MS",
+    "SATURATION_RHO",
+]

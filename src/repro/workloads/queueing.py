@@ -1,0 +1,287 @@
+"""The M/G/k Client-Server application (paper Table IX, Section VI-D).
+
+This is the workload behind the auto-scaling evaluation: "client request
+arrivals are Markovian, the service times follow a General distribution,
+and there are k servers (i.e., VMs)". Each :class:`ServerVM` models one
+VM running the service as a processor-sharing multi-core server (see
+the class docstring). Service demand is drawn from a lognormal (the
+General distribution) and stretched by the VM's current CPU frequency
+through the scalable-fraction law::
+
+    service_time(f) = demand × (β · f_base/f + (1 − β))
+
+— the same mechanism Eq. 1 assumes, so the auto-scaler's model and the
+simulated "hardware" agree about physics while the controller still has
+to estimate β from noisy counters.
+
+The VM also maintains simulated Aperf/Pperf counters and cumulative
+busy-seconds so the auto-scaler can sample real telemetry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, WorkloadError
+from ..sim.kernel import Simulator
+from ..telemetry.counters import CoreCounters, CounterSnapshot
+from ..telemetry.percentiles import LatencyRecorder
+
+#: Calibrated service demand of one request at the base frequency
+#: (seconds). Back-solved from the paper's Figure 16 end state: six
+#: 4-vcore VMs at 4000 QPS peak near 70% utilization
+#: (4000 × 4.2 ms / 24 vcores = 0.70 — the baseline's observed ceiling),
+#: every +500 QPS step forces a scale-out, and early steps transiently
+#: saturate a 1–2 VM deployment — the regime in which the 60 s deploy
+#: latency actually hurts and overclocking visibly pays. Fig. 15's
+#: levels then put 3 VMs at 35%/70%/18%/105%/35%, matching its
+#: documented control behaviour (the 3000-QPS peak stays above the
+#: scale-out threshold at any frequency).
+DEFAULT_SERVICE_MEAN_S = 0.0042
+
+#: Coefficient of variation of the General service distribution. Kept
+#: below 1 so the latency tail reflects queueing (what the auto-scaler
+#: can fix) rather than intrinsic service variance (what it cannot).
+DEFAULT_SERVICE_CV = 0.8
+
+#: Core-bound share of the Client-Server app (see catalog profile).
+DEFAULT_SCALABLE_FRACTION = 0.85
+
+
+@dataclass
+class _Job:
+    arrival_time: float
+    #: Virtual-clock reading at which this job completes.
+    target_virtual_time: float
+
+
+class ServerVM:
+    """One VM of the client-server application.
+
+    The VM is modelled as a **processor-sharing** server: all in-flight
+    requests share the ``vcores`` equally (each request runs on at most
+    one core). This matches a multithreaded service under CPU
+    contention — as load approaches capacity, *whole sojourn times*
+    stretch, which is exactly the degradation the paper's auto-scaler
+    exists to fix.
+
+    Implementation: the classic virtual-time construction. All active
+    jobs deplete remaining work at the same instantaneous rate
+    ``min(1, vcores/n) / slowdown(f)``; a virtual clock advances at that
+    rate, each job completes when the clock passes
+    ``arrival_reading + demand``, and a heap keyed on that target yields
+    the next completion in O(log n).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        vcores: int = 4,
+        base_frequency_ghz: float = 3.4,
+        service_mean_s: float = DEFAULT_SERVICE_MEAN_S,
+        service_cv: float = DEFAULT_SERVICE_CV,
+        scalable_fraction: float = DEFAULT_SCALABLE_FRACTION,
+        latency_recorder: LatencyRecorder | None = None,
+    ) -> None:
+        if vcores < 1:
+            raise ConfigurationError("a server VM needs at least one vcore")
+        if not 0.0 <= scalable_fraction <= 1.0:
+            raise ConfigurationError("scalable_fraction must be within [0, 1]")
+        if service_mean_s <= 0:
+            raise ConfigurationError("service mean must be positive")
+        self._sim = simulator
+        self.name = name
+        self.vcores = vcores
+        self.base_frequency_ghz = base_frequency_ghz
+        self._frequency_ghz = base_frequency_ghz
+        self._service_mean = service_mean_s
+        self._service_cv = service_cv
+        self.scalable_fraction = scalable_fraction
+        self._latency = latency_recorder
+        self._counters = CoreCounters()
+        self._busy_seconds = 0.0
+        self._completed = 0
+        # Processor-sharing state.
+        self._jobs: list[tuple[float, int, _Job]] = []  # heap on target vtime
+        self._job_seq = 0
+        self._virtual_time = 0.0
+        self._last_advance = simulator.now
+        self._pending_completion = None
+        self._max_concurrency_seen = 0
+
+    # ------------------------------------------------------------------
+    # Frequency control (the scale-up/down knob)
+    # ------------------------------------------------------------------
+    @property
+    def frequency_ghz(self) -> float:
+        return self._frequency_ghz
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Change the VM's clock. In-flight requests immediately deplete
+        their remaining work faster/slower (frequency transitions take
+        tens of µs — effectively instantaneous at ms service times)."""
+        if frequency_ghz <= 0:
+            raise WorkloadError("frequency must be positive")
+        if frequency_ghz == self._frequency_ghz:
+            return
+        self._advance()
+        self._frequency_ghz = frequency_ghz
+        self._reschedule()
+
+    def _slowdown(self) -> float:
+        """Service-time stretch at the current frequency (1.0 at base)."""
+        beta = self.scalable_fraction
+        ratio = self.base_frequency_ghz / self._frequency_ghz
+        return beta * ratio + (1.0 - beta)
+
+    # ------------------------------------------------------------------
+    # Processor-sharing engine
+    # ------------------------------------------------------------------
+    def _per_job_rate(self) -> float:
+        """Work depleted per second by each active job (0 when idle)."""
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        share = min(1.0, self.vcores / n)
+        return share / self._slowdown()
+
+    def _advance(self) -> None:
+        """Integrate virtual time and telemetry up to the present."""
+        now = self._sim.now
+        span = now - self._last_advance
+        if span <= 0:
+            self._last_advance = now
+            return
+        n = len(self._jobs)
+        if n > 0:
+            self._virtual_time += self._per_job_rate() * span
+            busy = min(n, self.vcores) * span
+            self._busy_seconds += busy
+            self._counters.accumulate(busy, self._frequency_ghz, self.scalable_fraction)
+        self._last_advance = now
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion event for the job finishing next."""
+        if self._pending_completion is not None:
+            self._pending_completion.cancel()
+            self._pending_completion = None
+        if not self._jobs:
+            return
+        rate = self._per_job_rate()
+        target = self._jobs[0][0]
+        delay = max(0.0, (target - self._virtual_time) / rate)
+        self._pending_completion = self._sim.after(
+            delay, self._complete_next, name=f"{self.name}:complete"
+        )
+
+    def _complete_next(self) -> None:
+        self._pending_completion = None
+        self._advance()
+        if not self._jobs:
+            return
+        _target, _seq, job = heapq.heappop(self._jobs)
+        self._completed += 1
+        if self._latency is not None:
+            self._latency.record(self._sim.now, self._sim.now - job.arrival_time)
+        self._reschedule()
+
+    def submit(self, arrival_time: float) -> None:
+        """Accept a request from the load balancer."""
+        self._advance()
+        demand = self._sim.streams.lognormal(
+            f"service:{self.name}", self._service_mean, self._service_cv
+        )
+        job = _Job(
+            arrival_time=arrival_time,
+            target_virtual_time=self._virtual_time + demand,
+        )
+        self._job_seq += 1
+        heapq.heappush(self._jobs, (job.target_virtual_time, self._job_seq, job))
+        self._max_concurrency_seen = max(self._max_concurrency_seen, len(self._jobs))
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being served (sharing the vcores)."""
+        return len(self._jobs)
+
+    @property
+    def completed_requests(self) -> int:
+        return self._completed
+
+    @property
+    def cumulative_busy_seconds(self) -> float:
+        """Total vcore-busy time integrated up to the last event."""
+        return self._busy_seconds
+
+    def counter_snapshot(self) -> CounterSnapshot:
+        """Aperf/Pperf/busy reading for the auto-scaler."""
+        self._advance()
+        return self._counters.snapshot(self._sim.now)
+
+    def utilization_from(
+        self, earlier: CounterSnapshot, now: float | None = None
+    ) -> float:
+        """Average vcore utilization since ``earlier`` (0..1)."""
+        current = self.counter_snapshot()
+        delta = current.delta(earlier)
+        if delta.interval <= 0:
+            return 0.0
+        return min(1.0, delta.busy_seconds / (delta.interval * self.vcores))
+
+
+class LoadBalancer:
+    """Round-robin request distribution over the active VM set.
+
+    VMs are attached/detached by the auto-scaler as scale-out/in
+    completes; requests always go to currently attached VMs.
+    """
+
+    def __init__(self) -> None:
+        self._vms: list[ServerVM] = []
+        self._next = 0
+        self._dropped = 0
+
+    @property
+    def vms(self) -> tuple[ServerVM, ...]:
+        return tuple(self._vms)
+
+    @property
+    def dropped_requests(self) -> int:
+        return self._dropped
+
+    def attach(self, vm: ServerVM) -> None:
+        if vm in self._vms:
+            raise ConfigurationError(f"VM {vm.name!r} is already attached")
+        self._vms.append(vm)
+
+    def detach(self, vm: ServerVM) -> None:
+        try:
+            self._vms.remove(vm)
+        except ValueError:
+            raise ConfigurationError(f"VM {vm.name!r} is not attached") from None
+        if self._next >= len(self._vms):
+            self._next = 0
+
+    def route(self, arrival_time: float) -> None:
+        """Send one request to the next VM in rotation."""
+        if not self._vms:
+            self._dropped += 1
+            return
+        vm = self._vms[self._next % len(self._vms)]
+        self._next = (self._next + 1) % len(self._vms)
+        vm.submit(arrival_time)
+
+
+__all__ = [
+    "ServerVM",
+    "LoadBalancer",
+    "DEFAULT_SERVICE_MEAN_S",
+    "DEFAULT_SERVICE_CV",
+    "DEFAULT_SCALABLE_FRACTION",
+]

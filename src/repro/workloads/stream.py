@@ -1,0 +1,96 @@
+"""STREAM memory-bandwidth model (paper Figure 10).
+
+STREAM measures sustainable memory bandwidth for four kernels — copy,
+scale, add, triad. We model achieved bandwidth with a serial-resource
+cost per transferred block::
+
+    1/BW  ∝  a/f_mem + b/f_llc + c/f_core
+
+i.e. every block pays time in the memory channels, the uncore mesh, and
+the core issue logic. The weights are calibrated so the Figure 10
+targets hold: B4 achieves ≈ +17% and OC3 ≈ +24% over B1, and raising
+the core/cache clocks alone also buys some bandwidth ("memory requests
+are served faster").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..silicon.configs import B1, FrequencyConfig
+
+#: Serial-cost weights (calibrated; see module docstring). These are in
+#: "reciprocal-GHz cost" units and only ratios matter.
+MEMORY_COST_WEIGHT = 1.000
+LLC_COST_WEIGHT = 0.657
+CORE_COST_WEIGHT = 0.960
+
+#: Measured-style baseline: sustainable copy bandwidth at B1 on the
+#: 6-channel DDR4-2400 Xeon W-3175X (MB/s).
+B1_COPY_BANDWIDTH_MB_S = 85_000.0
+
+#: Kernel-specific efficiency relative to copy. Triad does the most
+#: arithmetic per byte; add moves three arrays.
+KERNEL_EFFICIENCY: dict[str, float] = {
+    "copy": 1.00,
+    "scale": 0.98,
+    "add": 0.95,
+    "triad": 0.93,
+}
+
+STREAM_KERNELS: tuple[str, ...] = ("copy", "scale", "add", "triad")
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Bandwidth of one kernel under one configuration."""
+
+    kernel: str
+    config: str
+    bandwidth_mb_s: float
+
+
+def _unit_cost(config: FrequencyConfig) -> float:
+    """Serial cost per block under ``config`` (arbitrary units)."""
+    return (
+        MEMORY_COST_WEIGHT / config.memory_ghz
+        + LLC_COST_WEIGHT / config.llc_ghz
+        + CORE_COST_WEIGHT / config.core_ghz
+    )
+
+
+def bandwidth_mb_s(kernel: str, config: FrequencyConfig) -> float:
+    """Sustainable bandwidth for ``kernel`` under ``config``."""
+    if kernel not in KERNEL_EFFICIENCY:
+        raise ConfigurationError(
+            f"unknown STREAM kernel {kernel!r}; available: {STREAM_KERNELS}"
+        )
+    scale = _unit_cost(B1) / _unit_cost(config)
+    return B1_COPY_BANDWIDTH_MB_S * KERNEL_EFFICIENCY[kernel] * scale
+
+
+def bandwidth_gain_over_b1(config: FrequencyConfig, kernel: str = "copy") -> float:
+    """Fractional bandwidth gain of ``config`` over B1 (0.17 = +17%)."""
+    return bandwidth_mb_s(kernel, config) / bandwidth_mb_s(kernel, B1) - 1.0
+
+
+def sweep(configs: list[FrequencyConfig]) -> list[StreamResult]:
+    """Bandwidth of every kernel under every configuration (Figure 10)."""
+    return [
+        StreamResult(kernel=kernel, config=config.name,
+                     bandwidth_mb_s=bandwidth_mb_s(kernel, config))
+        for config in configs
+        for kernel in STREAM_KERNELS
+    ]
+
+
+__all__ = [
+    "STREAM_KERNELS",
+    "KERNEL_EFFICIENCY",
+    "StreamResult",
+    "bandwidth_mb_s",
+    "bandwidth_gain_over_b1",
+    "sweep",
+    "B1_COPY_BANDWIDTH_MB_S",
+]

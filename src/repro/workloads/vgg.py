@@ -1,0 +1,110 @@
+"""VGG GPU-training model (paper Figure 11).
+
+The paper trains six VGG CNN variants on the RTX 2080 Ti under the
+Table VIII GPU configurations and reports normalized execution time.
+Each variant has a GPU bottleneck split (compute vs memory-bandwidth
+bound); the calibration reproduces the paper's findings:
+
+* execution time drops by up to ~15%, roughly proportional to the
+  clock increase;
+* the batch-optimized VGG16B is compute-bound: GPU-memory overclocking
+  (OCG2→OCG3) buys it nothing while raising power ~9.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..silicon.gpu import GPU, GPU_BASE, GPUConfig, RTX_2080TI
+from .base import BottleneckProfile
+
+
+@dataclass(frozen=True)
+class VGGModel:
+    """One CNN variant with its GPU bottleneck split."""
+
+    name: str
+    profile: BottleneckProfile
+    #: Baseline epoch time (seconds) under the stock GPU configuration.
+    base_epoch_seconds: float
+
+    def time_scale(self, config: GPUConfig, baseline: GPUConfig = GPU_BASE) -> float:
+        """Relative epoch time under ``config`` (1.0 at baseline)."""
+        speedups = {
+            "gpu_core": config.turbo_ghz / baseline.turbo_ghz,
+            "gpu_memory": config.memory_ghz / baseline.memory_ghz,
+        }
+        return self.profile.time_scale(speedups)
+
+    def epoch_seconds(self, config: GPUConfig, baseline: GPUConfig = GPU_BASE) -> float:
+        """Absolute epoch time under ``config``."""
+        return self.base_epoch_seconds * self.time_scale(config, baseline)
+
+
+#: The six variants. Shares calibrated per the module docstring; deeper
+#: models shift toward memory-bandwidth bound, while the batch-optimized
+#: VGG16B keeps its working set streaming through compute.
+VGG11 = VGGModel("VGG11", BottleneckProfile(gpu_core=0.55, gpu_memory=0.42), 210.0)
+VGG11B = VGGModel("VGG11B", BottleneckProfile(gpu_core=0.70, gpu_memory=0.27), 195.0)
+VGG13 = VGGModel("VGG13", BottleneckProfile(gpu_core=0.48, gpu_memory=0.49), 300.0)
+VGG16 = VGGModel("VGG16", BottleneckProfile(gpu_core=0.42, gpu_memory=0.55), 380.0)
+VGG19 = VGGModel("VGG19", BottleneckProfile(gpu_core=0.32, gpu_memory=0.64), 460.0)
+VGG16B = VGGModel("VGG16B", BottleneckProfile(gpu_core=0.90, gpu_memory=0.04), 330.0)
+
+VGG_MODELS: tuple[VGGModel, ...] = (VGG11, VGG11B, VGG13, VGG16, VGG19, VGG16B)
+
+
+def model_by_name(name: str) -> VGGModel:
+    """Look up a VGG variant by name."""
+    for model in VGG_MODELS:
+        if model.name == name:
+            return model
+    raise ConfigurationError(
+        f"unknown VGG model {name!r}; available: {[m.name for m in VGG_MODELS]}"
+    )
+
+
+@dataclass(frozen=True)
+class VGGRun:
+    """One (model, config) cell of Figure 11."""
+
+    model: str
+    config: str
+    normalized_time: float
+    power_watts: float
+
+
+def sweep(configs: list[GPUConfig]) -> list[VGGRun]:
+    """Normalized time and GPU power for every model × configuration."""
+    runs: list[VGGRun] = []
+    for model in VGG_MODELS:
+        for config in configs:
+            gpu = GPU(RTX_2080TI, config)
+            # Report P99-style power: the paper's power bars are the
+            # peaks of the run, where the GPU is fully active.
+            power = gpu.power_watts(core_activity=1.0, memory_activity=1.0)
+            runs.append(
+                VGGRun(
+                    model=model.name,
+                    config=config.name,
+                    normalized_time=model.time_scale(config),
+                    power_watts=power,
+                )
+            )
+    return runs
+
+
+__all__ = [
+    "VGGModel",
+    "VGGRun",
+    "VGG11",
+    "VGG11B",
+    "VGG13",
+    "VGG16",
+    "VGG19",
+    "VGG16B",
+    "VGG_MODELS",
+    "model_by_name",
+    "sweep",
+]

@@ -1,0 +1,162 @@
+"""Synthetic cloud VM arrival/lifetime traces.
+
+The paper's packing and capacity use-cases implicitly assume realistic
+VM churn: providers pack arriving VMs of mixed shapes, and "VMs often
+live long lifespans" (it cites Resource Central's characterization of
+Azure workloads). This module generates synthetic traces with the key
+published properties:
+
+* mixed sizes dominated by small VMs;
+* strongly bimodal lifetimes — most VMs are short-lived, but a minority
+  of long-lived VMs holds most of the core-hours;
+* Poisson arrivals with an optional diurnal modulation.
+
+The traces drive the packing-density-under-churn experiment and the
+capacity-crisis example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..cluster.vm import VMSpec
+from ..errors import ConfigurationError
+from ..sim.random import RandomStreams
+
+#: Size mix: (vcores, memory GB, probability). Small VMs dominate.
+DEFAULT_SIZE_MIX: tuple[tuple[int, float, float], ...] = (
+    (2, 4.0, 0.40),
+    (4, 8.0, 0.35),
+    (8, 16.0, 0.20),
+    (16, 32.0, 0.05),
+)
+
+#: Lifetime mixture: (probability, mean seconds, cv). Short-lived batch
+#: jobs vs long-lived services.
+DEFAULT_LIFETIME_MIX: tuple[tuple[float, float, float], ...] = (
+    (0.60, 1_800.0, 1.0),      # < 1 h batch/dev
+    (0.30, 43_200.0, 0.8),     # half-day services
+    (0.10, 1_209_600.0, 0.7),  # two-week long-lived services
+)
+
+
+@dataclass(frozen=True)
+class VMArrival:
+    """One VM in the trace."""
+
+    arrival_time: float
+    spec: VMSpec
+    lifetime_s: float
+
+    @property
+    def departure_time(self) -> float:
+        return self.arrival_time + self.lifetime_s
+
+
+class VMTraceGenerator:
+    """Generates a reproducible stream of :class:`VMArrival` events."""
+
+    def __init__(
+        self,
+        rate_per_hour: float,
+        seed: int = 0,
+        size_mix: tuple[tuple[int, float, float], ...] = DEFAULT_SIZE_MIX,
+        lifetime_mix: tuple[tuple[float, float, float], ...] = DEFAULT_LIFETIME_MIX,
+        diurnal_amplitude: float = 0.0,
+    ) -> None:
+        if rate_per_hour <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if abs(sum(p for _, _, p in size_mix) - 1.0) > 1e-9:
+            raise ConfigurationError("size mix probabilities must sum to 1")
+        if abs(sum(p for p, _, _ in lifetime_mix) - 1.0) > 1e-9:
+            raise ConfigurationError("lifetime mix probabilities must sum to 1")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+        self.rate_per_hour = rate_per_hour
+        self.size_mix = size_mix
+        self.lifetime_mix = lifetime_mix
+        self.diurnal_amplitude = diurnal_amplitude
+        self._streams = RandomStreams(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
+    def _draw_size(self) -> VMSpec:
+        roll = self._streams.uniform("vm-size", 0.0, 1.0)
+        cumulative = 0.0
+        for vcores, memory, probability in self.size_mix:
+            cumulative += probability
+            if roll <= cumulative:
+                return VMSpec(vcores=vcores, memory_gb=memory)
+        vcores, memory, _ = self.size_mix[-1]
+        return VMSpec(vcores=vcores, memory_gb=memory)
+
+    def _draw_lifetime(self) -> float:
+        roll = self._streams.uniform("vm-life-class", 0.0, 1.0)
+        cumulative = 0.0
+        for probability, mean, cv in self.lifetime_mix:
+            cumulative += probability
+            if roll <= cumulative:
+                return self._streams.lognormal("vm-lifetime", mean, cv)
+        _, mean, cv = self.lifetime_mix[-1]
+        return self._streams.lognormal("vm-lifetime", mean, cv)
+
+    def _rate_at(self, time_s: float) -> float:
+        if self.diurnal_amplitude == 0.0:
+            return self.rate_per_hour
+        import math
+
+        phase = 2.0 * math.pi * (time_s % 86_400.0) / 86_400.0
+        return self.rate_per_hour * (1.0 + self.diurnal_amplitude * math.sin(phase))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, horizon_s: float) -> Iterator[VMArrival]:
+        """Yield arrivals in time order up to ``horizon_s``.
+
+        Diurnal modulation uses thinning: candidate arrivals are drawn
+        at the peak rate and accepted with probability rate(t)/peak.
+        """
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon must be positive")
+        peak_rate = self.rate_per_hour * (1.0 + self.diurnal_amplitude)
+        time = 0.0
+        while True:
+            gap_hours = self._streams.exponential("vm-arrivals", 1.0 / peak_rate)
+            time += gap_hours * 3600.0
+            if time > horizon_s:
+                return
+            accept = self._streams.uniform("vm-thinning", 0.0, 1.0)
+            if accept > self._rate_at(time) / peak_rate:
+                continue
+            self._counter += 1
+            yield VMArrival(
+                arrival_time=time,
+                spec=self._draw_size(),
+                lifetime_s=self._draw_lifetime(),
+            )
+
+    def trace(self, horizon_s: float) -> list[VMArrival]:
+        """Materialize the full trace."""
+        return list(self.generate(horizon_s))
+
+
+def core_hours(trace: list[VMArrival], horizon_s: float) -> float:
+    """Total vcore-hours the trace demands within the horizon."""
+    total = 0.0
+    for arrival in trace:
+        end = min(arrival.departure_time, horizon_s)
+        total += arrival.spec.vcores * max(0.0, end - arrival.arrival_time) / 3600.0
+    return total
+
+
+__all__ = [
+    "VMArrival",
+    "VMTraceGenerator",
+    "core_hours",
+    "DEFAULT_SIZE_MIX",
+    "DEFAULT_LIFETIME_MIX",
+]

@@ -1,0 +1,122 @@
+"""Tests for Equation 1 and the auto-scaler policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autoscale import (
+    AutoscalePolicy,
+    PAPER_POLICY,
+    ScalerMode,
+    minimum_frequency_below,
+    predicted_utilization,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEquation1:
+    def test_fully_scalable_workload(self):
+        """β=1: utilization scales exactly with the inverse clock ratio."""
+        assert predicted_utilization(0.8, 1.0, 3.4, 4.1) == pytest.approx(0.8 * 3.4 / 4.1)
+
+    def test_fully_stalled_workload(self):
+        """β=0: frequency changes nothing (the memory-bound case)."""
+        assert predicted_utilization(0.8, 0.0, 3.4, 4.1) == pytest.approx(0.8)
+
+    def test_paper_blend(self):
+        util = predicted_utilization(0.5, 0.85, 3.4, 4.1)
+        assert util == pytest.approx(0.5 * (0.85 * 3.4 / 4.1 + 0.15))
+
+    def test_downclock_raises_utilization(self):
+        assert predicted_utilization(0.3, 0.85, 4.1, 3.4) > 0.3
+
+    def test_clamped_at_one(self):
+        assert predicted_utilization(0.99, 1.0, 4.1, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_utilization(1.5, 0.5, 3.4, 4.1)
+        with pytest.raises(ConfigurationError):
+            predicted_utilization(0.5, 1.5, 3.4, 4.1)
+        with pytest.raises(ConfigurationError):
+            predicted_utilization(0.5, 0.5, 0.0, 4.1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=5.0),
+        st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_monotone_in_target_frequency(self, util, beta, f0, f1):
+        """Raising the target clock never raises predicted utilization."""
+        higher = predicted_utilization(util, beta, f0, f1 + 0.5)
+        lower = predicted_utilization(util, beta, f0, f1)
+        assert higher <= lower + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_identity_at_same_frequency(self, util, beta):
+        assert predicted_utilization(util, beta, 3.4, 3.4) == pytest.approx(util)
+
+
+class TestMinimumFrequencyBelow:
+    LADDER = [3.4, 3.5, 3.6, 3.7, 3.8, 3.9, 4.0, 4.1]
+
+    def test_picks_minimum_satisfying_bin(self):
+        # util 0.44 at 3.4 with β=0.85: 3.8 GHz predicts ≤ 0.40.
+        frequency = minimum_frequency_below(0.44, 0.85, 3.4, self.LADDER, 0.40)
+        assert frequency in self.LADDER
+        assert predicted_utilization(0.44, 0.85, 3.4, frequency) <= 0.40
+        below = [f for f in self.LADDER if f < frequency]
+        for candidate in below:
+            assert predicted_utilization(0.44, 0.85, 3.4, candidate) > 0.40
+
+    def test_falls_back_to_max_when_unreachable(self):
+        frequency = minimum_frequency_below(0.95, 0.85, 3.4, self.LADDER, 0.40)
+        assert frequency == 4.1
+
+    def test_already_satisfied_picks_lowest(self):
+        frequency = minimum_frequency_below(0.2, 0.85, 3.4, self.LADDER, 0.40)
+        assert frequency == 3.4
+
+    def test_memory_bound_cannot_be_helped(self):
+        """β=0: no frequency helps, so the search returns the top bin."""
+        frequency = minimum_frequency_below(0.6, 0.0, 3.4, self.LADDER, 0.40)
+        assert frequency == 4.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimum_frequency_below(0.5, 0.5, 3.4, [], 0.4)
+        with pytest.raises(ConfigurationError):
+            minimum_frequency_below(0.5, 0.5, 3.4, self.LADDER, 0.0)
+
+
+class TestPolicy:
+    def test_paper_policy_values(self):
+        assert PAPER_POLICY.scale_out_threshold == 0.50
+        assert PAPER_POLICY.scale_in_threshold == 0.20
+        assert PAPER_POLICY.scale_up_threshold == 0.40
+        assert PAPER_POLICY.scale_down_threshold == 0.20
+        assert PAPER_POLICY.scale_out_window_s == 180.0
+        assert PAPER_POLICY.scale_up_window_s == 30.0
+        assert PAPER_POLICY.decision_interval_s == 3.0
+
+    def test_frequency_ladder_is_8_bins(self):
+        ladder = PAPER_POLICY.frequency_ladder()
+        assert len(ladder) == 8
+        assert ladder[0] == pytest.approx(3.4)
+        assert ladder[-1] == pytest.approx(4.1)
+
+    def test_with_mode(self):
+        oc_a = PAPER_POLICY.with_mode(ScalerMode.OC_A)
+        assert oc_a.mode is ScalerMode.OC_A
+        assert oc_a.scale_out_threshold == PAPER_POLICY.scale_out_threshold
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(scale_in_threshold=0.6, scale_out_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(scale_up_threshold=0.6, scale_out_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_frequency_ghz=4.1, max_frequency_ghz=3.4)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_vms=0)

@@ -1,0 +1,134 @@
+"""Integration tests over the experiment entry points (fast ones).
+
+The slow closed-loop experiments (Figures 15–16) have their own test
+module; here we verify the analytical experiments end-to-end and the
+table renderer.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import render_table
+from repro.experiments.characterization import (
+    format_fig4,
+    format_power_savings,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table5,
+    run_fig4,
+    run_power_savings,
+    run_table1,
+    run_table3,
+    run_table5,
+)
+from repro.experiments.highperf_vms import run_fig9, run_fig10, run_fig11
+from repro.experiments.oversubscription import run_fig12, run_fig13
+from repro.experiments.tco_experiments import (
+    format_oversubscription_tco,
+    format_table6,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [["1", "2"]])
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestCharacterization:
+    def test_table1_has_six_rows_ordered_by_pue(self):
+        rows = run_table1()
+        assert len(rows) == 6
+        pues = [row[1] for row in rows]
+        assert pues == sorted(pues, reverse=True)
+
+    def test_table3_turbo_gain(self):
+        rows = {(r.platform, r.cooling): r for r in run_table3()}
+        for platform in ("Xeon Platinum 8168", "Xeon Platinum 8180"):
+            air = rows[(platform, "Air")]
+            immersed = rows[(platform, "2PIC")]
+            assert immersed.max_turbo_ghz == pytest.approx(air.max_turbo_ghz + 0.1)
+            assert immersed.tj_max_c < air.tj_max_c - 10
+
+    def test_table5_has_six_rows(self):
+        assert len(run_table5()) == 6
+
+    def test_power_savings_total(self):
+        assert run_power_savings().total_watts == pytest.approx(182.0, abs=3.0)
+
+    def test_fig4_bands_contiguous(self):
+        bands = run_fig4()
+        for (_, _, hi), (_, lo, _) in zip(bands, bands[1:]):
+            assert hi == lo
+
+    def test_formatters_render(self):
+        for formatter in (
+            format_table1,
+            format_table2,
+            format_table3,
+            format_table5,
+            format_power_savings,
+            format_fig4,
+        ):
+            text = formatter()
+            assert len(text.splitlines()) >= 4
+
+
+class TestHighPerfExperiments:
+    def test_fig9_covers_all_cells(self):
+        cells = run_fig9()
+        assert len(cells) == 8 * 7  # 8 apps x 7 configs
+        by_app_config = {(c.application, c.config): c for c in cells}
+        assert by_app_config[("SQL", "B2")].normalized_metric == pytest.approx(1.0)
+
+    def test_fig9_power_rises_with_overclock(self):
+        cells = {(c.application, c.config): c for c in run_fig9()}
+        for app in ("SQL", "BI", "SPECJBB"):
+            assert (
+                cells[(app, "OC3")].average_power_watts
+                > cells[(app, "B2")].average_power_watts
+            )
+            assert cells[(app, "OC3")].p99_power_watts >= cells[(app, "OC3")].average_power_watts
+
+    def test_fig10_has_28_cells(self):
+        assert len(run_fig10()) == 4 * 7
+
+    def test_fig11_has_24_cells(self):
+        assert len(run_fig11()) == 6 * 4
+
+
+class TestOversubscriptionExperiments:
+    def test_fig12_sweep_shape(self):
+        points = run_fig12()
+        assert len(points) == 2 * 5  # B2/OC3 x pcores {8,10,12,14,16}
+        b2 = [p for p in points if p.config == "B2"]
+        oc3 = [p for p in points if p.config == "OC3"]
+        for b, o in zip(b2, oc3):
+            assert o.p95_latency_ms < b.p95_latency_ms
+            assert o.average_power_watts > b.average_power_watts
+
+    def test_fig13_rows(self):
+        rows = run_fig13()
+        assert len(rows) == 15  # 5 instances x 3 scenarios
+        assert all(row.b2_improvement < 0 for row in rows)
+        assert all(row.oc3_improvement > 0 for row in rows)
+
+
+class TestTCOExperiments:
+    def test_table6_renders_with_totals(self):
+        text = format_table6()
+        assert "Cost per physical core" in text
+        assert "-7%" in text and "-4%" in text
+
+    def test_oversubscription_renders(self):
+        text = format_oversubscription_tco()
+        assert "-12" in text or "-13" in text

@@ -1,0 +1,92 @@
+"""Additional coverage for the experiment entry points."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.environment import FC_LOOP, HFE_LOOP, HOT_CLIMATE, run_wue
+from repro.experiments.packing_churn import replay_trace, run_packing_churn
+from repro.experiments.highperf_vms import format_fig9, format_fig10, format_fig11
+from repro.experiments.autoscaling import FIG15_QPS_LEVELS, FIG16_LEVELS, FIG16_MAX_VMS
+from repro.thermal import EVAPORATIVE_WUE_L_PER_KWH
+from repro.workloads.vmtrace import VMArrival
+from repro.cluster import VMSpec
+
+
+class TestEnvironmentExperiment:
+    def test_wue_rows_cover_both_fluids_and_climates(self):
+        rows = dict(run_wue())
+        assert len(rows) == 5
+        assert rows["Evaporative air (reference)"] == EVAPORATIVE_WUE_L_PER_KWH
+        # The FC loop runs warmer water, so it needs less trim everywhere.
+        assert rows["2PIC FC-3284, hot climate"] < rows["2PIC HFE-7000, hot climate"]
+        assert rows["2PIC FC-3284, temperate"] < rows["2PIC FC-3284, hot climate"]
+
+    def test_loop_temperatures_respect_fluids(self):
+        # HFE-7000 boils at 34: the loop must stay several degrees below.
+        assert HFE_LOOP.supply_temp_c < 30.0
+        assert FC_LOOP.supply_temp_c < 45.0
+
+    def test_hot_climate_total_hours(self):
+        assert HOT_CLIMATE.total_hours == pytest.approx(8766.0)
+
+
+class TestPackingChurnExperiment:
+    def test_empty_trace(self):
+        result = replay_trace([], host_count=2, oversubscription_ratio=1.0, label="x")
+        assert result.arrivals == 0
+        assert result.admission_rate == 1.0
+
+    def test_single_arrival_admitted(self):
+        trace = [VMArrival(arrival_time=0.0, spec=VMSpec(4, 8.0), lifetime_s=100.0)]
+        result = replay_trace(trace, host_count=1, oversubscription_ratio=1.0, label="y")
+        assert result.admitted == 1
+        assert result.peak_committed_vcores == 4
+
+    def test_departures_free_capacity(self):
+        spec = VMSpec(vcores=28, memory_gb=28.0)  # one VM fills the host
+        trace = [
+            VMArrival(arrival_time=0.0, spec=spec, lifetime_s=10.0),
+            VMArrival(arrival_time=20.0, spec=spec, lifetime_s=10.0),
+        ]
+        result = replay_trace(trace, host_count=1, oversubscription_ratio=1.0, label="z")
+        assert result.admitted == 2
+        assert result.rejected == 0
+
+    def test_overlap_rejects_without_capacity(self):
+        spec = VMSpec(vcores=28, memory_gb=28.0)
+        trace = [
+            VMArrival(arrival_time=0.0, spec=spec, lifetime_s=100.0),
+            VMArrival(arrival_time=5.0, spec=spec, lifetime_s=100.0),
+        ]
+        result = replay_trace(trace, host_count=1, oversubscription_ratio=1.0, label="w")
+        assert result.admitted == 1
+        assert result.rejected == 1
+
+    def test_run_packing_churn_shares_one_trace(self):
+        baseline, oversub = run_packing_churn(host_count=2, rate_per_hour=6.0,
+                                              horizon_days=0.5, seed=3)
+        assert baseline.arrivals == oversub.arrivals
+
+
+class TestFormatters:
+    def test_fig9_table_mentions_every_app_and_config(self):
+        text = format_fig9()
+        for token in ("SQL", "Training", "SPECJBB", "B1", "OC3"):
+            assert token in text
+
+    def test_fig10_table_lists_kernels(self):
+        text = format_fig10()
+        for kernel in ("copy", "scale", "add", "triad"):
+            assert kernel in text
+
+    def test_fig11_table_lists_models(self):
+        text = format_fig11()
+        for model in ("VGG11", "VGG16B", "OCG3"):
+            assert model in text
+
+
+class TestAutoscalingConstants:
+    def test_paper_schedules(self):
+        assert FIG15_QPS_LEVELS == (1000.0, 2000.0, 500.0, 3000.0, 1000.0)
+        assert FIG16_LEVELS == 8
+        assert FIG16_MAX_VMS == 6

@@ -1,0 +1,199 @@
+"""Tests for the extension modules: predictive scaling, Monte Carlo
+reliability, TCO sensitivity, and the Figure 5–8 use-case experiments."""
+
+import pytest
+
+from repro.autoscale import PredictiveTrigger, TrendForecaster
+from repro.errors import ConfigurationError, TCOError
+from repro.experiments.usecases import run_fig5, run_fig6, run_fig7, run_fig8
+from repro.reliability import (
+    air_condition,
+    compare_conditions,
+    immersion_condition,
+    simulate_fleet,
+)
+from repro.tco import sweep_energy_share, sweep_immersion_pue, sweep_oversubscription
+from repro.telemetry import TimeSeries
+from repro.thermal import HFE_7000
+
+
+class TestTrendForecaster:
+    def _rising_series(self, slope=0.001, start=0.2, samples=30, dt=5.0):
+        series = TimeSeries()
+        for index in range(samples):
+            time = index * dt
+            series.record(time, start + slope * time)
+        return series, (samples - 1) * dt
+
+    def test_extrapolates_linear_trend(self):
+        series, now = self._rising_series()
+        forecast = TrendForecaster(window_s=300.0).forecast(series, now, 60.0)
+        expected = 0.2 + 0.001 * (now + 60.0)
+        assert forecast.predicted == pytest.approx(expected, abs=0.01)
+        assert forecast.slope_per_s == pytest.approx(0.001, abs=1e-5)
+
+    def test_too_little_data_returns_none(self):
+        series = TimeSeries()
+        series.record(0.0, 0.5)
+        assert TrendForecaster().forecast(series, 0.0, 60.0) is None
+
+    def test_flat_series_zero_slope(self):
+        series = TimeSeries()
+        for index in range(10):
+            series.record(index * 5.0, 0.4)
+        forecast = TrendForecaster().forecast(series, 45.0, 60.0)
+        assert forecast.slope_per_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_prediction_clamped(self):
+        series, now = self._rising_series(slope=0.01)
+        forecast = TrendForecaster().forecast(series, now, 600.0)
+        assert forecast.predicted <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrendForecaster(window_s=0.0)
+        series, now = self._rising_series()
+        with pytest.raises(ConfigurationError):
+            TrendForecaster().forecast(series, now, -1.0)
+
+
+class TestPredictiveTrigger:
+    def _trigger(self):
+        return PredictiveTrigger(
+            TrendForecaster(window_s=300.0), threshold=0.5, deploy_latency_s=60.0
+        )
+
+    def test_fires_ahead_of_crossing(self):
+        series = TimeSeries()
+        # Rising at 0.0015/s, sitting at ~0.42 now: the 0.5 threshold is
+        # ~55 s away, inside the 60 s deploy window.
+        for index in range(30):
+            series.record(index * 5.0, 0.20 + 0.0015 * index * 5.0)
+        trigger = self._trigger()
+        assert trigger.should_preprovision(series, 145.0)
+        assert trigger.residual_exposure_s(series, 145.0) > 0.0
+
+    def test_quiet_when_flat(self):
+        series = TimeSeries()
+        for index in range(30):
+            series.record(index * 5.0, 0.30)
+        trigger = self._trigger()
+        assert not trigger.should_preprovision(series, 145.0)
+        assert trigger.residual_exposure_s(series, 145.0) == 0.0
+
+    def test_quiet_when_crossing_beyond_deploy_window(self):
+        series = TimeSeries()
+        # Very gentle slope: crossing is minutes away; reactive is fine.
+        for index in range(30):
+            series.record(index * 5.0, 0.30 + 0.0001 * index * 5.0)
+        trigger = self._trigger()
+        assert not trigger.should_preprovision(series, 145.0)
+
+    def test_defers_to_reactive_once_over_threshold(self):
+        series = TimeSeries()
+        for index in range(30):
+            series.record(index * 5.0, 0.55)
+        assert not self._trigger().should_preprovision(series, 145.0)
+
+
+class TestMonteCarlo:
+    def test_overclocked_air_fails_much_faster(self):
+        air_nominal = simulate_fleet(air_condition(205.0, 0.90), servers=4000, seed=1)
+        air_overclocked = simulate_fleet(air_condition(305.0, 0.98), servers=4000, seed=1)
+        assert air_overclocked.mean_lifetime_years < air_nominal.mean_lifetime_years / 3
+        assert air_overclocked.failed_within_5y > 0.9
+
+    def test_immersion_restores_fleet_reliability(self):
+        results = compare_conditions(
+            {
+                "air-oc": air_condition(305.0, 0.98),
+                "hfe-oc": immersion_condition(HFE_7000, 305.0, 0.98),
+            },
+            servers=4000,
+            seed=2,
+        )
+        assert (
+            results["hfe-oc"].failed_within_5y < results["air-oc"].failed_within_5y / 1.5
+        )
+
+    def test_percentiles_ordered(self):
+        result = simulate_fleet(air_condition(205.0, 0.90), servers=2000, seed=3)
+        assert result.p10_lifetime_years < result.median_lifetime_years
+        assert result.median_lifetime_years <= result.mean_lifetime_years * 1.5
+
+    def test_afr(self):
+        result = simulate_fleet(air_condition(205.0, 0.90), servers=2000, seed=4)
+        assert result.annualized_failure_rate(5.0) == pytest.approx(
+            result.failed_within_5y / 5.0
+        )
+
+    def test_reproducible(self):
+        a = simulate_fleet(air_condition(205.0, 0.90), servers=500, seed=9)
+        b = simulate_fleet(air_condition(205.0, 0.90), servers=500, seed=9)
+        assert a.mean_lifetime_years == b.mean_lifetime_years
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_fleet(air_condition(205.0, 0.90), servers=0)
+
+
+class TestTCOSensitivity:
+    def test_energy_share_sweep_direction(self):
+        """More expensive energy makes non-OC 2PIC *more* attractive and
+        widens the gap to the overclockable variant."""
+        points = sweep_energy_share()
+        non_oc = [p.non_oc_cost_per_pcore for p in points]
+        assert non_oc == sorted(non_oc, reverse=True)
+        gaps = [p.oc_cost_per_pcore - p.non_oc_cost_per_pcore for p in points]
+        assert gaps == sorted(gaps)
+
+    def test_pue_sweep_direction(self):
+        """Worse achieved PUE erodes the 2PIC saving."""
+        points = sweep_immersion_pue()
+        costs = [p.non_oc_cost_per_pcore for p in points]
+        assert costs == sorted(costs)
+        assert costs[0] == pytest.approx(0.93, abs=0.02)  # near the Table VI point
+
+    def test_oversubscription_sweep_hits_paper_point(self):
+        points = {p.oversubscription: p.oc_cost_per_vcore_vs_air for p in sweep_oversubscription()}
+        assert points[0.10] == pytest.approx(-0.127, abs=0.01)  # the -13%
+        ordered = [points[level] for level in sorted(points)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_energy_share_validation(self):
+        with pytest.raises(TCOError):
+            sweep_energy_share(shares=(1.5,))
+
+
+class TestUseCases:
+    def test_fig5_packing_dividend(self):
+        result = run_fig5()
+        assert result["vms_plain"] == 2
+        assert result["vms_overclocked"] == 3
+        bands = [band for _, band, _, _ in result["skus"]]
+        assert bands == ["turbo", "green", "red"]
+
+    def test_fig6_virtual_buffer(self):
+        result = run_fig6()
+        assert result["virtual_vms"] > result["static_vms"]
+        assert result["failover_lost"] == 0
+        assert result["failover_recreated"] == 7
+        assert result["overclocked_hosts"] >= 1
+
+    def test_fig7_gap_bridged(self):
+        plan = run_fig7()
+        assert plan.gap_vcores > 0
+        assert plan.fully_bridged
+
+    def test_fig8_maneuvers(self):
+        timelines = run_fig8()
+        for mode, samples in timelines.items():
+            assert any(freq > 3.4 for _, freq in samples), mode
+        # OC-A (acting at 40%) spends at least as long overclocked as
+        # OC-E (acting at 50%).
+        def overclocked_samples(samples):
+            return sum(1 for _, freq in samples if freq > 3.4)
+
+        assert overclocked_samples(timelines["oc-a"]) >= overclocked_samples(
+            timelines["oc-e"]
+        )

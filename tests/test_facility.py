@@ -1,0 +1,138 @@
+"""Tests for the facility loop, WUE, and vapor management models."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ThermalError
+from repro.thermal import (
+    EVAPORATIVE_WUE_L_PER_KWH,
+    FACILITY_CHEMICAL_TRAP,
+    FC_3284,
+    HFE_7000,
+    TANK_MECHANICAL_TRAP,
+    TEMPERATE_CLIMATE,
+    ClimateProfile,
+    CondenserLoop,
+    DryCooler,
+    ImmersedLoad,
+    annual_vapor_budget,
+    annual_water_use_liters,
+    escaped_vapor_grams,
+    small_tank_1,
+    wue_l_per_kwh,
+)
+
+
+class TestCondenserLoop:
+    def test_return_temp_rises_with_heat(self):
+        loop = CondenserLoop(water_flow_g_per_s=1000.0, supply_temp_c=30.0)
+        assert loop.return_temp_c(0.0) == 30.0
+        assert loop.return_temp_c(41_860.0) == pytest.approx(40.0)
+
+    def test_condensation_requires_margin_below_boiling(self):
+        # FC-3284 boils at 50: a 47 degC loop cannot condense it.
+        loop = CondenserLoop(water_flow_g_per_s=1000.0, supply_temp_c=47.0)
+        with pytest.raises(ThermalError):
+            loop.check_condenses(FC_3284, 1000.0)
+        cool_loop = CondenserLoop(water_flow_g_per_s=1000.0, supply_temp_c=40.0)
+        assert cool_loop.check_condenses(FC_3284, 1000.0) > 40.0
+
+    def test_return_above_boiling_rejected(self):
+        loop = CondenserLoop(water_flow_g_per_s=10.0, supply_temp_c=40.0)
+        with pytest.raises(ThermalError):
+            loop.check_condenses(FC_3284, 10_000.0)
+
+    def test_max_heat_scales_with_flow(self):
+        slow = CondenserLoop(water_flow_g_per_s=500.0, supply_temp_c=30.0)
+        fast = CondenserLoop(water_flow_g_per_s=1000.0, supply_temp_c=30.0)
+        assert fast.max_heat_watts(FC_3284) == pytest.approx(2 * slow.max_heat_watts(FC_3284))
+
+    def test_hfe_loop_needs_colder_water(self):
+        loop = CondenserLoop(water_flow_g_per_s=1000.0, supply_temp_c=30.0)
+        assert loop.max_heat_watts(HFE_7000) < loop.max_heat_watts(FC_3284)
+
+
+class TestDryCooler:
+    LOOP = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=30.0)
+
+    def test_dry_operation_in_mild_weather(self):
+        cooler = DryCooler(approach_temp_c=6.0)
+        assert cooler.supports(self.LOOP, ambient_c=20.0)
+        assert cooler.trim_water_g_per_s(self.LOOP, 20.0, 50_000.0) == 0.0
+
+    def test_trim_water_on_hot_days(self):
+        cooler = DryCooler(approach_temp_c=6.0)
+        assert not cooler.supports(self.LOOP, ambient_c=35.0)
+        assert cooler.trim_water_g_per_s(self.LOOP, 35.0, 50_000.0) > 0.0
+
+    def test_trim_water_monotone_in_ambient(self):
+        cooler = DryCooler()
+        rates = [
+            cooler.trim_water_g_per_s(self.LOOP, ambient, 50_000.0)
+            for ambient in (25.0, 30.0, 35.0, 40.0)
+        ]
+        assert rates == sorted(rates)
+
+    def test_fan_power(self):
+        cooler = DryCooler(fan_power_fraction=0.015)
+        assert cooler.fan_watts(100_000.0) == pytest.approx(1500.0)
+
+
+class TestWUE:
+    def test_mild_climate_dry_cooling_beats_evaporative(self):
+        loop = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=30.0)
+        wue = wue_l_per_kwh(loop, DryCooler(), it_watts=25_000.0)
+        assert wue < EVAPORATIVE_WUE_L_PER_KWH
+
+    def test_tight_loop_hot_climate_at_par_with_evaporative(self):
+        """The paper's projection: 2PIC WUE at par with evaporative DCs.
+
+        An HFE-7000 loop needs cold water (<= 29 degC supply); in a hot
+        climate the dry cooler then runs trim most hours.
+        """
+        hot_climate = ClimateProfile(
+            bands=((18.0, 1000.0), (26.0, 2766.0), (32.0, 3000.0), (38.0, 2000.0))
+        )
+        loop = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=27.0)
+        wue = wue_l_per_kwh(loop, DryCooler(), it_watts=25_000.0, climate=hot_climate)
+        assert 0.3 * EVAPORATIVE_WUE_L_PER_KWH < wue < 2.0 * EVAPORATIVE_WUE_L_PER_KWH
+
+    def test_annual_water_scales_with_load(self):
+        loop = CondenserLoop(water_flow_g_per_s=4000.0, supply_temp_c=27.0)
+        small = annual_water_use_liters(loop, DryCooler(), 10_000.0)
+        large = annual_water_use_liters(loop, DryCooler(), 20_000.0)
+        assert large == pytest.approx(2 * small, rel=0.01)
+
+    def test_climate_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClimateProfile(bands=())
+        with pytest.raises(ConfigurationError):
+            ClimateProfile(bands=((20.0, -1.0),))
+        assert TEMPERATE_CLIMATE.total_hours == pytest.approx(8766.0)
+
+
+class TestVaporManagement:
+    def test_two_stage_capture(self):
+        # 90% then 80% capture -> 2% escapes.
+        assert escaped_vapor_grams(1000.0) == pytest.approx(20.0)
+
+    def test_annual_budget(self):
+        tank = small_tank_1()
+        budget = annual_vapor_budget(tank, servicing_events_per_year=12)
+        assert budget.raw_loss_grams == pytest.approx(12 * tank.vapor_loss_per_service_grams)
+        assert budget.escaped_grams < 0.05 * budget.raw_loss_grams
+        assert budget.capture_rate > 0.95
+
+    def test_no_servicing_no_loss(self):
+        budget = annual_vapor_budget(small_tank_1(), servicing_events_per_year=0)
+        assert budget.raw_loss_grams == 0.0
+        assert budget.capture_rate == 1.0
+
+    def test_trap_validation(self):
+        from repro.thermal import VaporTrap
+
+        with pytest.raises(ConfigurationError):
+            VaporTrap("bad", 1.5)
+
+    def test_trap_constants(self):
+        assert TANK_MECHANICAL_TRAP.capture_efficiency == 0.90
+        assert FACILITY_CHEMICAL_TRAP.capture_efficiency == 0.80

@@ -1,0 +1,139 @@
+"""Tests for the oversubscription interference model (Figures 12–13)."""
+
+import pytest
+
+from repro.cluster import OversubscribedHost, ScenarioInstance
+from repro.errors import ConfigurationError
+from repro.experiments.oversubscription import SCENARIO_NAMES, table10_scenario
+from repro.silicon import B2, OC3
+from repro.workloads import BI, SQL, TERASORT
+
+
+class TestScenarioInstance:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioInstance(SQL, 0)
+        with pytest.raises(ConfigurationError):
+            ScenarioInstance(SQL, 4, duty=0.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioInstance(SQL, 4, duty=1.5)
+
+
+class TestOversubscribedHost:
+    def test_no_contention_below_capacity(self):
+        host = OversubscribedHost(pcores=16)
+        instances = [ScenarioInstance(BI, 4, duty=1.0)]
+        outcomes = host.evaluate(instances, B2, B2)
+        assert outcomes[0].contention == pytest.approx(1.0)
+        assert outcomes[0].speed == pytest.approx(1.0)
+
+    def test_overcommit_slows_everything(self):
+        host = OversubscribedHost(pcores=8)
+        instances = [
+            ScenarioInstance(BI, 4, duty=1.0, instance_id="a"),
+            ScenarioInstance(BI, 4, duty=1.0, instance_id="b"),
+            ScenarioInstance(BI, 4, duty=1.0, instance_id="c"),
+        ]
+        outcomes = host.evaluate(instances, B2, B2)
+        for outcome in outcomes:
+            assert outcome.speed < 1.0
+
+    def test_latency_sensitive_amplified(self):
+        host = OversubscribedHost(pcores=8)
+        instances = [
+            ScenarioInstance(SQL, 4, duty=1.0, latency_sensitive=True, instance_id="lat"),
+            ScenarioInstance(BI, 4, duty=1.0, instance_id="batch"),
+            ScenarioInstance(BI, 4, duty=1.0, instance_id="batch2"),
+        ]
+        outcomes = {o.instance.instance_id: o for o in host.evaluate(instances, B2, B2)}
+        assert outcomes["lat"].speed < outcomes["batch"].speed
+
+    def test_overclocking_erases_contention(self):
+        """OC3 shrinks demand enough to undo a mild overcommit."""
+        host = OversubscribedHost(pcores=16)
+        instances = table10_scenario("Scenario 2")
+        b2 = host.evaluate(instances, B2, B2)
+        oc3 = host.evaluate(instances, OC3, B2)
+        assert max(o.contention for o in b2) > 1.0
+        assert max(o.contention for o in oc3) == pytest.approx(1.0, abs=0.02)
+
+    def test_disk_saturation_caps_terasort(self):
+        """Two TeraSorts saturate the shared disk: clocks stop helping."""
+        host = OversubscribedHost(pcores=32)  # plenty of CPU
+        two_ts = [
+            ScenarioInstance(TERASORT, 4, instance_id="ts0"),
+            ScenarioInstance(TERASORT, 4, instance_id="ts1"),
+        ]
+        one_ts = [ScenarioInstance(TERASORT, 4, instance_id="ts0")]
+        capped = host.evaluate(two_ts, OC3, B2)[0].clock_speedup
+        free = host.evaluate(one_ts, OC3, B2)[0].clock_speedup
+        assert capped < free
+        assert capped < 1.06
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OversubscribedHost(pcores=0)
+        with pytest.raises(ConfigurationError):
+            OversubscribedHost(pcores=4, disk_capacity=0.0)
+        assert OversubscribedHost(pcores=4).evaluate([], B2) == []
+
+
+class TestFig13Reproduction:
+    """The paper's Figure 13 claims, scenario by scenario."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        host = OversubscribedHost(pcores=16)
+        out = {}
+        for name in SCENARIO_NAMES:
+            instances = table10_scenario(name)
+            out[name] = {
+                "B2": host.compare(instances, B2, baseline_pcores=20),
+                "OC3": host.compare(instances, OC3, baseline_pcores=20),
+            }
+        return out
+
+    def test_b2_oversubscription_degrades_everything(self, results):
+        for name in SCENARIO_NAMES:
+            for instance, improvement in results[name]["B2"].items():
+                assert improvement < 0.0, f"{name}/{instance}"
+
+    def test_latency_apps_degrade_most_under_b2(self, results):
+        for name in SCENARIO_NAMES:
+            by_instance = results[name]["B2"]
+            worst_latency = min(
+                v for k, v in by_instance.items() if "SQL" in k or "SPECJBB" in k
+            )
+            best_batch = max(
+                v for k, v in by_instance.items() if "BI" in k or "TeraSort" in k
+            )
+            assert worst_latency <= best_batch
+
+    def test_oc3_improves_everything(self, results):
+        for name in SCENARIO_NAMES:
+            for instance, improvement in results[name]["OC3"].items():
+                assert improvement > 0.0, f"{name}/{instance}"
+
+    def test_oc3_improvements_up_to_about_17_percent(self, results):
+        best = max(
+            improvement
+            for name in SCENARIO_NAMES
+            for improvement in results[name]["OC3"].values()
+        )
+        assert 0.15 <= best <= 0.25
+
+    def test_all_at_least_6_percent_except_terasort_scenario1(self, results):
+        for name in SCENARIO_NAMES:
+            for instance, improvement in results[name]["OC3"].items():
+                if name == "Scenario 1" and "TeraSort" in instance:
+                    assert improvement < 0.06, "TeraSort S1 should be the exception"
+                else:
+                    assert improvement >= 0.06, f"{name}/{instance}"
+
+    def test_scenarios_have_20_vcores(self):
+        for name in SCENARIO_NAMES:
+            assert sum(i.vcores for i in table10_scenario(name)) == 20
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table10_scenario("Scenario 9")

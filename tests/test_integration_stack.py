@@ -1,0 +1,99 @@
+"""Full-stack integration tests: the subsystems composed end-to-end.
+
+Each test threads several subpackages together the way the paper's
+deployment story does: tank → silicon → reliability → cluster →
+auto-scaler → TCO.
+"""
+
+import pytest
+
+from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
+from repro.cluster import Host, VMInstance, VMSpec
+from repro.reliability import (
+    CompositeLifetimeModel,
+    OverclockGuard,
+    WearoutCounter,
+    immersion_condition,
+    iso_lifetime_overclock_watts,
+)
+from repro.silicon import OC1, TANK1_SERVER, XEON_W3175X, immersed_cpu
+from repro.sim import OpenLoopSource, Simulator
+from repro.tco import OC_2PIC, cost_per_vcore
+from repro.thermal import (
+    HFE_7000,
+    ImmersedLoad,
+    TWO_PHASE_IMMERSION,
+    small_tank_1,
+)
+
+
+class TestTankToSiliconChain:
+    def test_overclocked_server_fits_its_tank(self):
+        """The overclocked small-tank server's heat stays within the
+        condenser, and the junction stays in Table V territory."""
+        tank = small_tank_1()
+        cpu = immersed_cpu(XEON_W3175X, HFE_7000)
+        point = cpu.operating_point(3.4 * 1.23)
+        tank.immerse(ImmersedLoad("server-1", point.total_watts))
+        assert tank.headroom_watts > 0
+        assert point.junction_temp_c < 70.0
+
+    def test_iso_lifetime_budget_matches_thermal_envelope(self):
+        """The lifetime-neutral power budget lands inside what the tank
+        and the V/F curve can actually deliver."""
+        model = CompositeLifetimeModel()
+        budget = iso_lifetime_overclock_watts(model, HFE_7000, target_years=5.0)
+        cpu = immersed_cpu(XEON_W3175X, HFE_7000)
+        point = cpu.operating_point(3.4 * 1.23)
+        # The measured +23% operating point consumes roughly the budget.
+        assert point.total_watts == pytest.approx(budget, rel=0.15)
+
+
+class TestGuardedHostChain:
+    def test_guard_approves_the_paper_operating_point(self):
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        overclocked = immersion_condition(HFE_7000, 305.0, 0.98)
+        counter = WearoutCounter()
+        counter.record(hours=8766.0, condition=nominal, utilization=0.4)
+        guard = OverclockGuard(
+            wearout=counter,
+            overclocked_condition=overclocked,
+            nominal_condition=nominal,
+        )
+        host = Host("h0", cooling=TWO_PHASE_IMMERSION)
+        headroom = 900.0 - host.peak_power_watts()
+        decision = guard.decide(1.23, power_headroom_watts=headroom)
+        assert decision.granted_ratio == pytest.approx(1.23)
+        # The grant corresponds to OC1-class frequency on this host.
+        host.set_config(OC1)
+        assert host.is_overclocked
+
+
+class TestClosedLoopToTCOChain:
+    def test_autoscaled_savings_flow_into_tco(self):
+        """A short OC-A run frees VM-hours; the TCO model prices the
+        oversubscription the freed capacity enables."""
+        simulator = Simulator(seed=4)
+        autoscaler = AutoScaler(
+            simulator,
+            AutoscalePolicy(mode=ScalerMode.OC_A),
+            initial_vms=2,
+            warmup_s=20.0,
+        )
+        OpenLoopSource(
+            simulator, autoscaler.load_balancer.route, rate_per_second=1400.0
+        )
+        simulator.run(until=400.0)
+        result = autoscaler.finish()
+        assert result.latency.p95() > 0
+        # Price the density: 10% oversubscription in overclockable 2PIC.
+        cost = cost_per_vcore(OC_2PIC, oversubscription=0.10)
+        assert cost == pytest.approx(0.96 / 1.1, rel=0.01)
+
+    def test_host_admits_autoscaled_vms(self):
+        """The controller's VM shapes fit the modeled tank-1 host."""
+        host = Host("tank1", spec=TANK1_SERVER, cooling=TWO_PHASE_IMMERSION)
+        for index in range(7):
+            host.place(VMInstance(f"vm{index}", VMSpec(4, 16.0)))
+        assert host.free_vcores == 0
+        assert host.committed_memory_gb <= host.spec.memory.capacity_gb

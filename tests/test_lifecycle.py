@@ -1,0 +1,75 @@
+"""Tests for VM lifecycle management (deploy latency, VM-hours)."""
+
+import pytest
+
+from repro.cluster import PAPER_SCALE_OUT_LATENCY_S, VMLifecycleManager, VMSpec, VMState
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+SPEC = VMSpec(vcores=4, memory_gb=16.0)
+
+
+class TestVMLifecycleManager:
+    def test_paper_default_latency(self):
+        assert PAPER_SCALE_OUT_LATENCY_S == 60.0
+
+    def test_vm_becomes_running_after_latency(self):
+        simulator = Simulator()
+        manager = VMLifecycleManager(simulator)
+        ready_times = []
+        vm = manager.request_vm(SPEC, on_ready=lambda v: ready_times.append(simulator.now))
+        assert vm.state is VMState.CREATING
+        simulator.run(until=59.0)
+        assert vm.state is VMState.CREATING
+        simulator.run(until=61.0)
+        assert vm.state is VMState.RUNNING
+        assert ready_times == [60.0]
+
+    def test_latency_override_zero_is_immediate(self):
+        simulator = Simulator()
+        manager = VMLifecycleManager(simulator)
+        vm = manager.request_vm(SPEC, latency_override_s=0.0)
+        assert vm.state is VMState.RUNNING
+
+    def test_delete_during_creation_cancels_ready(self):
+        simulator = Simulator()
+        manager = VMLifecycleManager(simulator)
+        ready = []
+        vm = manager.request_vm(SPEC, on_ready=lambda v: ready.append(v))
+        simulator.run(until=10.0)
+        manager.delete_vm(vm.vm_id)
+        simulator.run(until=200.0)
+        assert ready == []
+        assert vm.state is VMState.DELETED
+
+    def test_vm_hours_accounting(self):
+        simulator = Simulator()
+        manager = VMLifecycleManager(simulator)
+        vm = manager.request_vm(SPEC)
+        simulator.run(until=60.0 + 3600.0)
+        assert manager.vm_hours() == pytest.approx(1.0)
+        manager.delete_vm(vm.vm_id)
+        simulator.at(simulator.now + 1000, lambda: None)
+        simulator.run()
+        assert manager.vm_hours() == pytest.approx(1.0)
+
+    def test_instance_queries(self):
+        simulator = Simulator()
+        manager = VMLifecycleManager(simulator)
+        manager.request_vm(SPEC)
+        manager.request_vm(SPEC, latency_override_s=0.0)
+        assert len(manager.creating_instances) == 1
+        assert len(manager.running_instances) == 1
+        assert len(manager.active_instances) == 2
+
+    def test_validation(self):
+        simulator = Simulator()
+        with pytest.raises(ConfigurationError):
+            VMLifecycleManager(simulator, creation_latency_s=-1.0)
+        manager = VMLifecycleManager(simulator)
+        with pytest.raises(ConfigurationError):
+            manager.delete_vm("nope")
+        vm = manager.request_vm(SPEC, latency_override_s=0.0)
+        manager.delete_vm(vm.vm_id)
+        with pytest.raises(ConfigurationError):
+            manager.delete_vm(vm.vm_id)

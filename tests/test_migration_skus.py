@@ -1,0 +1,152 @@
+"""Tests for live migration, the overclock stop-gap, and HP VM SKUs."""
+
+import pytest
+
+from repro.cluster import (
+    GREEN_SKU,
+    Host,
+    HighPerformanceSKU,
+    MigrationManager,
+    RED_SKU,
+    RedBandSession,
+    VMInstance,
+    VMSpec,
+    overclock_stopgap_plan,
+    plan_migration,
+)
+from repro.cluster.skus import Band
+from repro.errors import CapacityError, ConfigurationError, ReliabilityError
+from repro.reliability import WearoutCounter, immersion_condition
+from repro.silicon import B2, OC1, XEON_W3175X
+from repro.sim import Simulator
+from repro.thermal import HFE_7000, TWO_PHASE_IMMERSION
+
+
+def make_host(host_id: str) -> Host:
+    return Host(host_id, cooling=TWO_PHASE_IMMERSION)
+
+
+class TestMigration:
+    def test_plan_scales_with_memory(self):
+        small = plan_migration(VMInstance("a", VMSpec(4, 8.0)))
+        large = plan_migration(VMInstance("b", VMSpec(4, 32.0)))
+        assert large.duration_s == pytest.approx(4 * small.duration_s)
+        assert large.bytes_moved_gb > large.memory_gb  # dirty pages re-sent
+
+    def test_migration_moves_vm(self):
+        simulator = Simulator()
+        manager = MigrationManager(simulator)
+        source, destination = make_host("src"), make_host("dst")
+        vm = VMInstance("vm-1", VMSpec(4, 16.0))
+        source.place(vm)
+        record = manager.migrate(vm, source, destination)
+        assert manager.in_flight == 1
+        # Destination memory is reserved during the copy.
+        assert destination.committed_memory_gb == pytest.approx(16.0)
+        simulator.run(until=record.plan.duration_s + 1.0)
+        assert manager.in_flight == 0
+        assert source.committed_vcores == 0
+        assert destination.committed_vcores == 4
+        assert any(v.vm_id == "vm-1" for v in destination.vms)
+
+    def test_migration_is_lengthy(self):
+        """The paper calls migration 'a resource-hungry and lengthy
+        operation' — tens of seconds for a mid-size VM, vs tens of µs
+        for a frequency change."""
+        plan = plan_migration(VMInstance("a", VMSpec(4, 64.0)))
+        assert plan.duration_s > 30.0
+
+    def test_destination_must_fit(self):
+        simulator = Simulator()
+        manager = MigrationManager(simulator)
+        source, destination = make_host("src"), make_host("dst")
+        destination.place(VMInstance("blocker", VMSpec(4, 120.0)))
+        vm = VMInstance("vm-1", VMSpec(4, 32.0))
+        source.place(vm)
+        with pytest.raises(CapacityError):
+            manager.migrate(vm, source, destination)
+
+    def test_stopgap_overclocks_then_restores(self):
+        simulator = Simulator()
+        manager = MigrationManager(simulator)
+        crowded, spare = make_host("crowded"), make_host("spare")
+        vm = VMInstance("vm-1", VMSpec(4, 16.0))
+        crowded.place(vm)
+        outcomes = []
+        record = overclock_stopgap_plan(
+            simulator, manager, crowded, vm, spare, on_done=outcomes.append
+        )
+        assert crowded.config.name == OC1.name  # stop-gap engaged instantly
+        simulator.run(until=record.plan.duration_s + 1.0)
+        assert crowded.config.name == B2.name   # restored after cut-over
+        assert len(outcomes) == 1
+        assert outcomes[0].overclocked_for_s == pytest.approx(record.plan.duration_s)
+
+
+class TestSKUs:
+    def test_reference_skus_valid(self):
+        assert GREEN_SKU.band == Band.GREEN
+        assert RED_SKU.band == Band.RED
+        assert GREEN_SKU.price_multiplier > 1.0
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            HighPerformanceSKU("bad", 4, Band.GREEN, 1.30, 1.2)  # beyond green
+        with pytest.raises(ConfigurationError):
+            HighPerformanceSKU("bad", 4, Band.RED, 1.10, 1.2)    # below red floor
+        with pytest.raises(ConfigurationError):
+            HighPerformanceSKU("bad", 4, "purple", 1.1, 1.2)
+        with pytest.raises(ConfigurationError):
+            HighPerformanceSKU("bad", 4, Band.GREEN, 1.2, 0.9)   # underpriced
+
+    def test_frequency_resolution(self):
+        domains = XEON_W3175X.domains
+        assert GREEN_SKU.frequency_ghz(domains) == pytest.approx(3.4 * 1.20)
+        assert RED_SKU.frequency_ghz(domains) == pytest.approx(3.4 * 1.28)
+
+    def test_frequency_beyond_part_ceiling_rejected(self):
+        sku = HighPerformanceSKU("extreme", 4, Band.RED, 1.40, 2.0)
+        with pytest.raises(ConfigurationError):
+            sku.frequency_ghz(XEON_W3175X.domains)
+
+
+class TestRedBandSession:
+    def _banked_counter(self) -> WearoutCounter:
+        counter = WearoutCounter()
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        counter.record(hours=8766.0, condition=nominal, utilization=0.3)
+        return counter
+
+    def test_requires_banked_credit(self):
+        red = immersion_condition(HFE_7000, 340.0, 1.01)
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        with pytest.raises(ReliabilityError):
+            RedBandSession(WearoutCounter(), red, nominal)
+
+    def test_burst_spends_budget(self):
+        counter = self._banked_counter()
+        red = immersion_condition(HFE_7000, 340.0, 1.01)
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        session = RedBandSession(counter, red, nominal)
+        before = session.remaining_damage
+        cost = session.record(hours=100.0)
+        assert cost > 0
+        assert session.remaining_damage == pytest.approx(before - cost)
+
+    def test_budget_exhaustion_refuses(self):
+        counter = self._banked_counter()
+        red = immersion_condition(HFE_7000, 340.0, 1.01)
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        session = RedBandSession(counter, red, nominal, budget_fraction_of_credit=0.1)
+        affordable = session.affordable_hours()
+        with pytest.raises(ReliabilityError):
+            session.record(hours=affordable * 1.5)
+
+    def test_affordable_hours_shrink_as_spent(self):
+        counter = self._banked_counter()
+        red = immersion_condition(HFE_7000, 340.0, 1.01)
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        session = RedBandSession(counter, red, nominal)
+        start = session.affordable_hours()
+        session.record(hours=start / 4)
+        assert session.affordable_hours() < start

@@ -1,0 +1,58 @@
+"""Tests for the SQL oversubscription latency model (Figure 12)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.silicon import B2, OC3
+from repro.workloads import (
+    cores_saved_by_overclocking,
+    pcore_sweep,
+    sql_p95_latency_ms,
+)
+
+
+class TestFig12Model:
+    def test_latency_decreases_with_more_pcores(self):
+        points = pcore_sweep(B2, range(10, 17, 2))
+        latencies = [p.p95_latency_ms for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_paper_crossover_oc3_at_12_matches_b2_at_16(self):
+        """The headline Figure 12 result, within ~1%."""
+        b2_full = sql_p95_latency_ms(16, B2)
+        oc3_reduced = sql_p95_latency_ms(12, OC3)
+        assert oc3_reduced.p95_latency_ms == pytest.approx(
+            b2_full.p95_latency_ms, rel=0.02
+        )
+
+    def test_four_pcores_saved(self):
+        assert cores_saved_by_overclocking(OC3, tolerance=0.03) == 4
+
+    def test_heavy_oversubscription_saturates(self):
+        point = sql_p95_latency_ms(8, B2)
+        assert point.saturated
+        assert point.rho > 1.0
+
+    def test_oc3_unsaturates_what_b2_cannot(self):
+        b2 = sql_p95_latency_ms(10, B2)
+        oc3 = sql_p95_latency_ms(10, OC3)
+        assert oc3.p95_latency_ms < b2.p95_latency_ms
+
+    def test_rho_accounting(self):
+        point = sql_p95_latency_ms(16, B2)
+        # 16 vcores at 0.6 demand on 16 pcores -> rho = 0.6.
+        assert point.rho == pytest.approx(0.6)
+        assert point.vcores == 16
+
+    def test_saturated_latency_still_monotone(self):
+        worse = sql_p95_latency_ms(7, B2)
+        bad = sql_p95_latency_ms(8, B2)
+        assert worse.p95_latency_ms > bad.p95_latency_ms
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sql_p95_latency_ms(0, B2)
+        with pytest.raises(ConfigurationError):
+            sql_p95_latency_ms(8, B2, demand_per_vcore=0.0)
+        with pytest.raises(WorkloadError):
+            sql_p95_latency_ms(32, B2)

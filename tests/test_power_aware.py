@@ -1,0 +1,81 @@
+"""Tests for the shared-power-budget frequency arbitration."""
+
+import pytest
+
+from repro.autoscale import FrequencyGrant, FrequencyRequest, PowerBudgetCoordinator
+from repro.errors import ConfigurationError, PowerBudgetExceeded
+
+
+def request(group, priority, ghz=4.1, cores=8.0):
+    return FrequencyRequest(group=group, priority=priority, requested_ghz=ghz, busy_cores=cores)
+
+
+class TestPowerBudgetCoordinator:
+    def test_generous_budget_grants_everything(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=500.0)
+        grants = coordinator.arbitrate([request("a", 0), request("b", 10)])
+        assert all(g.granted_ghz == pytest.approx(4.1) for g in grants)
+        assert not any(g.throttled for g in grants)
+
+    def test_low_priority_sheds_first(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=185.0)
+        grants = {g.group: g for g in coordinator.arbitrate(
+            [request("critical", 10), request("batch", 0)]
+        )}
+        assert grants["critical"].granted_ghz == pytest.approx(4.1)
+        assert grants["batch"].granted_ghz < 4.1
+        assert grants["batch"].throttled
+        assert not grants["critical"].throttled
+
+    def test_projection_respects_budget(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=185.0)
+        requests = [request("critical", 10), request("batch", 0)]
+        grants = coordinator.arbitrate(requests)
+        projected = coordinator.projected_watts(
+            {g.group: g.granted_ghz for g in grants}, requests
+        )
+        assert projected <= 185.0
+
+    def test_tight_budget_sheds_both(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=172.0)
+        grants = {g.group: g for g in coordinator.arbitrate(
+            [request("critical", 10), request("batch", 0)]
+        )}
+        assert grants["batch"].granted_ghz == pytest.approx(3.4)
+        assert grants["critical"].granted_ghz < 4.1
+
+    def test_impossible_budget_raises(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=100.0)
+        with pytest.raises(PowerBudgetExceeded):
+            coordinator.arbitrate([request("a", 0), request("b", 1)])
+
+    def test_requests_clamped_into_ladder(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=500.0)
+        grants = coordinator.arbitrate([request("a", 0, ghz=5.0)])
+        assert grants[0].granted_ghz == pytest.approx(4.1)
+        grants = coordinator.arbitrate([request("a", 0, ghz=1.0)])
+        assert grants[0].granted_ghz == pytest.approx(3.4)
+
+    def test_empty_request_list(self):
+        assert PowerBudgetCoordinator(budget_watts=100.0).arbitrate([]) == []
+
+    def test_duplicate_groups_rejected(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=500.0)
+        with pytest.raises(ConfigurationError):
+            coordinator.arbitrate([request("a", 0), request("a", 1)])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudgetCoordinator(budget_watts=0.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyRequest("a", 0, requested_ghz=0.0, busy_cores=1.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyRequest("a", 0, requested_ghz=3.4, busy_cores=-1.0)
+
+    def test_idle_groups_cost_nothing_extra(self):
+        coordinator = PowerBudgetCoordinator(budget_watts=120.0)
+        grants = coordinator.arbitrate(
+            [request("idle", 0, cores=0.0), request("busy", 1, cores=4.0)]
+        )
+        by_group = {g.group: g for g in grants}
+        assert by_group["busy"].granted_ghz == pytest.approx(4.1)

@@ -1,0 +1,106 @@
+"""Tests for the power-delivery hierarchy and oversubscription handling."""
+
+import pytest
+
+from repro.cluster import (
+    Host,
+    PowerCapGovernor,
+    PowerDeliveryTree,
+    PowerNode,
+    VMInstance,
+    VMSpec,
+    build_two_rack_row,
+)
+from repro.errors import ConfigurationError, PowerBudgetExceeded
+from repro.silicon import OC1
+from repro.thermal import TWO_PHASE_IMMERSION
+
+
+def loaded_host(host_id: str, overclocked: bool = True) -> Host:
+    host = Host(host_id, cooling=TWO_PHASE_IMMERSION)
+    if overclocked:
+        host.set_config(OC1)
+    for index in range(7):
+        host.place(VMInstance(f"{host_id}-vm{index}", VMSpec(4, 8.0)))
+    return host
+
+
+class TestPowerNode:
+    def test_aggregation(self):
+        hosts = [(loaded_host("a"), 0), (loaded_host("b"), 10)]
+        node = PowerNode("rack", limit_watts=1000.0, hosts=hosts)
+        assert node.draw_watts(1.0) == pytest.approx(
+            sum(h.power_watts(1.0) for h, _ in hosts)
+        )
+        assert node.provisioned_watts() > node.draw_watts(0.5)
+
+    def test_oversubscription_ratio(self):
+        node = PowerNode("rack", limit_watts=250.0, hosts=[(loaded_host("a"), 0)])
+        assert node.oversubscription_ratio() > 1.0
+
+    def test_node_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerNode("bad", limit_watts=0.0)
+        child = PowerNode("child", limit_watts=100.0)
+        with pytest.raises(ConfigurationError):
+            PowerNode(
+                "both", limit_watts=100.0, children=[child],
+                hosts=[(loaded_host("x"), 0)],
+            )
+
+
+class TestPowerDeliveryTree:
+    def test_no_breach_when_sized_generously(self):
+        tree = build_two_rack_row(
+            hosts_per_rack=2,
+            make_host=loaded_host,
+            rack_limit_watts=2000.0,
+            row_limit_watts=4000.0,
+        )
+        assert tree.find_breaches(1.0) == []
+        assert tree.overclock_headroom_watts(1.0) > 0
+
+    def test_breach_detected_under_oversubscription(self):
+        tree = build_two_rack_row(
+            hosts_per_rack=2,
+            make_host=loaded_host,
+            rack_limit_watts=2000.0,
+            row_limit_watts=700.0,  # row breaker oversubscribed
+        )
+        breaches = tree.find_breaches(1.0)
+        assert any(report.node_name == "row" for report in breaches)
+        assert all(report.excess_watts > 0 for report in breaches)
+
+    def test_enforce_caps_low_priority_first(self):
+        tree = build_two_rack_row(
+            hosts_per_rack=1,
+            make_host=loaded_host,
+            rack_limit_watts=2000.0,
+            row_limit_watts=450.0,
+            low_priority_rack=0,
+        )
+        results = tree.enforce(PowerCapGovernor(), utilization=1.0)
+        assert tree.find_breaches(1.0) == []
+        capped = {r.host_id: r.capped for r in results}
+        assert capped["r0-h0"]          # low priority shed
+        assert not capped["r1-h0"]      # high priority kept its clock
+
+    def test_enforce_raises_when_impossible(self):
+        tree = build_two_rack_row(
+            hosts_per_rack=1,
+            make_host=loaded_host,
+            rack_limit_watts=2000.0,
+            row_limit_watts=50.0,
+        )
+        with pytest.raises(PowerBudgetExceeded):
+            tree.enforce(PowerCapGovernor(), utilization=1.0)
+
+    def test_headroom_is_tightest_breaker(self):
+        tree = build_two_rack_row(
+            hosts_per_rack=1,
+            make_host=lambda hid: loaded_host(hid, overclocked=False),
+            rack_limit_watts=500.0,
+            row_limit_watts=410.0,
+        )
+        draw = tree.root.draw_watts(0.5)
+        assert tree.overclock_headroom_watts(0.5) == pytest.approx(410.0 - draw)

@@ -1,0 +1,135 @@
+"""Property-based tests on cross-module invariants.
+
+These complement the per-module tests with randomized checks of the
+conservation laws and monotonicities the models must obey regardless of
+parameters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Host, PlacementEngine, PlacementPolicy, VMInstance, VMSpec
+from repro.errors import PlacementError
+from repro.reliability import CompositeLifetimeModel, OperatingCondition
+from repro.silicon import B2, FrequencyConfig, ServerPowerModel
+from repro.sim import OpenLoopSource, Simulator
+from repro.thermal import TWO_PHASE_IMMERSION
+from repro.workloads import BottleneckProfile, ServerVM
+
+
+# ----------------------------------------------------------------------
+# Placement: capacity conservation
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=12), st.floats(min_value=1, max_value=32)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.sampled_from(list(PlacementPolicy)),
+)
+def test_placement_never_oversubscribes_beyond_ratio(vm_shapes, policy):
+    hosts = [
+        Host(f"h{i}", cooling=TWO_PHASE_IMMERSION, oversubscription_ratio=1.2)
+        for i in range(3)
+    ]
+    engine = PlacementEngine(hosts, policy)
+    placed = 0
+    for index, (vcores, memory) in enumerate(vm_shapes):
+        vm = VMInstance(f"vm{index}", VMSpec(vcores, memory))
+        try:
+            engine.place(vm)
+            placed += 1
+        except PlacementError:
+            continue
+    for host in hosts:
+        assert host.committed_vcores <= host.vcore_capacity
+        assert host.committed_memory_gb <= host.spec.memory.capacity_gb + 1e-9
+    assert engine.stats().vms == placed
+
+
+# ----------------------------------------------------------------------
+# Queueing: work conservation in the processor-sharing VM
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=50, max_value=800),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_ps_vm_conserves_work(qps, vcores, seed):
+    simulator = Simulator(seed=seed)
+    vm = ServerVM(simulator, "vm", vcores=vcores)
+    OpenLoopSource(simulator, vm.submit, rate_per_second=qps)
+    simulator.run(until=30.0)
+    vm.counter_snapshot()  # forces a final telemetry advance
+    # Busy time can never exceed capacity and must be positive under load.
+    assert 0.0 < vm.cumulative_busy_seconds <= 30.0 * vcores + 1e-6
+    # Completions never exceed submissions.
+    assert vm.completed_requests + vm.in_flight <= qps * 40
+
+
+# ----------------------------------------------------------------------
+# Power model: monotone in every argument
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0, max_value=28),
+    st.floats(min_value=3.1, max_value=4.1),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_server_power_monotone(busy_cores, core_ghz, memory_activity):
+    model = ServerPowerModel()
+    config = FrequencyConfig(
+        "x", core_ghz=core_ghz, voltage_offset_mv=0.0, turbo_enabled=None,
+        llc_ghz=2.4, memory_ghz=2.4,
+    )
+    base = model.watts(config, busy_cores, memory_activity)
+    more_cores = model.watts(config, min(28.0, busy_cores + 1), memory_activity)
+    faster = FrequencyConfig(
+        "y", core_ghz=min(4.5, core_ghz + 0.2), voltage_offset_mv=0.0,
+        turbo_enabled=None, llc_ghz=2.4, memory_ghz=2.4,
+    )
+    assert more_cores >= base - 1e-9
+    assert model.watts(faster, busy_cores, memory_activity) >= base - 1e-9
+    assert base >= model.idle_watts - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Reliability: damage-rate additivity
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=40, max_value=105),
+    st.floats(min_value=10, max_value=39),
+    st.floats(min_value=0.85, max_value=1.05),
+)
+def test_composite_lifetime_bounded_by_modes(tj_max, tj_min, voltage):
+    model = CompositeLifetimeModel()
+    condition = OperatingCondition(tj_max, tj_min, voltage)
+    total = model.lifetime_years(condition)
+    shortest = min(mode.lifetime_years(condition) for mode in model.modes)
+    count = len(model.modes)
+    assert total <= shortest + 1e-9
+    assert total >= shortest / count - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Workloads: speedup bounds
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0, max_value=0.6),
+    st.floats(min_value=0, max_value=0.3),
+    st.floats(min_value=0, max_value=0.1),
+)
+def test_workload_speedup_bounded_by_clock_ratio(core, memory, io):
+    profile = BottleneckProfile(core=core, memory=memory, io=io)
+    from repro.silicon import OC3
+
+    speedups = OC3.speedups_over(B2)
+    max_ratio = max(speedups.values())
+    scale = profile.time_scale(speedups)
+    assert 1.0 / max_ratio - 1e-9 <= scale <= 1.0 + 1e-9

@@ -1,0 +1,253 @@
+"""Tests for the reliability substrate: lifetime, stability, wear-out."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ReliabilityError, StabilityError
+from repro.reliability import (
+    CompositeLifetimeModel,
+    Electromigration,
+    GateOxideBreakdown,
+    OperatingCondition,
+    StabilityModel,
+    StabilityMonitor,
+    ThermalCycling,
+    WearoutCounter,
+    air_condition,
+    immersion_condition,
+    iso_lifetime_overclock_watts,
+    project_table5,
+)
+from repro.thermal import FC_3284, HFE_7000
+
+
+class TestFailureModes:
+    def test_table4_dependencies(self):
+        oxide, em, cycling = GateOxideBreakdown(), Electromigration(), ThermalCycling()
+        assert oxide.depends_on_temperature and oxide.depends_on_voltage
+        assert not oxide.depends_on_delta_t
+        assert em.depends_on_temperature
+        assert not em.depends_on_voltage and not em.depends_on_delta_t
+        assert cycling.depends_on_delta_t
+        assert not cycling.depends_on_temperature and not cycling.depends_on_voltage
+
+    def test_oxide_voltage_acceleration(self):
+        oxide = GateOxideBreakdown()
+        nominal = OperatingCondition(85.0, 20.0, 0.90)
+        overvolted = OperatingCondition(85.0, 20.0, 0.98)
+        assert oxide.lifetime_years(overvolted) < oxide.lifetime_years(nominal)
+
+    def test_em_arrhenius(self):
+        em = Electromigration()
+        hot = OperatingCondition(101.0, 20.0, 0.9)
+        cold = OperatingCondition(60.0, 20.0, 0.9)
+        assert em.lifetime_years(cold) > 5 * em.lifetime_years(hot)
+
+    def test_cycling_power_law(self):
+        cycling = ThermalCycling()
+        wide = OperatingCondition(85.0, 20.0, 0.9)     # ΔT = 65
+        narrow = OperatingCondition(74.0, 50.0, 0.9)   # ΔT = 24
+        assert cycling.lifetime_years(narrow) > cycling.lifetime_years(wide)
+
+    def test_cycling_zero_swing_is_infinite(self):
+        cycling = ThermalCycling()
+        steady = OperatingCondition(60.0, 60.0, 0.9)
+        assert math.isinf(cycling.lifetime_years(steady))
+
+    def test_condition_validation(self):
+        with pytest.raises(ReliabilityError):
+            OperatingCondition(50.0, 60.0, 0.9)
+        with pytest.raises(ReliabilityError):
+            OperatingCondition(60.0, 50.0, 0.0)
+
+
+class TestTable5:
+    """Row-by-row reproduction of the paper's Table V."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {(r.cooling, r.overclocked): r for r in project_table5()}
+
+    def test_air_nominal_is_5_years(self, rows):
+        row = rows[("Air cooling", False)]
+        assert row.tj_max_c == pytest.approx(85.0, abs=0.5)
+        assert row.lifetime_years == pytest.approx(5.0, abs=0.5)
+        assert row.lifetime_label == "5 years"
+
+    def test_air_overclocked_under_1_year(self, rows):
+        row = rows[("Air cooling", True)]
+        assert row.tj_max_c == pytest.approx(101.0, abs=0.5)
+        assert row.lifetime_years < 1.0
+        assert row.lifetime_label == "< 1 year"
+
+    def test_fc3284_nominal_over_10_years(self, rows):
+        row = rows[("3M FC-3284", False)]
+        assert row.tj_max_c == pytest.approx(66.0, abs=1.0)
+        assert row.lifetime_years > 10.0
+        assert row.lifetime_label == "> 10 years"
+
+    def test_fc3284_overclocked_about_4_years(self, rows):
+        row = rows[("3M FC-3284", True)]
+        assert row.tj_max_c == pytest.approx(74.0, abs=1.0)
+        assert row.lifetime_years == pytest.approx(4.0, abs=0.7)
+
+    def test_hfe7000_nominal_over_10_years(self, rows):
+        row = rows[("3M HFE-7000", False)]
+        assert row.tj_max_c == pytest.approx(51.0, abs=1.0)
+        assert row.lifetime_years > 10.0
+
+    def test_hfe7000_overclocked_matches_air_baseline(self, rows):
+        """The headline result: overclocked in HFE-7000 == air-cooled stock."""
+        row = rows[("3M HFE-7000", True)]
+        baseline = rows[("Air cooling", False)]
+        assert row.lifetime_years == pytest.approx(baseline.lifetime_years, rel=0.15)
+
+    def test_voltages(self, rows):
+        for (_, overclocked), row in rows.items():
+            assert row.voltage_v == (0.98 if overclocked else 0.90)
+
+    def test_immersion_swing_floor_is_boiling_point(self, rows):
+        assert rows[("3M FC-3284", False)].tj_min_c == 50.0
+        assert rows[("3M HFE-7000", True)].tj_min_c == 34.0
+
+
+class TestCompositeModel:
+    def test_lifetime_shorter_than_any_single_mode(self):
+        model = CompositeLifetimeModel()
+        condition = OperatingCondition(85.0, 20.0, 0.90)
+        total = model.lifetime_years(condition)
+        for mode in model.modes:
+            assert total <= mode.lifetime_years(condition)
+
+    def test_mode_breakdown_sums_to_one(self):
+        model = CompositeLifetimeModel()
+        condition = OperatingCondition(85.0, 20.0, 0.90)
+        shares = model.mode_breakdown(condition)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_dominant_mode_at_high_voltage_is_oxide(self):
+        model = CompositeLifetimeModel()
+        condition = OperatingCondition(60.0, 35.0, 1.05)
+        assert model.dominant_mode(condition).name == "gate oxide breakdown"
+
+    def test_requires_modes(self):
+        with pytest.raises(ReliabilityError):
+            CompositeLifetimeModel(())
+
+    @given(
+        st.floats(min_value=40.0, max_value=110.0),
+        st.floats(min_value=0.85, max_value=1.05),
+    )
+    def test_lifetime_monotone_decreasing_in_temp_and_voltage(self, tj, voltage):
+        model = CompositeLifetimeModel()
+        base = OperatingCondition(tj, 20.0, voltage)
+        hotter = OperatingCondition(tj + 5.0, 20.0, voltage)
+        harder = OperatingCondition(tj, 20.0, voltage + 0.02)
+        assert model.lifetime_years(hotter) < model.lifetime_years(base)
+        assert model.lifetime_years(harder) < model.lifetime_years(base)
+
+    def test_iso_lifetime_overclock_near_305w(self):
+        """Section IV: +100 W per socket in HFE-7000 keeps the 5-year life."""
+        model = CompositeLifetimeModel()
+        watts = iso_lifetime_overclock_watts(model, HFE_7000, target_years=5.0)
+        assert watts == pytest.approx(305.0, abs=20.0)
+
+    def test_iso_lifetime_fc3284_lower_than_hfe(self):
+        model = CompositeLifetimeModel()
+        fc = iso_lifetime_overclock_watts(model, FC_3284, target_years=5.0)
+        hfe = iso_lifetime_overclock_watts(model, HFE_7000, target_years=5.0)
+        assert fc < hfe
+
+
+class TestStability:
+    def test_stable_within_23_percent(self):
+        """Section IV: +23% over all-core turbo showed no errors in 6 months."""
+        model = StabilityModel()
+        assert model.expected_errors(1.23, hours=183 * 24) == 0.0
+        assert not model.crashes(1.23)
+
+    def test_aggressive_overclock_produces_errors(self):
+        """Small tank #2 logged 56 correctable errors in 6 months."""
+        model = StabilityModel()
+        errors = model.expected_errors(1.30, hours=183 * 24)
+        assert 5.0 < errors < 1000.0
+
+    def test_crash_beyond_margin(self):
+        model = StabilityModel()
+        assert model.crashes(1.35)
+        with pytest.raises(StabilityError):
+            model.check(1.40)
+        model.check(1.23)
+
+    def test_error_rate_monotone(self):
+        model = StabilityModel()
+        rates = [model.correctable_error_rate_per_hour(r) for r in (1.0, 1.24, 1.28, 1.32)]
+        assert rates == sorted(rates)
+
+    def test_monitor_alarms_on_rate_spike(self):
+        monitor = StabilityMonitor(rate_threshold_per_hour=1.0)
+        assert not monitor.observe(0.0, 0.0)
+        assert not monitor.observe(1.0, 0.5)
+        assert monitor.observe(2.0, 10.0)
+        assert monitor.alarms == 1
+
+    def test_monitor_rejects_decreasing_counts(self):
+        monitor = StabilityMonitor()
+        monitor.observe(0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            monitor.observe(1.0, 4.0)
+
+
+class TestWearout:
+    def test_full_utilization_at_rated_condition_consumes_rated_life(self):
+        counter = WearoutCounter()
+        condition = air_condition(205.0, 0.90)
+        counter.record(hours=8766.0, condition=condition, utilization=1.0)
+        # One year at the ~5-year condition consumes about a fifth of life.
+        assert counter.damage == pytest.approx(1.0 / 5.0, rel=0.1)
+
+    def test_moderate_utilization_accrues_credit(self):
+        counter = WearoutCounter()
+        condition = air_condition(205.0, 0.90)
+        counter.record(hours=8766.0, condition=condition, utilization=0.4)
+        assert counter.lifetime_credit() > 0.0
+
+    def test_worst_case_accrues_no_credit(self):
+        counter = WearoutCounter()
+        condition = air_condition(205.0, 0.90)
+        counter.record(hours=8766.0, condition=condition, utilization=1.0)
+        assert counter.lifetime_credit() == pytest.approx(0.0, abs=0.01)
+
+    def test_credit_buys_overclock_hours(self):
+        counter = WearoutCounter()
+        nominal = immersion_condition(HFE_7000, 205.0, 0.90)
+        overclocked = immersion_condition(HFE_7000, 305.0, 0.98)
+        counter.record(hours=8766.0, condition=nominal, utilization=0.3)
+        hours = counter.affordable_overclock_hours(overclocked, nominal)
+        assert hours > 100.0
+
+    def test_no_credit_no_overclock_budget(self):
+        counter = WearoutCounter()
+        condition = air_condition(305.0, 0.98)  # hotter than rated
+        counter.record(hours=8766.0, condition=condition, utilization=1.0)
+        assert counter.lifetime_credit() < 0
+        overclocked = immersion_condition(HFE_7000, 305.0, 0.98)
+        assert counter.affordable_overclock_hours(overclocked, condition) == 0.0
+
+    def test_remaining_years(self):
+        counter = WearoutCounter()
+        condition = immersion_condition(HFE_7000, 205.0, 0.90)
+        assert counter.remaining_years_at(condition, utilization=1.0) > 10.0
+        counter.record(hours=8766.0 * 5, condition=condition, utilization=1.0)
+        assert counter.remaining_years_at(condition) < 20.0
+
+    def test_validation(self):
+        counter = WearoutCounter()
+        condition = air_condition(205.0, 0.90)
+        with pytest.raises(ConfigurationError):
+            counter.record(-1.0, condition)
+        with pytest.raises(ConfigurationError):
+            counter.record(1.0, condition, utilization=2.0)

@@ -1,0 +1,276 @@
+"""Tests for the silicon substrate: domains, V/F, power, CPUs, GPUs, servers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.silicon import (
+    B1,
+    B2,
+    B4,
+    CONFIG_ORDER,
+    CORE_I9900K,
+    GPU,
+    GPU_BASE,
+    GPU_CONFIGS,
+    OC1,
+    OC3,
+    OCG1,
+    OCG3,
+    OCP_BLADE_8168,
+    RTX_2080TI,
+    TANK1_SERVER,
+    XEON_8168,
+    XEON_8180,
+    XEON_W3175X,
+    Domain,
+    DynamicPowerModel,
+    LeakageModel,
+    OperatingDomains,
+    ServerPowerModel,
+    VFCurve,
+    air_cooled_cpu,
+    config_by_name,
+    immersed_cpu,
+    round_to_bin,
+    w3175x_vf_curve,
+)
+from repro.thermal import FC_3284, HFE_7000
+
+
+class TestOperatingDomains:
+    DOMAINS = OperatingDomains(min_ghz=1.2, base_ghz=2.7, turbo_ghz=3.4, overclock_max_ghz=4.5)
+
+    def test_classification_bands(self):
+        assert self.DOMAINS.classify(2.0) is Domain.GUARANTEED
+        assert self.DOMAINS.classify(3.0) is Domain.TURBO
+        assert self.DOMAINS.classify(4.0) is Domain.OVERCLOCKING
+        assert self.DOMAINS.classify(5.0) is Domain.NON_OPERATING
+        assert self.DOMAINS.classify(0.5) is Domain.NON_OPERATING
+
+    def test_boundaries_inclusive(self):
+        assert self.DOMAINS.classify(2.7) is Domain.GUARANTEED
+        assert self.DOMAINS.classify(3.4) is Domain.TURBO
+        assert self.DOMAINS.classify(4.5) is Domain.OVERCLOCKING
+
+    def test_validate_raises_outside(self):
+        with pytest.raises(FrequencyError):
+            self.DOMAINS.validate(5.0)
+
+    def test_headroom_fraction(self):
+        assert self.DOMAINS.overclock_headroom_fraction == pytest.approx(4.5 / 3.4 - 1)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingDomains(min_ghz=2.0, base_ghz=1.0, turbo_ghz=3.0, overclock_max_ghz=4.0)
+
+
+class TestVFCurve:
+    def test_paper_anchor_points(self):
+        curve = w3175x_vf_curve()
+        assert curve.voltage_at(3.4) == pytest.approx(0.90)
+        assert curve.voltage_at(3.4 * 1.23) == pytest.approx(0.98)
+
+    def test_interpolation_between_anchors(self):
+        curve = w3175x_vf_curve()
+        mid_v = curve.voltage_at((3.4 + 3.4 * 1.23) / 2)
+        assert 0.90 < mid_v < 0.98
+
+    def test_offset_applied(self):
+        curve = w3175x_vf_curve()
+        assert curve.voltage_at(3.4, offset_mv=50.0) == pytest.approx(0.95)
+
+    def test_extrapolation_is_monotone(self):
+        curve = w3175x_vf_curve()
+        assert curve.voltage_at(4.5) > curve.voltage_at(4.2)
+        assert curve.voltage_at(3.0) < 0.90
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            VFCurve([(3.4, 0.9)])
+
+    @given(st.floats(min_value=2.0, max_value=5.0), st.floats(min_value=2.0, max_value=5.0))
+    def test_voltage_monotone_in_frequency(self, f1, f2):
+        curve = w3175x_vf_curve()
+        low, high = sorted([f1, f2])
+        assert curve.voltage_at(low) <= curve.voltage_at(high) + 1e-12
+
+
+class TestPowerModels:
+    def test_leakage_savings_match_paper(self):
+        """Section IV: 17-22 °C cooler saves ~11 W static per socket."""
+        leak = LeakageModel()
+        save_17 = leak.savings_watts(92.0, 75.0)
+        save_22 = leak.savings_watts(90.0, 68.0)
+        assert 9.0 <= save_17 <= 13.0
+        assert 9.0 <= save_22 <= 13.0
+
+    def test_leakage_monotone_in_temperature(self):
+        leak = LeakageModel()
+        assert leak.watts(50.0) < leak.watts(90.0) < leak.watts(101.0)
+
+    def test_dynamic_power_scaling(self):
+        dyn = DynamicPowerModel(ref_watts=175.0, ref_frequency_ghz=3.1, ref_voltage_v=0.9)
+        assert dyn.watts(3.1, 0.9) == pytest.approx(175.0)
+        # Doubling V at the same f quadruples dynamic power.
+        assert dyn.watts(3.1, 1.8) == pytest.approx(700.0)
+        # Doubling f at the same V doubles it.
+        assert dyn.watts(6.2, 0.9) == pytest.approx(350.0)
+
+    def test_frequency_for_budget_cube_root(self):
+        dyn = DynamicPowerModel(ref_watts=100.0, ref_frequency_ghz=3.0, ref_voltage_v=0.9)
+        assert dyn.frequency_for_budget(800.0) == pytest.approx(6.0)
+        assert dyn.frequency_for_budget(200.0, voltage_scales_with_f=False) == pytest.approx(6.0)
+
+
+class TestCPUTable3:
+    """Reproduces Table III: max attained turbo with air vs FC-3284."""
+
+    @pytest.mark.parametrize(
+        "spec, air_turbo, immersion_turbo",
+        [(XEON_8168, 3.1, 3.2), (XEON_8180, 2.6, 2.7)],
+    )
+    def test_turbo_gains_one_bin_in_immersion(self, spec, air_turbo, immersion_turbo):
+        air = air_cooled_cpu(spec)
+        immersed = immersed_cpu(spec, FC_3284)
+        assert air.allcore_turbo_ghz() == pytest.approx(air_turbo)
+        assert immersed.allcore_turbo_ghz() == pytest.approx(immersion_turbo)
+
+    @pytest.mark.parametrize(
+        "spec, air_tj, immersion_tj",
+        [(XEON_8168, 92.0, 75.0), (XEON_8180, 90.0, 68.0)],
+    )
+    def test_junction_temperatures_match(self, spec, air_tj, immersion_tj):
+        air = air_cooled_cpu(spec)
+        immersed = immersed_cpu(spec, FC_3284)
+        assert air.junction.junction_temp_c(spec.tdp_watts) == pytest.approx(air_tj, abs=2.5)
+        assert immersed.junction.junction_temp_c(spec.tdp_watts) == pytest.approx(
+            immersion_tj, abs=2.5
+        )
+
+    def test_static_savings_about_11w(self):
+        air = air_cooled_cpu(XEON_8168)
+        immersed = immersed_cpu(XEON_8168, FC_3284)
+        assert immersed.static_power_savings_vs(air) == pytest.approx(11.0, abs=2.0)
+
+    def test_locked_part_cannot_overclock(self):
+        immersed = immersed_cpu(XEON_8168, FC_3284)
+        with pytest.raises(FrequencyError):
+            immersed.operating_point(3.8)
+
+    def test_w3175x_overclock_power_matches_paper(self):
+        """Section IV: 205 W at 0.90 V -> ~305 W at 0.98 V (+23% frequency)."""
+        cpu = immersed_cpu(XEON_W3175X, HFE_7000)
+        nominal = cpu.operating_point(3.4)
+        overclocked = cpu.operating_point(3.4 * 1.23)
+        assert nominal.voltage_v == pytest.approx(0.90)
+        assert overclocked.voltage_v == pytest.approx(0.98)
+        gain = overclocked.total_watts - nominal.total_watts
+        assert gain == pytest.approx(100.0, abs=20.0)
+
+    def test_round_to_bin(self):
+        assert round_to_bin(3.156) == pytest.approx(3.2)
+        assert round_to_bin(3.14) == pytest.approx(3.1)
+
+    def test_i9900k_is_unlocked(self):
+        assert CORE_I9900K.unlocked
+        cpu = immersed_cpu(CORE_I9900K, FC_3284)
+        point = cpu.operating_point(5.0)
+        assert point.frequency_ghz == 5.0
+
+
+class TestFrequencyConfigs:
+    def test_table7_values(self):
+        assert B1.core_ghz == 3.1 and not B1.turbo_enabled
+        assert B2.core_ghz == 3.4 and B2.turbo_enabled
+        assert B4.memory_ghz == 3.0
+        assert OC1.core_ghz == 4.1 and OC1.voltage_offset_mv == 50.0
+        assert OC3.llc_ghz == 2.8 and OC3.memory_ghz == 3.0
+
+    def test_overclocked_flag(self):
+        assert OC1.is_overclocked
+        assert not B2.is_overclocked
+
+    def test_speedups_over_baseline(self):
+        speedups = OC3.speedups_over(B2)
+        assert speedups["core"] == pytest.approx(4.1 / 3.4)
+        assert speedups["llc"] == pytest.approx(2.8 / 2.4)
+        assert speedups["memory"] == pytest.approx(3.0 / 2.4)
+
+    def test_lookup_and_order(self):
+        assert config_by_name("OC2").llc_ghz == 2.8
+        assert list(CONFIG_ORDER) == ["B1", "B2", "B3", "B4", "OC1", "OC2", "OC3"]
+        with pytest.raises(ConfigurationError):
+            config_by_name("OC9")
+
+
+class TestGPU:
+    def test_table8_values(self):
+        assert GPU_BASE.power_limit_watts == 250.0
+        assert GPU_BASE.turbo_ghz == 1.950
+        assert OCG1.turbo_ghz == 2.085
+        assert OCG3.memory_ghz == 8.3
+        assert OCG3.voltage_offset_mv == 100.0
+        assert set(GPU_CONFIGS) == {"Base", "OCG1", "OCG2", "OCG3"}
+
+    def test_power_rises_with_overclock(self):
+        base = GPU(RTX_2080TI, GPU_BASE).power_watts()
+        ocg3 = GPU(RTX_2080TI, OCG3).power_watts()
+        assert ocg3 > base
+        # Paper: P99 rises from ~193 W to ~231 W (+19%); allow wide band.
+        assert 1.05 < ocg3 / base < 1.35
+
+    def test_power_clamped_at_limit(self):
+        gpu = GPU(RTX_2080TI, OCG3)
+        assert gpu.power_watts() <= OCG3.power_limit_watts
+
+    def test_baseline_vgg_power_ball_park(self):
+        gpu = GPU(RTX_2080TI, GPU_BASE)
+        assert gpu.power_watts() == pytest.approx(193.0, abs=10.0)
+
+    def test_activity_scales_power(self):
+        gpu = GPU(RTX_2080TI, GPU_BASE)
+        assert gpu.power_watts(0.5, 0.5) < gpu.power_watts(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            gpu.power_watts(1.5)
+
+
+class TestServer:
+    def test_ocp_power_budget_is_700w(self):
+        """Section III: 410 CPU + 120 mem + 26 mobo + 30 FPGA + 72 storage + 42 fans."""
+        budget = OCP_BLADE_8168.component_budget()
+        assert budget["cpu"] == pytest.approx(410.0)
+        assert budget["memory"] == pytest.approx(120.0)
+        assert budget["motherboard"] == pytest.approx(26.0)
+        assert budget["fpga"] == pytest.approx(30.0)
+        assert budget["storage"] == pytest.approx(72.0)
+        assert budget["fans"] == pytest.approx(42.0)
+        assert OCP_BLADE_8168.max_power_watts() == pytest.approx(700.0)
+
+    def test_immersion_drops_fans(self):
+        assert OCP_BLADE_8168.max_power_watts(with_fans=False) == pytest.approx(658.0)
+
+    def test_overclocked_budget_adds_100w_per_socket(self):
+        assert OCP_BLADE_8168.overclocked_power_watts() == pytest.approx(858.0)
+
+    def test_pcores(self):
+        assert OCP_BLADE_8168.pcores == 48
+        assert TANK1_SERVER.pcores == 28
+
+    def test_power_model_fig12_calibration(self):
+        """Figure 12 power: B2 ~120/130 W, OC3 ~160/173 W (12/16 busy pcores)."""
+        model = ServerPowerModel()
+        assert model.watts(B2, busy_cores=12 * 0.62) == pytest.approx(120.0, abs=8.0)
+        assert model.watts(B2, busy_cores=16 * 0.58) == pytest.approx(130.0, abs=8.0)
+        assert model.watts(OC3, busy_cores=12 * 0.64) == pytest.approx(160.0, abs=10.0)
+        assert model.watts(OC3, busy_cores=16 * 0.59) == pytest.approx(173.0, abs=10.0)
+
+    def test_power_model_monotone_in_cores_and_config(self):
+        model = ServerPowerModel()
+        assert model.watts(B2, 4) < model.watts(B2, 8) < model.watts(OC3, 8)
+
+    def test_power_model_validates_core_range(self):
+        model = ServerPowerModel()
+        with pytest.raises(ConfigurationError):
+            model.watts(B2, busy_cores=100)

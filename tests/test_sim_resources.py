@@ -1,0 +1,138 @@
+"""Tests for the DES resource primitives (Resource, Store)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResource:
+    def test_grants_within_capacity_immediately(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=2)
+        grants = []
+        resource.acquire(lambda: grants.append("a"))
+        resource.acquire(lambda: grants.append("b"))
+        simulator.run()
+        assert grants == ["a", "b"]
+        assert resource.in_use == 2
+        assert resource.available == 0
+
+    def test_queues_beyond_capacity(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=1)
+        grants = []
+        resource.acquire(lambda: grants.append("first"))
+        resource.acquire(lambda: grants.append("second"))
+        simulator.run()
+        assert grants == ["first"]
+        assert resource.queue_length == 1
+        resource.release()
+        simulator.run()
+        assert grants == ["first", "second"]
+
+    def test_fifo_order(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=1)
+        grants = []
+        resource.acquire(lambda: grants.append(0))
+        for index in range(1, 4):
+            resource.acquire(lambda i=index: grants.append(i))
+        simulator.run()
+        for _ in range(3):
+            resource.release()
+            simulator.run()
+        assert grants == [0, 1, 2, 3]
+
+    def test_multi_unit_acquisition(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=4)
+        grants = []
+        resource.acquire(lambda: grants.append("big"), amount=3)
+        resource.acquire(lambda: grants.append("blocked"), amount=2)
+        simulator.run()
+        assert grants == ["big"]
+        resource.release(amount=3)
+        simulator.run()
+        assert grants == ["big", "blocked"]
+
+    def test_cancelled_waiter_skipped(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=1)
+        grants = []
+        resource.acquire(lambda: grants.append("holder"))
+        waiter = resource.acquire(lambda: grants.append("cancelled"))
+        resource.acquire(lambda: grants.append("next"))
+        simulator.run()
+        waiter.cancelled = True
+        resource.release()
+        simulator.run()
+        assert grants == ["holder", "next"]
+
+    def test_over_release_rejected(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_validation(self):
+        simulator = Simulator()
+        with pytest.raises(ConfigurationError):
+            Resource(simulator, capacity=0)
+        resource = Resource(simulator, capacity=2)
+        with pytest.raises(ConfigurationError):
+            resource.acquire(lambda: None, amount=3)
+
+    def test_grant_counter(self):
+        simulator = Simulator()
+        resource = Resource(simulator, capacity=2)
+        resource.acquire(lambda: None)
+        resource.acquire(lambda: None)
+        simulator.run()
+        assert resource.total_grants == 2
+
+
+class TestStore:
+    def test_put_then_get(self):
+        simulator = Simulator()
+        store = Store(simulator)
+        received = []
+        store.put("x")
+        store.get(received.append)
+        simulator.run()
+        assert received == ["x"]
+
+    def test_get_then_put_wakes_consumer(self):
+        simulator = Simulator()
+        store = Store(simulator)
+        received = []
+        store.get(received.append)
+        simulator.run()
+        assert received == []
+        store.put("late")
+        simulator.run()
+        assert received == ["late"]
+
+    def test_fifo_items(self):
+        simulator = Simulator()
+        store = Store(simulator)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        received = []
+        for _ in range(3):
+            store.get(received.append)
+        simulator.run()
+        assert received == ["a", "b", "c"]
+
+    def test_bounded_store_drops(self):
+        simulator = Simulator()
+        store = Store(simulator, max_items=1)
+        assert store.put("kept")
+        assert not store.put("dropped")
+        assert store.dropped == 1
+        assert len(store) == 1
+
+    def test_validation(self):
+        simulator = Simulator()
+        with pytest.raises(ConfigurationError):
+            Store(simulator, max_items=0)

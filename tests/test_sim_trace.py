@@ -1,0 +1,68 @@
+"""Tests for the simulation tracing facility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.sim.trace import SimTrace
+
+
+class TestSimTrace:
+    def test_events_timestamped_with_sim_clock(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator)
+        simulator.at(10.0, lambda: trace.emit("asc", "scale-out triggered"))
+        simulator.at(70.0, lambda: trace.emit("asc", "vm ready"))
+        simulator.run()
+        events = list(trace)
+        assert [e.time for e in events] == [10.0, 70.0]
+        assert events[0].category == "asc"
+
+    def test_ring_buffer_evicts_oldest(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator, max_events=3)
+        for index in range(5):
+            trace.emit("x", f"event-{index}")
+        assert len(trace) == 3
+        assert [e.message for e in trace] == ["event-2", "event-3", "event-4"]
+        assert trace.emitted == 5
+
+    def test_category_filtering_at_record_time(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator, categories={"power"})
+        trace.emit("power", "kept")
+        trace.emit("noise", "dropped")
+        assert len(trace) == 1
+        assert trace.suppressed == 1
+
+    def test_select_filters(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator)
+        for time, category in ((1.0, "a"), (2.0, "b"), (3.0, "a")):
+            simulator.at(time, lambda c=category: trace.emit(c, "m"))
+        simulator.run()
+        assert len(trace.select(category="a")) == 2
+        assert len(trace.select(start_time=1.5)) == 2
+        assert len(trace.select(start_time=1.5, end_time=2.5)) == 1
+
+    def test_emitter_binding(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator)
+        log = trace.emitter("lb")
+        log("routed")
+        assert trace.tail(1)[0].category == "lb"
+
+    def test_render(self):
+        simulator = Simulator()
+        trace = SimTrace(simulator)
+        trace.emit("asc", "hello")
+        text = trace.render()
+        assert "asc" in text and "hello" in text
+
+    def test_validation(self):
+        simulator = Simulator()
+        with pytest.raises(ConfigurationError):
+            SimTrace(simulator, max_events=0)
+        trace = SimTrace(simulator)
+        with pytest.raises(ConfigurationError):
+            trace.tail(-1)

@@ -1,0 +1,87 @@
+"""Tests for the STREAM (Fig. 10) and VGG (Fig. 11) models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon import B1, B2, B3, B4, OC1, OC2, OC3
+from repro.silicon.gpu import GPU_BASE, OCG1, OCG2, OCG3
+from repro.workloads import stream, vgg
+
+
+class TestStream:
+    def test_b4_gain_about_17_percent(self):
+        assert stream.bandwidth_gain_over_b1(B4) == pytest.approx(0.17, abs=0.03)
+
+    def test_oc3_gain_about_24_percent(self):
+        assert stream.bandwidth_gain_over_b1(OC3) == pytest.approx(0.24, abs=0.03)
+
+    def test_core_and_cache_alone_help_some(self):
+        """Faster core/cache serve memory requests faster (paper claim)."""
+        assert 0.0 < stream.bandwidth_gain_over_b1(B2) < 0.10
+        assert stream.bandwidth_gain_over_b1(B3) > stream.bandwidth_gain_over_b1(B2)
+        assert stream.bandwidth_gain_over_b1(OC1) > stream.bandwidth_gain_over_b1(B2)
+
+    def test_memory_clock_is_biggest_lever(self):
+        mem_gain = stream.bandwidth_gain_over_b1(B4) - stream.bandwidth_gain_over_b1(B3)
+        core_gain = stream.bandwidth_gain_over_b1(B2)
+        assert mem_gain > core_gain
+
+    def test_kernel_ordering(self):
+        """copy >= scale >= add >= triad at any config."""
+        for config in (B1, OC3):
+            bandwidths = [stream.bandwidth_mb_s(k, config) for k in stream.STREAM_KERNELS]
+            assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stream.bandwidth_mb_s("multiply", B1)
+
+    def test_sweep_covers_all_cells(self):
+        results = stream.sweep([B1, B2, OC3])
+        assert len(results) == 3 * 4
+        assert {r.config for r in results} == {"B1", "B2", "OC3"}
+
+
+class TestVGG:
+    def test_all_models_improve_under_full_overclock(self):
+        for model in vgg.VGG_MODELS:
+            assert model.time_scale(OCG3) < 1.0
+
+    def test_max_improvement_near_15_percent(self):
+        best = min(model.time_scale(OCG3) for model in vgg.VGG_MODELS)
+        assert best == pytest.approx(0.86, abs=0.03)
+
+    def test_vgg16b_saturates_after_ocg2(self):
+        """The batch-optimized model gains nothing from more GPU-memory clock."""
+        ocg2 = vgg.VGG16B.time_scale(OCG2)
+        ocg3 = vgg.VGG16B.time_scale(OCG3)
+        assert ocg3 == pytest.approx(ocg2, abs=0.005)
+
+    def test_vgg16b_gains_mostly_from_core(self):
+        ocg1_gain = 1.0 - vgg.VGG16B.time_scale(OCG1)
+        ocg2_extra = vgg.VGG16B.time_scale(OCG1) - vgg.VGG16B.time_scale(OCG2)
+        assert ocg1_gain > 4 * ocg2_extra
+
+    def test_time_monotone_across_configs(self):
+        for model in vgg.VGG_MODELS:
+            times = [model.time_scale(c) for c in (GPU_BASE, OCG1, OCG2, OCG3)]
+            assert times == sorted(times, reverse=True), model.name
+
+    def test_epoch_seconds_scales_base_time(self):
+        assert vgg.VGG16.epoch_seconds(GPU_BASE) == vgg.VGG16.base_epoch_seconds
+        assert vgg.VGG16.epoch_seconds(OCG3) < vgg.VGG16.base_epoch_seconds
+
+    def test_sweep_power_shape(self):
+        """Power rises with overclock; OCG1->OCG3 about +10%; base ~193 W."""
+        runs = {(r.model, r.config): r for r in vgg.sweep([GPU_BASE, OCG1, OCG2, OCG3])}
+        base = runs[("VGG16B", "Base")].power_watts
+        ocg1 = runs[("VGG16B", "OCG1")].power_watts
+        ocg3 = runs[("VGG16B", "OCG3")].power_watts
+        assert base == pytest.approx(193.0, abs=8.0)
+        assert 1.05 < ocg3 / ocg1 < 1.18
+        assert 1.10 < ocg3 / base < 1.30
+
+    def test_lookup(self):
+        assert vgg.model_by_name("VGG19") is vgg.VGG19
+        with pytest.raises(ConfigurationError):
+            vgg.model_by_name("ResNet")

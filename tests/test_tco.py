@@ -1,0 +1,102 @@
+"""Tests for the TCO model (Table VI and Section VI-C)."""
+
+import pytest
+
+from repro.errors import TCOError
+from repro.tco import (
+    AIR_BASELINE,
+    NON_OC_2PIC,
+    OC_2PIC,
+    TCOModel,
+    build_table6,
+    cost_per_vcore,
+    oversubscription_analysis,
+)
+
+
+class TestTCOModel:
+    def test_air_baseline_has_no_deltas(self):
+        model = TCOModel()
+        deltas = model.category_deltas(AIR_BASELINE)
+        assert all(delta == 0.0 for delta in deltas.values())
+        assert model.cost_per_pcore(AIR_BASELINE) == 1.0
+
+    def test_density_gain_from_pue(self):
+        model = TCOModel()
+        gain = model.core_density_gain(NON_OC_2PIC)
+        assert gain == pytest.approx(1.20 / 1.03 - 1.0)
+        assert model.core_density_gain(AIR_BASELINE) == 0.0
+
+    def test_energy_ratio_non_oc_saves(self):
+        model = TCOModel()
+        assert model.energy_ratio(NON_OC_2PIC) < 1.0
+
+    def test_energy_ratio_oc_back_to_baseline(self):
+        """The paper: overclocking energy ~cancels the PUE/fan savings."""
+        model = TCOModel()
+        assert model.energy_ratio(OC_2PIC) == pytest.approx(1.0, abs=0.05)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(TCOError):
+            TCOModel(baseline_shares={"servers": 0.5, "network": 0.2})
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(TCOError):
+            TCOModel(baseline_shares={"servers": 1.2, "network": -0.2})
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_table6()
+
+    def test_paper_cells_non_overclockable(self, table):
+        cells = {row.category: row.non_overclockable_pct for row in table.rows}
+        assert cells == {
+            "servers": -1,
+            "network": 1,
+            "dc_construction": -2,
+            "energy": -2,
+            "operations": -2,
+            "design_taxes_fees": -2,
+            "immersion": 1,
+        }
+
+    def test_paper_cells_overclockable(self, table):
+        cells = {row.category: row.overclockable_pct for row in table.rows}
+        assert cells == {
+            "servers": 0,
+            "network": 1,
+            "dc_construction": -2,
+            "energy": 0,
+            "operations": -2,
+            "design_taxes_fees": -2,
+            "immersion": 1,
+        }
+
+    def test_totals_match_paper(self, table):
+        assert table.non_overclockable_total_pct == -7
+        assert table.overclockable_total_pct == -4
+
+    def test_cost_per_pcore(self):
+        model = TCOModel()
+        assert model.cost_per_pcore(NON_OC_2PIC) == pytest.approx(0.93)
+        assert model.cost_per_pcore(OC_2PIC) == pytest.approx(0.96)
+
+
+class TestOversubscriptionTCO:
+    def test_oc_2pic_13_percent_vs_air(self):
+        analysis = oversubscription_analysis(oversubscription=0.10)
+        assert analysis.oc_2pic_vs_air == pytest.approx(-0.13, abs=0.015)
+
+    def test_non_oc_about_10_percent_vs_itself(self):
+        analysis = oversubscription_analysis(oversubscription=0.10)
+        assert analysis.non_oc_2pic_vs_itself == pytest.approx(-0.091, abs=0.01)
+
+    def test_cost_per_vcore_monotone_in_oversubscription(self):
+        costs = [cost_per_vcore(OC_2PIC, ratio) for ratio in (0.0, 0.1, 0.2)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_negative_oversubscription_rejected(self):
+        with pytest.raises(TCOError):
+            cost_per_vcore(OC_2PIC, -0.1)

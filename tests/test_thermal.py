@@ -1,0 +1,234 @@
+"""Tests for the thermal substrate: fluids, cooling catalog, junctions, tanks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    CoolingCapacityExceeded,
+    ThermalError,
+)
+from repro.thermal import (
+    CHILLERS,
+    COOLING_TECHNOLOGIES,
+    DIRECT_EVAPORATIVE,
+    FC_3284,
+    HFE_7000,
+    TWO_PHASE_IMMERSION,
+    BECPlacement,
+    ImmersedLoad,
+    ImmersionTank,
+    JunctionModel,
+    ThermalChamber,
+    air_junction_model,
+    bec_required,
+    fluid_by_name,
+    heat_flux_w_per_cm2,
+    immersion_junction_model,
+    immersion_power_savings,
+    large_tank,
+    small_tank_1,
+    small_tank_2,
+    technology_by_name,
+)
+
+
+class TestFluids:
+    def test_table2_properties(self):
+        assert FC_3284.boiling_point_c == 50.0
+        assert FC_3284.dielectric_constant == 1.86
+        assert FC_3284.latent_heat_j_per_g == 105.0
+        assert HFE_7000.boiling_point_c == 34.0
+        assert HFE_7000.dielectric_constant == 7.4
+        assert HFE_7000.latent_heat_j_per_g == 142.0
+        assert FC_3284.useful_life_years >= 30
+        assert HFE_7000.useful_life_years >= 30
+
+    def test_vaporization_rate(self):
+        # 105 W boils 1 g/s of FC-3284.
+        assert FC_3284.vaporization_rate_g_per_s(105.0) == pytest.approx(1.0)
+        assert HFE_7000.vaporization_rate_g_per_s(142.0) == pytest.approx(1.0)
+
+    def test_lookup(self):
+        assert fluid_by_name("FC-3284") is FC_3284
+        with pytest.raises(ConfigurationError):
+            fluid_by_name("water")
+
+    def test_pool_sits_at_boiling_point(self):
+        assert FC_3284.pool_temperature_c() == FC_3284.boiling_point_c
+
+
+class TestCoolingCatalog:
+    def test_table1_pue_ordering(self):
+        """Table I: PUE improves monotonically down the catalog."""
+        pues = [tech.average_pue for tech in COOLING_TECHNOLOGIES]
+        assert pues == sorted(pues, reverse=True)
+        assert COOLING_TECHNOLOGIES[0] is CHILLERS
+        assert COOLING_TECHNOLOGIES[-1] is TWO_PHASE_IMMERSION
+
+    def test_2pic_figures(self):
+        assert TWO_PHASE_IMMERSION.average_pue == 1.02
+        assert TWO_PHASE_IMMERSION.peak_pue == 1.03
+        assert TWO_PHASE_IMMERSION.fan_overhead == 0.0
+        assert TWO_PHASE_IMMERSION.max_server_cooling_watts >= 4000
+
+    def test_air_cannot_cool_future_servers(self):
+        with pytest.raises(CoolingCapacityExceeded):
+            DIRECT_EVAPORATIVE.check_capacity(900.0)
+        TWO_PHASE_IMMERSION.check_capacity(900.0)
+
+    def test_facility_power(self):
+        assert CHILLERS.facility_watts(1000.0) == pytest.approx(1700.0)
+        assert CHILLERS.overhead_watts(1000.0, peak=True) == pytest.approx(1000.0)
+
+    def test_lookup(self):
+        assert technology_by_name("2PIC") is TWO_PHASE_IMMERSION
+        with pytest.raises(ConfigurationError):
+            technology_by_name("magic")
+
+    def test_power_savings_decomposition_matches_paper(self):
+        """Section IV: ~182 W per 700 W server (2×11 static + 42 fans + 118 PUE)."""
+        savings = immersion_power_savings(
+            server_watts=700.0,
+            fan_watts=42.0,
+            static_savings_per_socket_watts=11.0,
+            sockets=2,
+        )
+        assert savings.static_watts == pytest.approx(22.0)
+        assert savings.fan_watts == pytest.approx(42.0)
+        assert savings.pue_watts == pytest.approx(118.0, abs=2.0)
+        assert savings.total_watts == pytest.approx(182.0, abs=3.0)
+
+
+class TestJunctionModel:
+    def test_linear_in_power(self):
+        model = JunctionModel(reference_temp_c=50.0, thermal_resistance_c_per_w=0.1)
+        assert model.junction_temp_c(0.0) == 50.0
+        assert model.junction_temp_c(200.0) == pytest.approx(70.0)
+
+    def test_max_power_inverse(self):
+        model = JunctionModel(reference_temp_c=50.0, thermal_resistance_c_per_w=0.1, tj_max_c=90.0)
+        assert model.max_power_watts() == pytest.approx(400.0)
+        assert model.junction_temp_c(model.max_power_watts()) == pytest.approx(90.0)
+
+    def test_check_raises_above_tjmax(self):
+        model = JunctionModel(reference_temp_c=50.0, thermal_resistance_c_per_w=0.1, tj_max_c=90.0)
+        model.check(400.0)
+        with pytest.raises(ThermalError):
+            model.check(401.0)
+
+    def test_immersion_reference_is_boiling_point(self):
+        model = immersion_junction_model(FC_3284, bec=BECPlacement.CPU_IHS)
+        assert model.reference_temp_c == 50.0
+        assert model.thermal_resistance_c_per_w == 0.08
+
+    def test_bec_halves_resistance(self):
+        coated = immersion_junction_model(FC_3284, bec=BECPlacement.COPPER_PLATE)
+        uncoated = immersion_junction_model(FC_3284, bec=BECPlacement.NONE)
+        assert uncoated.thermal_resistance_c_per_w == pytest.approx(
+            2 * coated.thermal_resistance_c_per_w
+        )
+
+    def test_air_model_includes_rise(self):
+        model = air_junction_model(inlet_temp_c=35.0, thermal_resistance_c_per_w=0.22,
+                                   air_rise_c=12.0)
+        assert model.reference_temp_c == 47.0
+
+    @given(st.floats(min_value=0, max_value=400), st.floats(min_value=0, max_value=400))
+    def test_monotone_in_power(self, p1, p2):
+        model = immersion_junction_model(HFE_7000)
+        low, high = sorted([p1, p2])
+        assert model.junction_temp_c(low) <= model.junction_temp_c(high)
+
+    def test_heat_flux_and_bec_requirement(self):
+        assert heat_flux_w_per_cm2(205.0, 6.0) == pytest.approx(34.2, rel=0.01)
+        assert bec_required(205.0, 6.0)
+        assert not bec_required(50.0, 6.0)
+
+
+class TestThermalChamber:
+    def test_paper_defaults(self):
+        chamber = ThermalChamber()
+        assert chamber.airflow_cfm == 110.0
+        assert chamber.inlet_temp_c == 35.0
+        assert chamber.air_rise_c() == pytest.approx(12.0)
+
+    def test_more_airflow_less_rise(self):
+        assert ThermalChamber(airflow_cfm=220.0).air_rise_c() == pytest.approx(6.0)
+
+    def test_junction_model_reference(self):
+        model = ThermalChamber().junction_model(0.22)
+        assert model.reference_temp_c == pytest.approx(47.0)
+
+
+class TestImmersionTank:
+    def test_prototype_configs(self):
+        tank1, tank2, big = small_tank_1(), small_tank_2(), large_tank()
+        assert tank1.fluid is HFE_7000
+        assert tank2.fluid is FC_3284
+        assert big.fluid is FC_3284
+        assert tank1.slots == 2
+        assert big.slots == 36
+
+    def test_immerse_and_remove(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("server-1", 255.0))
+        assert tank.occupied_slots == 1
+        assert tank.total_heat_watts == 255.0
+        removed = tank.remove("server-1")
+        assert removed.power_watts == 255.0
+        assert tank.occupied_slots == 0
+
+    def test_servicing_costs_vapor(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("server-1", 255.0))
+        before = tank.remaining_fluid_grams()
+        tank.remove("server-1")
+        assert tank.remaining_fluid_grams() < before
+        assert tank.vapor.servicing_events == 1
+
+    def test_slot_capacity_enforced(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("a", 100.0))
+        tank.immerse(ImmersedLoad("b", 100.0))
+        with pytest.raises(CapacityError):
+            tank.immerse(ImmersedLoad("c", 100.0))
+
+    def test_condenser_capacity_enforced(self):
+        tank = small_tank_1()
+        with pytest.raises(CoolingCapacityExceeded):
+            tank.immerse(ImmersedLoad("hot", 3000.0))
+
+    def test_duplicate_name_rejected(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("a", 100.0))
+        with pytest.raises(ConfigurationError):
+            tank.immerse(ImmersedLoad("a", 100.0))
+
+    def test_overclocking_power_raise_checked(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("a", 255.0))
+        tank.set_load_power("a", 355.0)
+        assert tank.total_heat_watts == 355.0
+        with pytest.raises(CoolingCapacityExceeded):
+            tank.set_load_power("a", 5000.0)
+
+    def test_large_tank_fits_full_overclocked_fleet(self):
+        tank = large_tank()
+        for index in range(36):
+            tank.immerse(ImmersedLoad(f"blade-{index}", 700.0 + 200.0))
+        assert tank.free_slots == 0
+        assert tank.headroom_watts >= 0
+
+    def test_circulation_rate(self):
+        tank = small_tank_2()
+        tank.immerse(ImmersedLoad("a", 105.0))
+        assert tank.circulation_rate_g_per_s() == pytest.approx(1.0)
+
+    def test_junction_model_for_load(self):
+        tank = small_tank_1()
+        tank.immerse(ImmersedLoad("a", 255.0, bec=BECPlacement.CPU_IHS))
+        model = tank.junction_model_for("a")
+        assert model.reference_temp_c == HFE_7000.boiling_point_c

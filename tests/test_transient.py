@@ -1,0 +1,120 @@
+"""Tests for transient thermal dynamics and cycle counting."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal import FC_3284, immersion_junction_model
+from repro.thermal.junction import JunctionModel
+from repro.thermal.transient import (
+    TemperaturePoint,
+    ThermalRC,
+    count_cycles,
+    cycling_damage,
+)
+
+AIR = JunctionModel(reference_temp_c=20.0, thermal_resistance_c_per_w=0.16)
+
+
+class TestThermalRC:
+    def test_settles_to_steady_state(self):
+        rc = ThermalRC(AIR, tau_s=10.0, initial_power_watts=0.0)
+        rc.set_power(0.0, 205.0)
+        temp = rc.sample(100.0)  # 10 time constants
+        assert temp == pytest.approx(AIR.junction_temp_c(205.0), abs=0.1)
+
+    def test_exponential_approach(self):
+        rc = ThermalRC(AIR, tau_s=10.0, initial_power_watts=0.0)
+        rc.set_power(0.0, 205.0)
+        steady = AIR.junction_temp_c(205.0)
+        start = AIR.junction_temp_c(0.0)
+        after_tau = rc.sample(10.0)
+        expected = steady + (start - steady) * math.exp(-1.0)
+        assert after_tau == pytest.approx(expected, abs=0.1)
+
+    def test_cooling_transient(self):
+        rc = ThermalRC(AIR, tau_s=10.0, initial_power_watts=205.0)
+        rc.set_power(0.0, 0.0)
+        assert rc.sample(5.0) > AIR.junction_temp_c(0.0)
+        assert rc.sample(200.0) == pytest.approx(AIR.junction_temp_c(0.0), abs=0.1)
+
+    def test_immersion_floor_is_boiling_point(self):
+        model = immersion_junction_model(FC_3284)
+        rc = ThermalRC(model, tau_s=10.0, initial_power_watts=205.0)
+        rc.set_power(0.0, 0.0)
+        temp = rc.sample(500.0)
+        assert temp == pytest.approx(FC_3284.boiling_point_c, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalRC(AIR, tau_s=0.0)
+        rc = ThermalRC(AIR)
+        rc.set_power(10.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            rc.set_power(5.0, 50.0)
+        with pytest.raises(ConfigurationError):
+            rc.set_power(20.0, -1.0)
+
+
+class TestCycleCounting:
+    def _square_wave_trace(self, low, high, periods, period_s=100.0):
+        trace = []
+        time = 0.0
+        for _ in range(periods):
+            trace.append(TemperaturePoint(time, low))
+            trace.append(TemperaturePoint(time + period_s / 2, high))
+            time += period_s
+        trace.append(TemperaturePoint(time, low))
+        return trace
+
+    def test_counts_square_wave_swings(self):
+        trace = self._square_wave_trace(30.0, 80.0, periods=5)
+        cycles = count_cycles(trace)
+        assert len(cycles) == 10  # 5 up + 5 down half-swings
+        assert all(c.delta_t_c == pytest.approx(50.0) for c in cycles)
+
+    def test_small_ripple_ignored(self):
+        trace = self._square_wave_trace(50.0, 51.0, periods=5)
+        assert count_cycles(trace, min_swing_c=2.0) == []
+
+    def test_monotone_trace_single_swing(self):
+        trace = [TemperaturePoint(t, 30.0 + t) for t in range(0, 50, 5)]
+        cycles = count_cycles(trace)
+        assert len(cycles) == 1
+        assert cycles[0].delta_t_c == pytest.approx(45.0)
+
+    def test_empty_and_validation(self):
+        assert count_cycles([]) == []
+        with pytest.raises(ConfigurationError):
+            count_cycles([], min_swing_c=0.0)
+
+
+class TestCyclingDamage:
+    def test_wider_swings_cost_more(self):
+        narrow = [TemperaturePoint(0, 50), TemperaturePoint(50, 65), TemperaturePoint(100, 50)]
+        wide = [TemperaturePoint(0, 20), TemperaturePoint(50, 85), TemperaturePoint(100, 20)]
+        assert cycling_damage(count_cycles(wide)) > cycling_damage(count_cycles(narrow))
+
+    def test_reference_calibration(self):
+        """A year of daily 65-degC swings consumes ~1/20 of cycling life
+        (the Table V Coffin-Manson scale is 20 years)."""
+        trace = []
+        for day in range(365):
+            trace.append(TemperaturePoint(day * 86400.0, 20.0))
+            trace.append(TemperaturePoint(day * 86400.0 + 43200.0, 85.0))
+        trace.append(TemperaturePoint(365 * 86400.0, 20.0))
+        damage = cycling_damage(count_cycles(trace))
+        assert damage == pytest.approx(1.0 / 20.0, rel=0.05)
+
+    def test_immersion_swings_cost_far_less(self):
+        """The paper's mechanism: the boiling-point floor compresses
+        swings; the same duty cycle in the tank costs ~10x less
+        cycling life than in air."""
+        air_day = [TemperaturePoint(0, 20), TemperaturePoint(43200, 85),
+                   TemperaturePoint(86400, 20)]
+        tank_day = [TemperaturePoint(0, 50), TemperaturePoint(43200, 66),
+                    TemperaturePoint(86400, 50)]
+        air_damage = cycling_damage(count_cycles(air_day))
+        tank_damage = cycling_damage(count_cycles(tank_day))
+        assert air_damage > 10 * tank_damage

@@ -1,0 +1,103 @@
+"""Tests for the opportunistic turbo governor and air-ceiling analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon import (
+    Domain,
+    TurboGovernor,
+    XEON_8168,
+    XEON_W3175X,
+    air_cooled_cpu,
+    air_cooling_power_ceiling,
+    immersed_cpu,
+    opportunity_vs_tdp,
+)
+from repro.thermal import FC_3284, HFE_7000
+
+
+class TestTurboGovernor:
+    def test_fewer_active_cores_more_frequency(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        few = governor.decide(active_cores=4)
+        many = governor.decide(active_cores=28)
+        assert few.frequency_ghz >= many.frequency_ghz
+        assert few.power_watts <= governor.power_budget_watts + 1e-6
+
+    def test_opportunistic_overclock_with_air(self):
+        """The paper's telemetry insight: air can reach the overclocking
+        domain when few cores are active."""
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        decision = governor.decide(active_cores=4)
+        assert decision.is_overclock
+        assert decision.domain is Domain.OVERCLOCKING
+
+    def test_air_all_core_stays_at_turbo(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        decision = governor.decide(active_cores=28)
+        assert decision.frequency_ghz == pytest.approx(3.4)
+        assert not decision.is_overclock
+
+    def test_2pic_guarantees_all_core_overclock(self):
+        """With the lifted budget, immersion sustains the overclock on
+        every core simultaneously — guaranteed, not opportunistic."""
+        governor = TurboGovernor(
+            immersed_cpu(XEON_W3175X, HFE_7000), power_budget_watts=355.0
+        )
+        decision = governor.decide(active_cores=28)
+        assert decision.is_overclock
+        assert decision.junction_temp_c < 70.0
+
+    def test_stability_ceiling_respected(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        decision = governor.decide(active_cores=1)
+        assert decision.frequency_ghz <= round(3.4 * 1.23, 1) + 1e-9
+
+    def test_locked_part_clamped_to_turbo(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_8168))
+        decision = governor.decide(active_cores=1)
+        assert decision.frequency_ghz <= XEON_8168.domains.turbo_ghz
+
+    def test_utilization_scales_headroom(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        idleish = governor.decide(active_cores=28, utilization=0.3)
+        busy = governor.decide(active_cores=28, utilization=1.0)
+        assert idleish.frequency_ghz >= busy.frequency_ghz
+
+    def test_opportunity_curve_monotone(self):
+        governor = TurboGovernor(immersed_cpu(XEON_W3175X, FC_3284))
+        curve = governor.opportunity_curve()
+        frequencies = [d.frequency_ghz for d in curve]
+        assert len(curve) == 28
+        assert all(b <= a + 1e-9 for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_validation(self):
+        governor = TurboGovernor(air_cooled_cpu(XEON_W3175X))
+        with pytest.raises(ConfigurationError):
+            governor.decide(active_cores=0)
+        with pytest.raises(ConfigurationError):
+            governor.decide(active_cores=4, utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            TurboGovernor(air_cooled_cpu(XEON_W3175X), stability_ceiling_ratio=0.5)
+
+
+class TestAirCeiling:
+    def test_ceiling_matches_intro_motivation(self):
+        """A fixed air heatsink tops out near ~260 W — far below the
+        500 W parts the paper's intro says are coming."""
+        ceiling = air_cooling_power_ceiling()
+        assert 220.0 < ceiling < 320.0
+        assert ceiling < 500.0
+
+    def test_opportunity_diminishes_with_tdp(self):
+        """The paper: overclocking opportunities diminish in future
+        generations as air cooling reaches its limits."""
+        curve = opportunity_vs_tdp()
+        ratios = [ratio for _, ratio in curve]
+        assert ratios[0] == pytest.approx(1.0)
+        assert all(b <= a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 0.85  # 500 W part cannot hold base frequency
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            opportunity_vs_tdp(tdp_sweep_watts=(10.0,))

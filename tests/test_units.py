@@ -1,0 +1,73 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(373.15) == pytest.approx(100.0)
+
+
+@given(st.floats(min_value=-200, max_value=2000))
+def test_celsius_kelvin_inverse(temp):
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(temp)) == pytest.approx(temp)
+
+
+def test_frequency_conversions():
+    assert units.ghz_to_mhz(3.4) == pytest.approx(3400.0)
+    assert units.mhz_to_ghz(3400.0) == pytest.approx(3.4)
+
+
+@given(st.floats(min_value=0.001, max_value=100))
+def test_frequency_inverse(freq):
+    assert units.mhz_to_ghz(units.ghz_to_mhz(freq)) == pytest.approx(freq)
+
+
+def test_year_conversions():
+    assert units.years_to_hours(1.0) == pytest.approx(8766.0)
+    assert units.hours_to_years(8766.0) == pytest.approx(1.0)
+    assert units.years_to_seconds(1.0) == pytest.approx(8766.0 * 3600.0)
+
+
+def test_energy_conversions():
+    assert units.watt_seconds_to_kwh(3.6e6) == pytest.approx(1.0)
+    assert units.kwh_to_joules(2.0) == pytest.approx(7.2e6)
+
+
+def test_time_helpers():
+    assert units.minutes(3) == 180.0
+    assert units.hours(2) == 7200.0
+
+
+def test_frequency_bins_endpoints_and_count():
+    bins = units.frequency_bins(3.4, 4.1, 8)
+    assert len(bins) == 8
+    assert bins[0] == pytest.approx(3.4)
+    assert bins[-1] == pytest.approx(4.1)
+    # evenly spaced
+    gaps = [b - a for a, b in zip(bins, bins[1:])]
+    assert all(math.isclose(g, gaps[0]) for g in gaps)
+
+
+def test_frequency_bins_validation():
+    with pytest.raises(ValueError):
+        units.frequency_bins(3.4, 4.1, 1)
+    with pytest.raises(ValueError):
+        units.frequency_bins(4.1, 3.4, 4)
+
+
+@given(
+    st.floats(min_value=0.5, max_value=5.0),
+    st.floats(min_value=0.01, max_value=3.0),
+    st.integers(min_value=2, max_value=32),
+)
+def test_frequency_bins_monotone(low, span, count):
+    bins = units.frequency_bins(low, low + span, count)
+    assert all(b > a for a, b in zip(bins, bins[1:]))
+    assert len(bins) == count

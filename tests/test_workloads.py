@@ -1,0 +1,166 @@
+"""Tests for workload profiles, the Table IX catalog, and Figure 9 claims."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.silicon import B1, B2, B3, B4, OC1, OC2, OC3
+from repro.workloads import (
+    APPLICATIONS,
+    BI,
+    BottleneckProfile,
+    DISKSPEED,
+    FIGURE9_APPLICATIONS,
+    PMBENCH,
+    SPECJBB,
+    SQL,
+    TERASORT,
+    TRAINING,
+    workload_by_name,
+)
+
+
+class TestBottleneckProfile:
+    def test_fixed_is_remainder(self):
+        profile = BottleneckProfile(core=0.5, memory=0.3)
+        assert profile.fixed == pytest.approx(0.2)
+
+    def test_shares_must_not_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            BottleneckProfile(core=0.7, memory=0.5)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BottleneckProfile(core=-0.1)
+
+    def test_time_scale_pure_core(self):
+        profile = BottleneckProfile(core=1.0)
+        assert profile.time_scale({"core": 2.0}) == pytest.approx(0.5)
+
+    def test_time_scale_fixed_never_improves(self):
+        profile = BottleneckProfile(core=0.0)
+        assert profile.time_scale({"core": 100.0}) == pytest.approx(1.0)
+
+    def test_time_scale_missing_component_unchanged(self):
+        profile = BottleneckProfile(core=0.5, memory=0.5)
+        assert profile.time_scale({"core": 2.0}) == pytest.approx(0.75)
+
+    def test_invalid_speedup_rejected(self):
+        profile = BottleneckProfile(core=0.5)
+        with pytest.raises(WorkloadError):
+            profile.time_scale({"core": 0.0})
+
+    def test_scalable_fraction_is_core_share_of_active(self):
+        profile = BottleneckProfile(core=0.6, llc=0.2, memory=0.2)
+        assert profile.scalable_fraction() == pytest.approx(0.6)
+
+    def test_scalable_fraction_idle_profile(self):
+        assert BottleneckProfile().scalable_fraction() == 1.0
+
+    @given(
+        st.floats(min_value=0, max_value=0.5),
+        st.floats(min_value=0, max_value=0.3),
+        st.floats(min_value=1.0, max_value=2.0),
+    )
+    def test_time_scale_at_most_one_for_speedups(self, core, memory, speedup):
+        profile = BottleneckProfile(core=core, memory=memory)
+        scale = profile.time_scale({"core": speedup, "memory": speedup})
+        assert scale <= 1.0 + 1e-12
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    def test_speedup_bounded_by_amdahl(self, clock_ratio):
+        """No workload can speed up more than its non-fixed share allows."""
+        profile = BottleneckProfile(core=0.6, memory=0.2)
+        scale = profile.time_scale({"core": clock_ratio, "memory": clock_ratio})
+        assert scale >= profile.fixed
+
+
+class TestCatalog:
+    def test_table9_membership(self):
+        names = {app.name for app in APPLICATIONS}
+        assert names == {
+            "SQL", "Training", "Key-Value", "BI", "Client-Server",
+            "Pmbench", "DiskSpeed", "SPECJBB", "TeraSort", "VGG", "STREAM",
+        }
+
+    def test_core_counts_match_table9(self):
+        by_name = {app.name: app.cores for app in APPLICATIONS}
+        assert by_name["SQL"] == 4
+        assert by_name["Key-Value"] == 8
+        assert by_name["Pmbench"] == 2
+        assert by_name["VGG"] == 16
+
+    def test_metric_polarity(self):
+        assert not SQL.higher_is_better
+        assert DISKSPEED.higher_is_better
+        assert SPECJBB.higher_is_better
+
+    def test_lookup(self):
+        assert workload_by_name("SQL") is SQL
+        with pytest.raises(ConfigurationError):
+            workload_by_name("nope")
+
+
+class TestFigure9Claims:
+    """The paper's qualitative Section VI-B findings."""
+
+    def test_every_app_gains_somewhere(self):
+        """Overclocking improves every app by roughly 10-25%."""
+        for app in FIGURE9_APPLICATIONS:
+            best = max(app.speedup(config, B2) for config in (OC1, OC2, OC3))
+            assert 1.08 <= best <= 1.30, app.name
+
+    def test_oc1_best_increment_for_core_bound_apps(self):
+        """Core overclocking is the biggest single lever for most apps.
+
+        Exceptions mirror the paper's own: TeraSort and DiskSpeed (I/O
+        and cache bound), Pmbench (explicitly accelerated by cache
+        overclocking), and SQL (explicitly accelerated by memory
+        overclocking).
+        """
+        exceptions = {"TeraSort", "DiskSpeed", "Pmbench", "SQL"}
+        for app in FIGURE9_APPLICATIONS:
+            if app.name in exceptions:
+                continue
+            core_gain = app.speedup(OC1, B2) - 1.0
+            llc_gain = app.speedup(OC2, B2) - app.speedup(OC1, B2)
+            mem_gain = app.speedup(OC3, B2) - app.speedup(OC2, B2)
+            assert core_gain >= max(llc_gain, mem_gain) - 1e-9, app.name
+
+    def test_diskspeed_prefers_cache(self):
+        llc_gain = DISKSPEED.speedup(OC2, B2) - DISKSPEED.speedup(OC1, B2)
+        core_gain = DISKSPEED.speedup(OC1, B2) - 1.0
+        assert llc_gain > core_gain
+
+    def test_pmbench_accelerated_by_cache(self):
+        assert PMBENCH.speedup(OC2, B2) > PMBENCH.speedup(OC1, B2) * 1.03
+
+    def test_sql_memory_overclocking_significant(self):
+        """OC3's memory bump helps memory-bound SQL substantially."""
+        mem_gain = SQL.speedup(OC3, B2) - SQL.speedup(OC2, B2)
+        assert mem_gain > 0.05
+
+    def test_bi_only_core_matters(self):
+        assert BI.speedup(OC1, B2) == pytest.approx(BI.speedup(OC3, B2))
+        assert BI.speedup(OC1, B2) > 1.10
+
+    def test_training_insensitive_to_cache_and_memory(self):
+        assert TRAINING.speedup(OC1, B2) == pytest.approx(TRAINING.speedup(OC3, B2))
+        assert TRAINING.speedup(B4, B2) == pytest.approx(1.0)
+
+    def test_terasort_core_not_dominant(self):
+        core_gain = TERASORT.speedup(OC1, B2) - 1.0
+        mem_gain = TERASORT.speedup(OC3, B2) - TERASORT.speedup(OC2, B2)
+        assert mem_gain > core_gain
+
+    def test_b_configs_ordered(self):
+        """B1 <= B2 <= B3 <= B4 for every app (more clocks never hurt)."""
+        for app in FIGURE9_APPLICATIONS:
+            speedups = [app.speedup(config, B1) for config in (B1, B2, B3, B4)]
+            assert speedups == sorted(speedups), app.name
+            assert speedups[0] == pytest.approx(1.0)
+
+    def test_normalized_metric_polarity(self):
+        assert SQL.normalized_metric(OC3, B2) < 1.0       # latency drops
+        assert SPECJBB.normalized_metric(OC3, B2) > 1.0   # throughput rises
