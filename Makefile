@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-smoke clean-cache
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only
+
+# Sweep-engine perf microbenchmark on a tiny grid: finishes in well
+# under 30 s and still checks serial == parallel == cached output.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_perf_engine.py -q -m perf
+
+clean-cache:
+	rm -rf .repro_cache

@@ -8,6 +8,7 @@ under ``benchmarks/results/`` so a plain ``pytest benchmarks/
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,11 +17,34 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
+def bench_engine():
+    """A sweep engine for benchmark drivers.
+
+    Width comes from ``REPRO_BENCH_WORKERS`` (default: all usable cores,
+    capped at 4). Caching is off — benchmarks measure real execution.
+    Engine results are bit-for-bit independent of worker count, so the
+    reproduced tables are identical at any width.
+    """
+    from repro.engine import SweepEngine
+
+    configured = os.environ.get("REPRO_BENCH_WORKERS")
+    if configured is not None:
+        workers = max(1, int(configured))
+    else:
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:
+            cores = os.cpu_count() or 1
+        workers = min(4, cores)
+    return SweepEngine(max_workers=workers)
+
+
+@pytest.fixture
 def emit():
     """Print a reproduced table and persist it to benchmarks/results/."""
 
     def _emit(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
 

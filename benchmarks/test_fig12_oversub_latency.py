@@ -5,8 +5,10 @@ from repro.silicon import OC3
 from repro.workloads import cores_saved_by_overclocking
 
 
-def test_fig12_oversub_latency(benchmark, emit):
-    points = benchmark(run_fig12)
+def test_fig12_oversub_latency(benchmark, emit, bench_engine):
+    points = benchmark.pedantic(
+        run_fig12, kwargs={"engine": bench_engine}, rounds=1, iterations=1
+    )
     emit("fig12_oversub_latency", format_fig12())
     by_key = {(p.config, p.pcores): p for p in points}
     # The crossover: OC3@12 matches B2@16 within ~2%.

@@ -3,8 +3,10 @@
 from repro.experiments.oversubscription import format_fig13, run_fig13
 
 
-def test_fig13_mixed_oversub(benchmark, emit):
-    rows = benchmark(run_fig13)
+def test_fig13_mixed_oversub(benchmark, emit, bench_engine):
+    rows = benchmark.pedantic(
+        run_fig13, kwargs={"engine": bench_engine}, rounds=1, iterations=1
+    )
     emit("fig13_mixed_oversub", format_fig13())
     for row in rows:
         assert row.b2_improvement < 0.0          # oversubscribed B2 degrades

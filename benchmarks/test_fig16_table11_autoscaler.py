@@ -9,8 +9,10 @@ simulations at up to 4000 requests/s).
 from repro.experiments.autoscaling import format_table11, run_fig16
 
 
-def test_fig16_table11_autoscaler(benchmark, emit):
-    result = benchmark.pedantic(run_fig16, kwargs={"seed": 1}, rounds=1, iterations=1)
+def test_fig16_table11_autoscaler(benchmark, emit, bench_engine):
+    result = benchmark.pedantic(
+        run_fig16, kwargs={"seed": 1, "engine": bench_engine}, rounds=1, iterations=1
+    )
     emit("fig16_table11_autoscaler", format_table11(result))
     rows = {row.config: row for row in result.table11}
     baseline, oc_e, oc_a = rows["baseline"], rows["oc-e"], rows["oc-a"]

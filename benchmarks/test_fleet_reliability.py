@@ -5,7 +5,7 @@ from repro.reliability import air_condition, compare_conditions, immersion_condi
 from repro.thermal import FC_3284, HFE_7000
 
 
-def run_mc():
+def run_mc(engine=None):
     return compare_conditions(
         {
             "air nominal": air_condition(205.0, 0.90),
@@ -15,11 +15,14 @@ def run_mc():
         },
         servers=10_000,
         seed=5,
+        engine=engine,
     )
 
 
-def test_fleet_reliability(benchmark, emit):
-    results = benchmark.pedantic(run_mc, rounds=1, iterations=1)
+def test_fleet_reliability(benchmark, emit, bench_engine):
+    results = benchmark.pedantic(
+        run_mc, kwargs={"engine": bench_engine}, rounds=1, iterations=1
+    )
     rows = [
         (
             label,

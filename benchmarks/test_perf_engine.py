@@ -1,0 +1,143 @@
+"""Microbenchmark: sweep-engine speedup and cache effectiveness.
+
+Runs the same multi-condition Monte Carlo fleet sweep three ways —
+serial, 4-way parallel, and warm-cache replay — and records the wall
+times and cache hit/miss counts to ``benchmarks/results/perf_engine.txt``
+so the speedup is tracked across PRs.
+
+Asserted invariants:
+
+* parallel output is bit-for-bit identical to serial output;
+* a warm-cache rerun executes **zero** simulator runs;
+* (full grid, >= 4 usable cores) 4 workers beat serial by >= 2x
+  wall-clock. The speedup assertion is gated on the cores the kernel
+  actually grants us — on a 1-core box process parallelism cannot beat
+  serial for CPU-bound work, and pretending otherwise would just make
+  the benchmark red on small machines. The measured number and the core
+  count are always recorded so capable hardware tracks the real speedup.
+
+``REPRO_BENCH_SMOKE=1`` (the ``make bench-smoke`` path) shrinks the grid
+so the whole file finishes in seconds; the tiny grid is dominated by
+pool startup, so the speedup assertion only applies to the full grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.engine import ResultCache, SweepEngine
+from repro.reliability import air_condition, compare_conditions, immersion_condition
+from repro.thermal import FC_3284, HFE_7000
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Servers sampled per condition: large enough that one task costs
+#: ~0.1 s (so an 8-condition sweep meaningfully exercises a 4-wide
+#: pool), tiny under bench-smoke.
+SERVERS = 10_000 if SMOKE else 1_500_000
+
+PARALLEL_WORKERS = 4
+MASTER_SEED = 7
+
+
+def usable_cores() -> int:
+    """Cores the scheduler will actually give this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def sweep_conditions():
+    """Eight operating conditions spanning the paper's power/voltage range."""
+    conditions = {}
+    for power, voltage in ((205.0, 0.90), (255.0, 0.94), (280.0, 0.96), (305.0, 0.98)):
+        conditions[f"air {power:.0f}W"] = air_condition(power, voltage)
+    for power, voltage in ((255.0, 0.94), (305.0, 0.98)):
+        conditions[f"FC-3284 {power:.0f}W"] = immersion_condition(FC_3284, power, voltage)
+        conditions[f"HFE-7000 {power:.0f}W"] = immersion_condition(HFE_7000, power, voltage)
+    return conditions
+
+
+def run_sweep(engine):
+    return compare_conditions(
+        sweep_conditions(), servers=SERVERS, seed=MASTER_SEED, engine=engine
+    )
+
+
+@pytest.mark.perf
+def test_perf_engine(tmp_path, emit):
+    conditions = sweep_conditions()
+
+    serial = SweepEngine(max_workers=1)
+    started = time.perf_counter()
+    serial_results = run_sweep(serial)
+    serial_seconds = time.perf_counter() - started
+
+    cache = ResultCache(tmp_path / "cache")
+    parallel = SweepEngine(max_workers=PARALLEL_WORKERS, cache=cache)
+    started = time.perf_counter()
+    parallel_results = run_sweep(parallel)
+    parallel_seconds = time.perf_counter() - started
+    cold = parallel.last_report
+
+    warm_engine = SweepEngine(max_workers=PARALLEL_WORKERS, cache=ResultCache(tmp_path / "cache"))
+    started = time.perf_counter()
+    warm_results = run_sweep(warm_engine)
+    warm_seconds = time.perf_counter() - started
+    warm = warm_engine.last_report
+
+    # Determinism: parallel == serial, bit for bit, and the cache
+    # replays exactly what was computed.
+    for label in conditions:
+        assert dataclasses.asdict(serial_results[label]) == dataclasses.asdict(
+            parallel_results[label]
+        ), f"parallel result differs from serial for {label!r}"
+    assert warm_results == parallel_results
+
+    # Cold run executed everything in parallel; warm run executed nothing.
+    assert cold.executed == len(conditions)
+    assert cold.parallel_tasks == len(conditions)
+    assert warm.executed == 0
+    assert warm.cache_hits == len(conditions)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    cores = usable_cores()
+    grid = "smoke" if SMOKE else "full"
+    emit(
+        "perf_engine",
+        "\n".join(
+            [
+                "Sweep-engine microbenchmark - Monte Carlo fleet reliability",
+                f"grid: {grid} ({len(conditions)} conditions x {SERVERS:,} servers); "
+                f"{cores} usable core(s)",
+                f"serial   ({1} worker):  {serial_seconds:8.3f} s",
+                f"parallel ({PARALLEL_WORKERS} workers): {parallel_seconds:8.3f} s"
+                f"  (speedup {speedup:.2f}x)",
+                f"warm cache rerun:      {warm_seconds:8.3f} s"
+                f"  ({warm.cache_hits} hits, {warm.executed} executed)",
+                f"cold cache: {cold.cache_hits} hits / {cold.cache_misses} misses; "
+                f"warm cache: {warm.cache_hits} hits / {warm.cache_misses} misses",
+                "parallel output bit-for-bit identical to serial: yes",
+            ]
+        ),
+    )
+
+    # Warm cache must beat both execution paths outright: replay is I/O,
+    # not simulation, so it holds even on one core.
+    if not SMOKE:
+        assert warm_seconds < serial_seconds / 2
+
+    if not SMOKE and cores >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {PARALLEL_WORKERS} workers on {cores} cores, got "
+            f"{speedup:.2f}x ({serial_seconds:.3f}s serial vs {parallel_seconds:.3f}s parallel)"
+        )
+    elif not SMOKE and cores >= 2:
+        assert speedup >= 1.3, (
+            f"expected >=1.3x speedup with {cores} cores, got {speedup:.2f}x"
+        )

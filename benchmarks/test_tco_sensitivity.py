@@ -4,12 +4,18 @@ from repro.experiments.tables import pct, render_table
 from repro.tco import sweep_energy_share, sweep_immersion_pue, sweep_oversubscription
 
 
-def run_all():
-    return (sweep_energy_share(), sweep_immersion_pue(), sweep_oversubscription())
+def run_all(engine=None):
+    return (
+        sweep_energy_share(engine=engine),
+        sweep_immersion_pue(engine=engine),
+        sweep_oversubscription(engine=engine),
+    )
 
 
-def test_tco_sensitivity(benchmark, emit):
-    energy, pue, oversub = benchmark(run_all)
+def test_tco_sensitivity(benchmark, emit, bench_engine):
+    energy, pue, oversub = benchmark.pedantic(
+        run_all, kwargs={"engine": bench_engine}, rounds=1, iterations=1
+    )
     text = "\n\n".join(
         [
             render_table(

@@ -18,6 +18,7 @@ Quick tour::
 Subpackages
 -----------
 ``repro.sim``          deterministic discrete-event simulation kernel
+``repro.engine``       parallel sweep execution, seed-splitting, result cache
 ``repro.telemetry``    Aperf/Pperf counters, metrics, power metering
 ``repro.thermal``      fluids, cooling technologies, tanks, junction models
 ``repro.silicon``      CPUs/GPUs/memory, V/F curves, power models, configs
@@ -32,6 +33,7 @@ Subpackages
 from . import (
     autoscale,
     cluster,
+    engine,
     errors,
     experiments,
     reliability,
@@ -50,6 +52,7 @@ __version__ = "1.0.0"
 __all__ = [
     "autoscale",
     "cluster",
+    "engine",
     "errors",
     "experiments",
     "reliability",

@@ -8,6 +8,10 @@ Usage::
     python -m repro all                 # everything fast (skips the
                                         # closed-loop simulations)
     python -m repro fig16               # the full auto-scaler (minutes)
+
+    python -m repro sweep               # list the parallel sweeps
+    python -m repro sweep all --workers 4
+    python -m repro sweep autoscaler --workers 3 --no-cache
 """
 
 from __future__ import annotations
@@ -95,9 +99,41 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["list"],
-        help="experiment names (see 'list'), or 'all' for every fast one",
+        help=(
+            "experiment names (see 'list'), 'all' for every fast one, or "
+            "'sweep [name ...]' to run parameter sweeps through the engine"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for 'sweep' (1 = serial; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="for 'sweep': recompute every point instead of using .repro_cache/",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="for 'sweep': result-cache directory (default .repro_cache/)",
     )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be at least 1, got {args.workers}")
+    if args.experiments and args.experiments[0] == "sweep":
+        # Imported lazily: the registry pulls in every experiment module.
+        from .engine.cache import DEFAULT_CACHE_DIR
+        from .engine.registry import run_sweeps
+
+        return run_sweeps(
+            args.experiments[1:],
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        )
     return run(args.experiments)
 
 

@@ -1,0 +1,22 @@
+"""Parallel sweep execution with deterministic seeds and result caching.
+
+See :mod:`repro.engine.core` for the execution model and
+:mod:`repro.engine.cache` for the content-addressed result cache. The
+CLI-facing sweep registry lives in :mod:`repro.engine.registry`; it is
+imported lazily (not here) because it depends on
+:mod:`repro.experiments`, which itself uses this package.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, canonicalize, content_key
+from .core import EngineStats, RunReport, SweepEngine, SweepTask
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "canonicalize",
+    "content_key",
+    "EngineStats",
+    "RunReport",
+    "SweepEngine",
+    "SweepTask",
+]

@@ -1,0 +1,188 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A sweep point is a pure function of ``(function, parameters, package
+version)``, so its result can be memoized under a digest of exactly
+those three things. The cache stores one pickle per key below a root
+directory (``.repro_cache/`` by default), sharded by the first two hex
+characters of the digest to keep directories small.
+
+Invalidation is entirely content driven:
+
+* change a parameter → different digest → miss;
+* point a task at a different function → different digest → miss;
+* bump :data:`repro.__version__` → every digest changes → full miss.
+
+There is deliberately no TTL and no in-place mutation: entries are
+written atomically (temp file + :func:`os.replace`) and a corrupt or
+truncated entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import numbers
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..errors import EngineError
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ defines __version__ *after* it
+    # imports its subpackages, so a module-level import here would see a
+    # partially initialized package.
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-serializable form.
+
+    Handles the parameter shapes sweeps actually pass — primitives,
+    sequences, mappings, enums, (nested) dataclasses, numpy arrays —
+    and falls back to ``repr`` for anything else small. Floats are
+    rendered with 17 significant digits so distinct values never
+    collide and equal values always agree.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return format(float(value), ".17g")
+    if isinstance(value, enum.Enum):
+        return {
+            "__enum__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "value": canonicalize(value.value),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "fields": {
+                field.name: canonicalize(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Mapping):
+        return {
+            "__mapping__": sorted(
+                (str(key), canonicalize(item)) for key, item in value.items()
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonicalize(item)) for item in value)}
+    if isinstance(value, range):
+        return {"__range__": [value.start, value.stop, value.step]}
+    try:
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return {
+                "__ndarray__": hashlib.sha256(value.tobytes()).hexdigest(),
+                "shape": list(value.shape),
+                "dtype": str(value.dtype),
+            }
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    text = repr(value)
+    if "object at 0x" in text:
+        raise EngineError(
+            f"cannot canonicalize {type(value).__name__} for cache keying: "
+            "its repr is identity-based, not content-based"
+        )
+    return {
+        "__repr__": f"{type(value).__module__}.{type(value).__qualname__}",
+        "repr": text,
+    }
+
+
+def content_key(fn: Callable[..., Any], params: Mapping[str, Any]) -> str:
+    """Digest identifying one sweep point's content.
+
+    The key covers the function's dotted name, the fully resolved
+    parameters (including any engine-injected seed), and the package
+    version, so stale results can never be served across a code release.
+    """
+    payload = {
+        "function": f"{fn.__module__}.{fn.__qualname__}",
+        "params": canonicalize(dict(params)),
+        "version": _package_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry content-addressed store with hit/miss counters."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupt entries count as misses."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, OSError, AttributeError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+
+__all__ = ["ResultCache", "canonicalize", "content_key", "DEFAULT_CACHE_DIR"]

@@ -1,0 +1,257 @@
+"""The sweep-execution engine.
+
+Every headline experiment in this reproduction — the Monte Carlo fleet
+study, the TCO sensitivity sweeps, the oversubscription grids, the
+three-mode auto-scaler comparison — is a set of *independent* simulator
+runs. :class:`SweepEngine` is the one place that executes such sets:
+
+* **Parallelism.** Tasks fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`. ``max_workers=1``
+  (the default) runs serially in-process; tasks whose function or
+  parameters cannot be pickled silently fall back to the serial path.
+* **Determinism.** A task that declares ``seed_param`` receives a seed
+  derived from ``(master_seed, task.key)`` via
+  :func:`repro.sim.random.split_seed`. The seed depends only on content,
+  never on scheduling, so parallel results are bit-for-bit identical to
+  serial ones.
+* **Memoization.** With a :class:`~repro.engine.cache.ResultCache`
+  attached, completed points are persisted under a content digest of
+  ``(function, parameters, package version)`` and replayed on the next
+  run instead of re-simulated.
+
+The engine deliberately knows nothing about what a task computes; ports
+live next to the models they parallelize (``reliability.montecarlo``,
+``tco.sensitivity``, ``experiments.oversubscription``,
+``experiments.autoscaling``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import EngineError
+from ..sim.random import split_seed
+from ..telemetry.histogram import LogHistogram
+from ..telemetry.metrics import Stopwatch
+from .cache import ResultCache, content_key
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent point of a sweep.
+
+    ``fn`` must be a module-level callable (so it can cross a process
+    boundary) and is invoked as ``fn(**params)``. ``key`` names the
+    point within its sweep — it orders the result dict, labels progress,
+    and (with ``seed_param``) feeds the deterministic seed split. Set
+    ``cacheable=False`` for points that should never be memoized (e.g.
+    wall-clock measurements).
+    """
+
+    fn: Callable[..., Any]
+    params: Mapping[str, Any]
+    key: str
+    seed_param: str | None = None
+    cacheable: bool = True
+
+    def resolved_params(self, master_seed: int) -> dict[str, Any]:
+        """Parameters with the engine-derived seed injected, if any."""
+        params = dict(self.params)
+        if self.seed_param is not None:
+            params[self.seed_param] = split_seed(master_seed, self.key)
+        return params
+
+
+@dataclass
+class RunReport:
+    """What one :meth:`SweepEngine.run` call did, and how long it took."""
+
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    parallel_tasks: int = 0
+    serial_tasks: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    #: Per-task execution time distribution (seconds).
+    task_seconds: LogHistogram = field(
+        default_factory=lambda: LogHistogram(min_value=1e-6, max_value=86_400.0)
+    )
+    stages: Stopwatch = field(default_factory=Stopwatch)
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.tasks} task(s)",
+            f"{self.executed} executed",
+            f"{self.cache_hits} cache hit(s)",
+            f"{self.parallel_tasks} parallel / {self.serial_tasks} serial",
+            f"{self.workers} worker(s)",
+            f"{self.wall_seconds:.3f}s wall",
+        ]
+        return ", ".join(parts)
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters across every run of one engine."""
+
+    runs: int = 0
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    parallel_tasks: int = 0
+    serial_tasks: int = 0
+    wall_seconds: float = 0.0
+
+    def absorb(self, report: RunReport) -> None:
+        self.runs += 1
+        self.tasks += report.tasks
+        self.executed += report.executed
+        self.cache_hits += report.cache_hits
+        self.cache_misses += report.cache_misses
+        self.parallel_tasks += report.parallel_tasks
+        self.serial_tasks += report.serial_tasks
+        self.wall_seconds += report.wall_seconds
+
+
+def _invoke(fn: Callable[..., Any], params: dict[str, Any]) -> tuple[Any, float]:
+    """Run one task, returning ``(result, seconds)``.
+
+    Module-level so the process pool can pickle it; the per-task timing
+    is measured inside the worker and folded into the parent's report.
+    """
+    start = time.perf_counter()
+    result = fn(**params)
+    return result, time.perf_counter() - start
+
+
+def _is_picklable(payload: Any) -> bool:
+    try:
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+class SweepEngine:
+    """Executes sets of independent sweep points.
+
+    Parameters
+    ----------
+    max_workers:
+        Process-pool width. ``1`` (default) runs serially in-process;
+        ``None`` uses :func:`os.cpu_count`.
+    cache:
+        A :class:`ResultCache` to memoize completed points, or ``None``
+        to recompute everything.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = 1,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise EngineError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.cache = cache
+        self.stats = EngineStats()
+        self.last_report: RunReport | None = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, tasks: Sequence[SweepTask] | Iterable[SweepTask], master_seed: int = 0
+    ) -> dict[str, Any]:
+        """Execute ``tasks``; return ``{task.key: result}`` in task order.
+
+        Points already present in the cache are replayed without
+        executing; the rest run in parallel when ``max_workers > 1`` and
+        the task round-trips through pickle, serially otherwise. Worker
+        exceptions propagate to the caller unchanged.
+        """
+        tasks = list(tasks)
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            duplicates = sorted({key for key in keys if keys.count(key) > 1})
+            raise EngineError(f"duplicate task keys: {', '.join(duplicates)}")
+
+        report = RunReport(tasks=len(tasks), workers=self.max_workers)
+        started = time.perf_counter()
+        results: dict[str, Any] = {}
+        pending: list[tuple[SweepTask, dict[str, Any], str | None]] = []
+
+        with report.stages.time("cache-probe"):
+            for task in tasks:
+                params = task.resolved_params(master_seed)
+                key = None
+                if self.cache is not None and task.cacheable:
+                    key = content_key(task.fn, params)
+                    hit, value = self.cache.load(key)
+                    if hit:
+                        report.cache_hits += 1
+                        results[task.key] = value
+                        continue
+                    report.cache_misses += 1
+                pending.append((task, params, key))
+
+        if pending:
+            self._execute(pending, results, report)
+
+        with report.stages.time("cache-store"):
+            if self.cache is not None:
+                for task, params, key in pending:
+                    if key is not None:
+                        self.cache.store(key, results[task.key])
+
+        report.wall_seconds = time.perf_counter() - started
+        self.stats.absorb(report)
+        self.last_report = report
+        return {task.key: results[task.key] for task in tasks}
+
+    def _execute(
+        self,
+        pending: list[tuple[SweepTask, dict[str, Any], str | None]],
+        results: dict[str, Any],
+        report: RunReport,
+    ) -> None:
+        parallel: list[tuple[SweepTask, dict[str, Any]]] = []
+        serial: list[tuple[SweepTask, dict[str, Any]]] = []
+        for task, params, _ in pending:
+            if self.max_workers > 1 and _is_picklable((task.fn, params)):
+                parallel.append((task, params))
+            else:
+                serial.append((task, params))
+
+        with report.stages.time("execute"):
+            if parallel:
+                width = min(self.max_workers, len(parallel))
+                with ProcessPoolExecutor(max_workers=width) as pool:
+                    futures = [
+                        (task, pool.submit(_invoke, task.fn, params))
+                        for task, params in parallel
+                    ]
+                    for task, future in futures:
+                        value, seconds = future.result()
+                        results[task.key] = value
+                        report.task_seconds.record(seconds)
+                report.parallel_tasks += len(parallel)
+            for task, params in serial:
+                value, seconds = _invoke(task.fn, params)
+                results[task.key] = value
+                report.task_seconds.record(seconds)
+            report.serial_tasks += len(serial)
+        report.executed = len(pending)
+
+
+__all__ = ["SweepTask", "SweepEngine", "RunReport", "EngineStats"]

@@ -1,0 +1,191 @@
+"""Named sweeps for the CLI (``python -m repro sweep ...``).
+
+Each entry bundles the hot loop behind one group of paper artifacts and
+drives it through a shared :class:`~repro.engine.core.SweepEngine`, so
+``--workers N`` fans the points out over N processes and the default
+on-disk cache makes reruns free (disable with ``--no-cache``).
+
+This module imports :mod:`repro.experiments` and therefore must not be
+imported from ``repro.engine.__init__`` (the experiments themselves use
+the engine core).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from ..experiments import autoscaling, oversubscription
+from ..experiments.tables import pct, render_table
+from ..reliability import air_condition, compare_conditions, immersion_condition
+from ..tco import sweep_energy_share, sweep_immersion_pue, sweep_oversubscription
+from ..thermal import FC_3284, HFE_7000
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .core import SweepEngine
+
+#: Operating conditions of the Monte Carlo fleet-reliability sweep.
+RELIABILITY_CONDITIONS = {
+    "air nominal": lambda: air_condition(205.0, 0.90),
+    "air overclocked": lambda: air_condition(305.0, 0.98),
+    "FC-3284 overclocked": lambda: immersion_condition(FC_3284, 305.0, 0.98),
+    "HFE-7000 overclocked": lambda: immersion_condition(HFE_7000, 305.0, 0.98),
+}
+
+
+def _reliability_sweep(engine: SweepEngine) -> str:
+    conditions = {label: build() for label, build in RELIABILITY_CONDITIONS.items()}
+    results = compare_conditions(conditions, servers=10_000, seed=5, engine=engine)
+    rows = [
+        (
+            label,
+            f"{r.mean_lifetime_years:.1f} y",
+            f"{r.p10_lifetime_years:.1f} y",
+            f"{r.failed_within_5y:.1%}",
+            f"{r.annualized_failure_rate():.1%}/y",
+        )
+        for label, r in results.items()
+    ]
+    return render_table(
+        ["Condition", "Mean life", "P10 life", "Failed < 5y", "AFR"],
+        rows,
+        title="Monte Carlo fleet reliability (10,000 servers per condition)",
+    )
+
+
+def _tco_sweep(engine: SweepEngine) -> str:
+    energy = sweep_energy_share(engine=engine)
+    pue = sweep_immersion_pue(engine=engine)
+    oversub = sweep_oversubscription(engine=engine)
+    return "\n\n".join(
+        [
+            render_table(
+                ["Energy share", "non-OC cost/pcore", "OC cost/pcore"],
+                [
+                    (f"{p.value:.0%}", f"{p.non_oc_cost_per_pcore:.3f}",
+                     f"{p.oc_cost_per_pcore:.3f}")
+                    for p in energy
+                ],
+                title="TCO sensitivity — energy share of baseline TCO",
+            ),
+            render_table(
+                ["Achieved peak PUE", "non-OC cost/pcore", "OC cost/pcore"],
+                [
+                    (f"{p.value:.2f}", f"{p.non_oc_cost_per_pcore:.3f}",
+                     f"{p.oc_cost_per_pcore:.3f}")
+                    for p in pue
+                ],
+                title="TCO sensitivity — achieved immersion PUE",
+            ),
+            render_table(
+                ["Oversubscription", "OC cost/vcore vs air"],
+                [
+                    (f"{p.oversubscription:.0%}", pct(p.oc_cost_per_vcore_vs_air))
+                    for p in oversub
+                ],
+                title="TCO sensitivity — oversubscription level (Section VI-C curve)",
+            ),
+        ]
+    )
+
+
+def _oversubscription_sweep(engine: SweepEngine) -> str:
+    return "\n\n".join(
+        [
+            oversubscription.format_fig12(engine=engine),
+            oversubscription.format_fig13(engine=engine),
+        ]
+    )
+
+
+def _autoscaler_sweep(engine: SweepEngine) -> str:
+    return autoscaling.format_table11(engine=engine)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One CLI-runnable sweep."""
+
+    name: str
+    description: str
+    build: Callable[[SweepEngine], str]
+
+
+SWEEPS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (
+        SweepSpec(
+            "reliability",
+            "Monte Carlo fleet reliability across operating conditions (Table V ext.)",
+            _reliability_sweep,
+        ),
+        SweepSpec(
+            "tco",
+            "TCO sensitivity sweeps: energy share, achieved PUE, oversubscription (Table VI ext.)",
+            _tco_sweep,
+        ),
+        SweepSpec(
+            "oversubscription",
+            "Core-oversubscription grids: latency/power and mixed scenarios (Figs. 12-13)",
+            _oversubscription_sweep,
+        ),
+        SweepSpec(
+            "autoscaler",
+            "Three-mode auto-scaler comparison, one process per mode (Fig. 16 / Table XI)",
+            _autoscaler_sweep,
+        ),
+    )
+}
+
+
+def list_sweeps() -> str:
+    lines = ["Available sweeps:"]
+    for name, spec in SWEEPS.items():
+        lines.append(f"  {name:18s} {spec.description}")
+    lines.append("  all                every sweep above")
+    return "\n".join(lines)
+
+
+def run_sweeps(
+    names: list[str],
+    workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    stream: TextIO | None = None,
+) -> int:
+    """Run the named sweeps through one shared engine; returns exit code."""
+    stream = stream if stream is not None else sys.stdout
+    if not names or names == ["list"]:
+        print(list_sweeps(), file=stream)
+        return 0
+    if names == ["all"]:
+        names = list(SWEEPS)
+    unknown = [name for name in names if name not in SWEEPS]
+    if unknown:
+        print(f"unknown sweep(s): {', '.join(unknown)}", file=stream)
+        print(list_sweeps(), file=stream)
+        return 2
+    engine = SweepEngine(
+        max_workers=workers,
+        cache=ResultCache(cache_dir) if use_cache else None,
+    )
+    for name in names:
+        print(SWEEPS[name].build(engine), file=stream)
+        print(file=stream)
+    stats = engine.stats
+    cache_note = (
+        f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es) in {cache_dir}"
+        if use_cache
+        else "cache disabled"
+    )
+    print(
+        f"[engine] {stats.tasks} task(s) across {stats.runs} sweep run(s): "
+        f"{stats.executed} executed ({stats.parallel_tasks} parallel / "
+        f"{stats.serial_tasks} serial, {workers} worker(s)), {cache_note}, "
+        f"{stats.wall_seconds:.2f}s total",
+        file=stream,
+    )
+    return 0
+
+
+__all__ = ["SweepSpec", "SWEEPS", "list_sweeps", "run_sweeps"]

@@ -64,3 +64,7 @@ class WorkloadError(ReproError):
 
 class TCOError(ReproError):
     """The TCO model received inconsistent cost inputs."""
+
+
+class EngineError(ReproError):
+    """The sweep engine was given an invalid or unexecutable task set."""

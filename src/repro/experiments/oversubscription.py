@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.hypervisor import OversubscribedHost, ScenarioInstance
+from ..engine.core import SweepEngine, SweepTask
 from ..silicon.configs import B2, OC3
 from ..silicon.server import ServerPowerModel
 from ..workloads.catalog import BI, SPECJBB, SQL, TERASORT
@@ -43,29 +44,45 @@ class Fig12Point:
     p99_power_watts: float
 
 
-def run_fig12(pcore_range: range = range(8, 17, 2)) -> list[Fig12Point]:
-    """Latency and power across the pcore sweep for B2 and OC3."""
+def _fig12_point(config, pcores: int) -> Fig12Point:
+    """One (config, pcores) grid cell: P95 latency plus power readings."""
     power_model = ServerPowerModel()
-    points: list[Fig12Point] = []
-    for config in (B2, OC3):
-        utilization = FIG12_UTILIZATION[config.name]
-        for point in pcore_sweep(config, pcore_range):
-            busy_avg = point.pcores * utilization
-            busy_p99 = point.pcores * min(1.0, utilization + 0.08)
-            points.append(
-                Fig12Point(
-                    config=point.config,
-                    pcores=point.pcores,
-                    p95_latency_ms=point.p95_latency_ms,
-                    saturated=point.saturated,
-                    average_power_watts=power_model.watts(config, busy_avg),
-                    p99_power_watts=power_model.watts(config, busy_p99),
-                )
-            )
-    return points
+    utilization = FIG12_UTILIZATION[config.name]
+    (point,) = pcore_sweep(config, range(pcores, pcores + 1))
+    busy_avg = point.pcores * utilization
+    busy_p99 = point.pcores * min(1.0, utilization + 0.08)
+    return Fig12Point(
+        config=point.config,
+        pcores=point.pcores,
+        p95_latency_ms=point.p95_latency_ms,
+        saturated=point.saturated,
+        average_power_watts=power_model.watts(config, busy_avg),
+        p99_power_watts=power_model.watts(config, busy_p99),
+    )
 
 
-def format_fig12() -> str:
+def run_fig12(
+    pcore_range: range = range(8, 17, 2), engine: SweepEngine | None = None
+) -> list[Fig12Point]:
+    """Latency and power across the pcore sweep for B2 and OC3.
+
+    Every (config, pcores) cell is an independent sweep point, so the
+    grid fans out over the engine's worker pool and memoizes per cell.
+    """
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=_fig12_point,
+            params={"config": config, "pcores": pcores},
+            key=f"{config.name}@{pcores}",
+        )
+        for config in (B2, OC3)
+        for pcores in pcore_range
+    ]
+    return list(engine.run(tasks).values())
+
+
+def format_fig12(engine: SweepEngine | None = None) -> str:
     rows = [
         (
             point.config,
@@ -74,7 +91,7 @@ def format_fig12() -> str:
             f"{point.average_power_watts:.0f} W",
             f"{point.p99_power_watts:.0f} W",
         )
-        for point in run_fig12()
+        for point in run_fig12(engine=engine)
     ]
     saved = cores_saved_by_overclocking(OC3)
     table = render_table(
@@ -131,32 +148,47 @@ class Fig13Row:
     oc3_improvement: float
 
 
-def run_fig13(
-    pcores: int = 16, baseline_pcores: int = 20
-) -> list[Fig13Row]:
-    """Improvements under oversubscribed B2 and OC3, per Table X scenario."""
+def _fig13_scenario(name: str, pcores: int, baseline_pcores: int) -> list[Fig13Row]:
+    """All bar-pairs of one Table X scenario."""
     host = OversubscribedHost(pcores=pcores)
-    rows: list[Fig13Row] = []
-    for name in SCENARIO_NAMES:
-        instances = table10_scenario(name)
-        b2_result = host.compare(instances, B2, baseline_pcores)
-        oc3_result = host.compare(instances, OC3, baseline_pcores)
-        for instance_id in b2_result:
-            rows.append(
-                Fig13Row(
-                    scenario=name,
-                    instance=instance_id,
-                    b2_improvement=b2_result[instance_id],
-                    oc3_improvement=oc3_result[instance_id],
-                )
-            )
-    return rows
+    instances = table10_scenario(name)
+    b2_result = host.compare(instances, B2, baseline_pcores)
+    oc3_result = host.compare(instances, OC3, baseline_pcores)
+    return [
+        Fig13Row(
+            scenario=name,
+            instance=instance_id,
+            b2_improvement=b2_result[instance_id],
+            oc3_improvement=oc3_result[instance_id],
+        )
+        for instance_id in b2_result
+    ]
 
 
-def format_fig13() -> str:
+def run_fig13(
+    pcores: int = 16, baseline_pcores: int = 20, engine: SweepEngine | None = None
+) -> list[Fig13Row]:
+    """Improvements under oversubscribed B2 and OC3, per Table X scenario.
+
+    The three scenarios are independent sweep points executed through
+    the engine (one task per scenario)."""
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=_fig13_scenario,
+            params={"name": name, "pcores": pcores, "baseline_pcores": baseline_pcores},
+            key=name,
+        )
+        for name in SCENARIO_NAMES
+    ]
+    per_scenario = engine.run(tasks)
+    return [row for rows in per_scenario.values() for row in rows]
+
+
+def format_fig13(engine: SweepEngine | None = None) -> str:
     rows = [
         (row.scenario, row.instance, pct(row.b2_improvement), pct(row.oc3_improvement))
-        for row in run_fig13()
+        for row in run_fig13(engine=engine)
     ]
     return render_table(
         ["Scenario", "Instance", "B2 oversubscribed", "OC3 oversubscribed"],

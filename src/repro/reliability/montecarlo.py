@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.core import SweepEngine, SweepTask
 from ..errors import ConfigurationError
 from .failure_modes import (
     DEFAULT_FAILURE_MODES,
@@ -106,12 +107,26 @@ def compare_conditions(
     conditions: dict[str, OperatingCondition],
     servers: int = 10_000,
     seed: int = 0,
+    engine: SweepEngine | None = None,
 ) -> dict[str, FleetReliabilityResult]:
-    """Monte Carlo summary for several operating conditions."""
-    return {
-        label: simulate_fleet(condition, servers=servers, seed=seed)
+    """Monte Carlo summary for several operating conditions.
+
+    Conditions are independent sweep points: each one's sampling seed is
+    split deterministically from ``(seed, label)``, so the result dict
+    is identical whether the sweep runs serially (the default engine) or
+    fanned out over a process pool / replayed from the result cache.
+    """
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=simulate_fleet,
+            params={"condition": condition, "servers": servers},
+            key=label,
+            seed_param="seed",
+        )
         for label, condition in conditions.items()
-    }
+    ]
+    return engine.run(tasks, master_seed=seed)
 
 
 __all__ = [

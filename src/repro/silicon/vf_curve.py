@@ -11,6 +11,7 @@ exhibits over the narrow overclocking window.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..errors import ConfigurationError, FrequencyError, VoltageError
@@ -38,6 +39,19 @@ class VFCurve:
             if later.voltage_v < earlier.voltage_v:
                 raise ConfigurationError("voltage must be non-decreasing in frequency")
         self._anchors = anchors
+        # Sweeps evaluate the same handful of (frequency, offset) pairs
+        # thousands of times; the anchors never change after init, so a
+        # per-instance memo is safe. Bound per instance, not class-wide.
+        self._voltage_at_cached = lru_cache(maxsize=4096)(self._voltage_at_uncached)
+
+    def __getstate__(self) -> dict:
+        # The lru_cache wrapper cannot cross a process boundary; rebuild
+        # it cold on unpickle so curves stay engine-task friendly.
+        return {"anchors": self._anchors}
+
+    def __setstate__(self, state: dict) -> None:
+        self._anchors = state["anchors"]
+        self._voltage_at_cached = lru_cache(maxsize=4096)(self._voltage_at_uncached)
 
     @property
     def anchors(self) -> tuple[VFPoint, ...]:
@@ -56,8 +70,16 @@ class VFCurve:
 
         Frequencies outside the anchor span are extrapolated with the
         slope of the nearest segment (a small extrapolation is exactly
-        how overclockers push past the last measured point).
+        how overclockers push past the last measured point). Results are
+        memoized per (frequency, offset) pair.
         """
+        return self._voltage_at_cached(float(frequency_ghz), float(offset_mv))
+
+    def voltage_cache_info(self):
+        """Hit/miss statistics of the memoized lookup."""
+        return self._voltage_at_cached.cache_info()
+
+    def _voltage_at_uncached(self, frequency_ghz: float, offset_mv: float) -> float:
         if frequency_ghz <= 0:
             raise FrequencyError("frequency must be positive")
         anchors = self._anchors

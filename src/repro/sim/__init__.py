@@ -9,7 +9,7 @@ overclocking-enhanced auto-scaler all schedule their work through a
 from .events import Event, EventQueue
 from .kernel import Simulator
 from .processes import OpenLoopSource, PiecewiseSchedule, ScheduleStep
-from .random import RandomStreams
+from .random import RandomStreams, split_seed
 from .resources import Resource, Store
 from .trace import SimTrace, TraceEvent
 
@@ -21,6 +21,7 @@ __all__ = [
     "PiecewiseSchedule",
     "ScheduleStep",
     "RandomStreams",
+    "split_seed",
     "Resource",
     "Store",
     "SimTrace",

@@ -14,9 +14,16 @@ import math
 import numpy as np
 
 
-def _derive_seed(master_seed: int, name: str) -> int:
-    """Derive a stable 64-bit child seed from the master seed and a name."""
-    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+def split_seed(master_seed: int, key: str) -> int:
+    """Derive a stable 64-bit child seed from a master seed and a key.
+
+    This is the library's single seed-splitting primitive: named
+    simulation streams use it with the stream name, and the sweep engine
+    uses it with the task key, so a sweep point's seed depends only on
+    ``(master_seed, task_key)`` — never on execution order or worker
+    count. Parallel and serial runs therefore draw identical variates.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{key}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
 
@@ -47,7 +54,7 @@ class RandomStreams:
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the stream called ``name``."""
         if name not in self._streams:
-            self._streams[name] = np.random.default_rng(_derive_seed(self._master_seed, name))
+            self._streams[name] = np.random.default_rng(split_seed(self._master_seed, name))
         return self._streams[name]
 
     def _standard_exponential(self, name: str) -> float:
@@ -92,4 +99,4 @@ class RandomStreams:
         return float(self.get(name).uniform(low, high))
 
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "split_seed"]

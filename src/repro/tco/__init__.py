@@ -27,6 +27,7 @@ from .model import (
     NON_OC_2PIC,
     OC_2PIC,
     TCOModel,
+    renormalize_shares,
 )
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "NON_OC_2PIC",
     "OC_2PIC",
     "DEFAULT_BASELINE_SHARES",
+    "renormalize_shares",
     "CATEGORY_ORDER",
     "Table6",
     "Table6Row",

@@ -42,6 +42,30 @@ DEFAULT_BASELINE_SHARES: dict[str, float] = {
     "design_taxes_fees": 0.13,
 }
 
+def renormalize_shares(
+    shares: dict[str, float], pinned: str, value: float
+) -> dict[str, float]:
+    """Pin one category's share to ``value`` and rescale the rest to sum to 1.
+
+    This is the single home of the share-renormalization rule used by
+    the sensitivity sweeps (e.g. "what if energy were 25% of TCO?"):
+    the pinned category takes ``value`` and every other category keeps
+    its relative weight within the remaining ``1 - value``.
+    """
+    if pinned not in shares:
+        raise TCOError(f"unknown share category {pinned!r}")
+    if not 0.0 < value < 1.0:
+        raise TCOError(f"{pinned} share must be in (0, 1), got {value}")
+    others = {k: v for k, v in shares.items() if k != pinned}
+    other_total = sum(others.values())
+    if other_total <= 0:
+        raise TCOError("remaining shares must have a positive total")
+    scale = (1.0 - value) / other_total
+    adjusted = {k: v * scale for k, v in others.items()}
+    adjusted[pinned] = value
+    return adjusted
+
+
 #: Fraction of server cost removed with fans/sheet metal in immersion.
 FAN_SHEET_METAL_SERVER_FRACTION = 0.025
 
@@ -187,6 +211,7 @@ __all__ = [
     "NON_OC_2PIC",
     "OC_2PIC",
     "DEFAULT_BASELINE_SHARES",
+    "renormalize_shares",
     "CATEGORY_ORDER",
     "FAN_SHEET_METAL_SERVER_FRACTION",
     "OVERCLOCK_POWER_DELIVERY_UPLIFT",

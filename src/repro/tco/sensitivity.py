@@ -5,12 +5,18 @@ The paper reports one calibrated TCO point; an operator deciding on
 module sweeps the main levers — the energy share of TCO, the achieved
 immersion PUE, the overclocking energy uplift, and the oversubscription
 level — and reports the resulting cost per core/vcore.
+
+Each sweep point is an independent, pure function of its parameter, so
+the sweeps route through :class:`repro.engine.SweepEngine`: pass an
+engine to fan a sweep out over a process pool and/or memoize its points
+in the on-disk result cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine.core import SweepEngine, SweepTask
 from ..errors import TCOError
 from ..thermal.cooling import CoolingTechnology, TWO_PHASE_IMMERSION
 from .analysis import cost_per_vcore
@@ -21,6 +27,7 @@ from .model import (
     NON_OC_2PIC,
     OC_2PIC,
     TCOModel,
+    renormalize_shares,
 )
 
 
@@ -34,64 +41,81 @@ class SensitivityPoint:
     oc_cost_per_pcore: float
 
 
+def _energy_share_point(energy_share: float) -> SensitivityPoint:
+    """Cost per pcore with energy pinned to ``energy_share`` of TCO."""
+    shares = renormalize_shares(DEFAULT_BASELINE_SHARES, "energy", energy_share)
+    model = TCOModel(baseline_shares=shares)
+    return SensitivityPoint(
+        parameter="energy_share",
+        value=energy_share,
+        non_oc_cost_per_pcore=model.cost_per_pcore_exact(NON_OC_2PIC),
+        oc_cost_per_pcore=model.cost_per_pcore_exact(OC_2PIC),
+    )
+
+
 def sweep_energy_share(
-    shares: tuple[float, ...] = (0.08, 0.13, 0.18, 0.25)
+    shares: tuple[float, ...] = (0.08, 0.13, 0.18, 0.25),
+    engine: SweepEngine | None = None,
 ) -> list[SensitivityPoint]:
     """Vary energy's share of the baseline TCO (electricity price proxy).
 
     The other shares are rescaled proportionally so the total stays 1.
     """
-    points = []
     for energy_share in shares:
         if not 0.0 < energy_share < 1.0:
             raise TCOError("energy share must be in (0, 1)")
-        others = {k: v for k, v in DEFAULT_BASELINE_SHARES.items() if k != "energy"}
-        other_total = sum(others.values())
-        scale = (1.0 - energy_share) / other_total
-        adjusted = {k: v * scale for k, v in others.items()}
-        adjusted["energy"] = energy_share
-        model = TCOModel(baseline_shares=adjusted)
-        points.append(
-            SensitivityPoint(
-                parameter="energy_share",
-                value=energy_share,
-                non_oc_cost_per_pcore=model.cost_per_pcore_exact(NON_OC_2PIC),
-                oc_cost_per_pcore=model.cost_per_pcore_exact(OC_2PIC),
-            )
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=_energy_share_point,
+            params={"energy_share": energy_share},
+            key=f"energy_share={energy_share:g}",
         )
-    return points
+        for energy_share in shares
+    ]
+    return list(engine.run(tasks).values())
+
+
+def _immersion_pue_point(peak: float) -> SensitivityPoint:
+    """Cost per pcore when the deployed 2PIC only achieves ``peak`` PUE."""
+    cooling = CoolingTechnology(
+        name=f"2PIC@{peak}",
+        average_pue=max(1.01, peak - 0.01),
+        peak_pue=peak,
+        fan_overhead=0.0,
+        max_server_cooling_watts=TWO_PHASE_IMMERSION.max_server_cooling_watts,
+        is_liquid=True,
+    )
+    non_oc = DatacenterScenario(f"non-OC 2PIC@{peak}", cooling, overclockable=False)
+    oc = DatacenterScenario(f"OC 2PIC@{peak}", cooling, overclockable=True)
+    model = TCOModel()
+    return SensitivityPoint(
+        parameter="immersion_peak_pue",
+        value=peak,
+        non_oc_cost_per_pcore=model.cost_per_pcore_exact(non_oc),
+        oc_cost_per_pcore=model.cost_per_pcore_exact(oc),
+    )
 
 
 def sweep_immersion_pue(
-    peak_pues: tuple[float, ...] = (1.03, 1.06, 1.10, 1.15)
+    peak_pues: tuple[float, ...] = (1.03, 1.06, 1.10, 1.15),
+    engine: SweepEngine | None = None,
 ) -> list[SensitivityPoint]:
     """Vary the achieved 2PIC peak PUE (deployment quality proxy).
 
     The density amortization — the biggest saving — shrinks as the
     achieved PUE degrades toward air cooling's.
     """
-    points = []
-    for peak in peak_pues:
-        cooling = CoolingTechnology(
-            name=f"2PIC@{peak}",
-            average_pue=max(1.01, peak - 0.01),
-            peak_pue=peak,
-            fan_overhead=0.0,
-            max_server_cooling_watts=TWO_PHASE_IMMERSION.max_server_cooling_watts,
-            is_liquid=True,
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=_immersion_pue_point,
+            params={"peak": peak},
+            key=f"immersion_peak_pue={peak:g}",
         )
-        non_oc = DatacenterScenario(f"non-OC 2PIC@{peak}", cooling, overclockable=False)
-        oc = DatacenterScenario(f"OC 2PIC@{peak}", cooling, overclockable=True)
-        model = TCOModel()
-        points.append(
-            SensitivityPoint(
-                parameter="immersion_peak_pue",
-                value=peak,
-                non_oc_cost_per_pcore=model.cost_per_pcore_exact(non_oc),
-                oc_cost_per_pcore=model.cost_per_pcore_exact(oc),
-            )
-        )
-    return points
+        for peak in peak_pues
+    ]
+    return list(engine.run(tasks).values())
 
 
 @dataclass(frozen=True)
@@ -102,24 +126,34 @@ class OversubscriptionPoint:
     oc_cost_per_vcore_vs_air: float
 
 
+def _oversubscription_point(level: float) -> OversubscriptionPoint:
+    """Relative OC-2PIC cost per vcore at one oversubscription level."""
+    model = TCOModel()
+    air = cost_per_vcore(AIR_BASELINE, 0.0, model)
+    cost = cost_per_vcore(OC_2PIC, level, model)
+    return OversubscriptionPoint(
+        oversubscription=level, oc_cost_per_vcore_vs_air=cost / air - 1.0
+    )
+
+
 def sweep_oversubscription(
-    levels: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
+    levels: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20),
+    engine: SweepEngine | None = None,
 ) -> list[OversubscriptionPoint]:
     """Cost per virtual core of overclockable 2PIC vs oversubscription.
 
     The paper's Section VI-C point (10% → −13%) sits on this curve.
     """
-    model = TCOModel()
-    air = cost_per_vcore(AIR_BASELINE, 0.0, model)
-    points = []
-    for level in levels:
-        cost = cost_per_vcore(OC_2PIC, level, model)
-        points.append(
-            OversubscriptionPoint(
-                oversubscription=level, oc_cost_per_vcore_vs_air=cost / air - 1.0
-            )
+    engine = engine if engine is not None else SweepEngine()
+    tasks = [
+        SweepTask(
+            fn=_oversubscription_point,
+            params={"level": level},
+            key=f"oversubscription={level:g}",
         )
-    return points
+        for level in levels
+    ]
+    return list(engine.run(tasks).values())
 
 
 __all__ = [

@@ -8,7 +8,7 @@ averages, latency percentiles, and time-weighted power statistics.
 from .counters import CoreCounters, CounterDelta, CounterSnapshot
 from .export import write_json, write_records_csv, write_timeseries_csv
 from .histogram import LogHistogram
-from .metrics import Sample, StateIntegrator, TimeSeries
+from .metrics import Sample, StateIntegrator, Stopwatch, TimeSeries
 from .percentiles import LatencyRecorder, percentile
 from .power_meter import PowerMeter
 
@@ -22,6 +22,7 @@ __all__ = [
     "CounterSnapshot",
     "Sample",
     "StateIntegrator",
+    "Stopwatch",
     "TimeSeries",
     "LatencyRecorder",
     "percentile",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from ..errors import ConfigurationError, ThermalError
 from .fluids import DielectricFluid
@@ -49,6 +50,15 @@ IMMERSION_RESISTANCE_BY_PLACEMENT: dict[BECPlacement, float] = {
 BEC_REQUIRED_FLUX_W_PER_CM2 = 10.0
 
 
+@lru_cache(maxsize=65_536)
+def _steady_state_tj_c(
+    reference_temp_c: float, thermal_resistance_c_per_w: float, power_watts: float
+) -> float:
+    """Memoized Tj lookup: sweeps hit the same (T_ref, R_th, P) triples
+    thousands of times (power grids are coarse, models are shared)."""
+    return reference_temp_c + thermal_resistance_c_per_w * power_watts
+
+
 @dataclass(frozen=True)
 class JunctionModel:
     """Tj = reference + R_th × P, with an optional junction limit."""
@@ -67,7 +77,9 @@ class JunctionModel:
         """Steady-state junction temperature at ``power_watts``."""
         if power_watts < 0:
             raise ConfigurationError("power must be non-negative")
-        return self.reference_temp_c + self.thermal_resistance_c_per_w * power_watts
+        return _steady_state_tj_c(
+            self.reference_temp_c, self.thermal_resistance_c_per_w, float(power_watts)
+        )
 
     def max_power_watts(self, tj_limit_c: float | None = None) -> float:
         """Largest power keeping Tj at or below the limit."""

@@ -1,0 +1,87 @@
+"""Determinism regression: engine execution must be bit-for-bit
+identical to direct serial calls for the same master seed.
+
+This is the engine's core contract (ISSUE 1): fanning a sweep out over
+processes, or replaying it from the cache, must never change a single
+bit of the numbers — per-task seeds depend only on ``(master_seed,
+task_key)``, and each task is a pure function of its parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.autoscale.policy import ScalerMode
+from repro.engine import ResultCache, SweepEngine, SweepTask
+from repro.experiments.autoscaling import run_fig16_mode
+from repro.reliability import air_condition, compare_conditions, simulate_fleet
+from repro.sim.random import split_seed
+from repro.tco import sweep_energy_share
+
+MASTER_SEED = 11
+
+
+class TestMonteCarloDeterminism:
+    def test_engine_matches_direct_serial_call(self):
+        condition = air_condition(305.0, 0.98)
+        direct = simulate_fleet(
+            condition, servers=3000, seed=split_seed(MASTER_SEED, "air-oc")
+        )
+        through_engine = compare_conditions(
+            {"air-oc": condition},
+            servers=3000,
+            seed=MASTER_SEED,
+            engine=SweepEngine(max_workers=2),
+        )["air-oc"]
+        assert dataclasses.asdict(direct) == dataclasses.asdict(through_engine)
+
+    def test_parallel_and_cached_replay_identical(self, tmp_path):
+        conditions = {
+            "nominal": air_condition(205.0, 0.90),
+            "overclocked": air_condition(305.0, 0.98),
+        }
+        serial = compare_conditions(conditions, servers=3000, seed=MASTER_SEED)
+        parallel = compare_conditions(
+            conditions, servers=3000, seed=MASTER_SEED, engine=SweepEngine(max_workers=2)
+        )
+        cached_engine = SweepEngine(max_workers=2, cache=ResultCache(tmp_path))
+        compare_conditions(conditions, servers=3000, seed=MASTER_SEED, engine=cached_engine)
+        replay = compare_conditions(
+            conditions, servers=3000, seed=MASTER_SEED, engine=cached_engine
+        )
+        assert cached_engine.last_report.executed == 0
+        for label in conditions:
+            assert serial[label] == parallel[label] == replay[label]
+
+
+class TestFig16ModeDeterminism:
+    def test_engine_matches_direct_serial_call(self):
+        params = {"seed": MASTER_SEED, "warmup_s": 0.0, "levels": 2, "step_period_s": 30.0}
+        direct = run_fig16_mode(ScalerMode.OC_A, **params)
+        through_engine = SweepEngine(max_workers=2).run(
+            [
+                SweepTask(
+                    fn=run_fig16_mode,
+                    params={"mode": ScalerMode.OC_A, **params},
+                    key=ScalerMode.OC_A.value,
+                )
+            ]
+        )[ScalerMode.OC_A.value]
+        assert direct.latency.p95() == through_engine.latency.p95()
+        assert direct.latency.mean() == through_engine.latency.mean()
+        assert direct.power.average_watts() == through_engine.power.average_watts()
+        assert direct.max_vms == through_engine.max_vms
+        assert direct.vm_hours() == through_engine.vm_hours()
+        assert tuple(direct.utilization_trace.values) == tuple(
+            through_engine.utilization_trace.values
+        )
+        assert tuple(direct.frequency_trace.values) == tuple(
+            through_engine.frequency_trace.values
+        )
+
+
+class TestPureSweepDeterminism:
+    def test_tco_sweep_identical_at_any_width(self):
+        serial = sweep_energy_share()
+        parallel = sweep_energy_share(engine=SweepEngine(max_workers=3))
+        assert serial == parallel

@@ -1,0 +1,99 @@
+"""Memoized hot-path lookups: cached and uncached values must match.
+
+The VF-curve and junction-temperature lookups are pure and get hit with
+identical arguments thousands of times per sweep; these tests pin the
+contract that memoization changes only the speed, never the value.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import FrequencyError, TCOError
+from repro.silicon.vf_curve import VFCurve, w3175x_vf_curve
+from repro.tco import DEFAULT_BASELINE_SHARES, renormalize_shares
+from repro.thermal.junction import JunctionModel, _steady_state_tj_c
+
+
+class TestVFCurveCache:
+    def test_cached_equals_uncached(self):
+        curve = w3175x_vf_curve()
+        frequencies = [3.0 + 0.05 * i for i in range(40)]
+        offsets = [0.0, -25.0, 50.0]
+        for frequency in frequencies:
+            for offset in offsets:
+                cached = curve.voltage_at(frequency, offset)
+                uncached = curve._voltage_at_uncached(frequency, offset)
+                assert cached == uncached
+
+    def test_repeated_lookups_hit_the_cache(self):
+        curve = w3175x_vf_curve()
+        for _ in range(5):
+            curve.voltage_at(3.7)
+        info = curve.voltage_cache_info()
+        assert info.hits >= 4
+        assert info.misses == 1
+
+    def test_caches_are_per_instance(self):
+        first = VFCurve([(3.0, 0.85), (4.0, 1.0)])
+        second = VFCurve([(3.0, 0.90), (4.0, 1.05)])
+        assert first.voltage_at(3.5) != second.voltage_at(3.5)
+
+    def test_invalid_frequency_still_raises(self):
+        curve = w3175x_vf_curve()
+        with pytest.raises(FrequencyError):
+            curve.voltage_at(-1.0)
+
+    def test_curve_survives_pickle(self):
+        curve = w3175x_vf_curve()
+        expected = curve.voltage_at(3.9)
+        clone = pickle.loads(pickle.dumps(curve))
+        assert clone.voltage_at(3.9) == expected
+        assert clone.voltage_cache_info().misses == 1
+
+
+class TestJunctionCache:
+    def test_cached_equals_formula(self):
+        model = JunctionModel(reference_temp_c=34.0, thermal_resistance_c_per_w=0.12)
+        for power in (0.0, 150.0, 205.0, 305.0):
+            expected = model.reference_temp_c + model.thermal_resistance_c_per_w * power
+            assert model.junction_temp_c(power) == pytest.approx(expected, abs=0.0)
+
+    def test_repeated_lookups_hit_the_cache(self):
+        before = _steady_state_tj_c.cache_info().hits
+        model = JunctionModel(reference_temp_c=34.0, thermal_resistance_c_per_w=0.08)
+        for _ in range(4):
+            model.junction_temp_c(305.0)
+        assert _steady_state_tj_c.cache_info().hits >= before + 3
+
+
+class TestRenormalizeShares:
+    @pytest.mark.parametrize("value", [0.01, 0.08, 0.13, 0.25, 0.9])
+    def test_shares_always_sum_to_one(self, value):
+        shares = renormalize_shares(DEFAULT_BASELINE_SHARES, "energy", value)
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-12)
+        assert shares["energy"] == value
+
+    def test_relative_weights_preserved(self):
+        shares = renormalize_shares(DEFAULT_BASELINE_SHARES, "energy", 0.25)
+        original_ratio = (
+            DEFAULT_BASELINE_SHARES["servers"] / DEFAULT_BASELINE_SHARES["network"]
+        )
+        assert shares["servers"] / shares["network"] == pytest.approx(original_ratio)
+
+    def test_identity_when_value_unchanged(self):
+        shares = renormalize_shares(
+            DEFAULT_BASELINE_SHARES, "energy", DEFAULT_BASELINE_SHARES["energy"]
+        )
+        for key, value in DEFAULT_BASELINE_SHARES.items():
+            assert shares[key] == pytest.approx(value)
+
+    def test_validation(self):
+        with pytest.raises(TCOError):
+            renormalize_shares(DEFAULT_BASELINE_SHARES, "energy", 1.5)
+        with pytest.raises(TCOError):
+            renormalize_shares(DEFAULT_BASELINE_SHARES, "energy", 0.0)
+        with pytest.raises(TCOError):
+            renormalize_shares(DEFAULT_BASELINE_SHARES, "unknown", 0.1)
