@@ -1,10 +1,20 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke clean-cache
+.PHONY: test test-chaos bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
+
+# Chaos suite: worker-kill recovery, fault-plan determinism, and the
+# failure-recovery experiment, repeated over a fixed seed matrix. The
+# conftest arms a faulthandler watchdog (REPRO_TEST_TIMEOUT_S) so a hung
+# pool dumps tracebacks and fails instead of wedging CI.
+REPRO_CHAOS_SEEDS ?= 1 2 7
+test-chaos:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" REPRO_TEST_TIMEOUT_S=300 \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_faults.py \
+		tests/test_engine_chaos.py -q
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only

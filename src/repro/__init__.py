@@ -19,6 +19,7 @@ Subpackages
 -----------
 ``repro.sim``          deterministic discrete-event simulation kernel
 ``repro.engine``       parallel sweep execution, seed-splitting, result cache
+``repro.faults``       deterministic fault injection (plans, campaigns)
 ``repro.telemetry``    Aperf/Pperf counters, metrics, power metering
 ``repro.thermal``      fluids, cooling technologies, tanks, junction models
 ``repro.silicon``      CPUs/GPUs/memory, V/F curves, power models, configs
@@ -36,6 +37,7 @@ from . import (
     engine,
     errors,
     experiments,
+    faults,
     reliability,
     silicon,
     sim,
@@ -55,6 +57,7 @@ __all__ = [
     "engine",
     "errors",
     "experiments",
+    "faults",
     "reliability",
     "silicon",
     "sim",

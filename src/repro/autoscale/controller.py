@@ -12,6 +12,15 @@ every 3 seconds — reads Aperf/Pperf/utilization telemetry and decides:
 Three modes reproduce the paper's Table XI rows: BASELINE (out/in only),
 OC-E (overclock to hide the deploy window), OC-A (overclock to avoid
 deploys, "scale up and then out").
+
+Failure recovery (the degraded mode): when serving VMs crash —
+injected by :mod:`repro.faults` or any other caller of
+:meth:`AutoScaler.inject_vm_failures` — the controller immediately
+redeploys replacements (paying the full 60 s window) and, when built
+with a ``recovery_guard``, overclocks the *survivors* through
+:class:`~repro.reliability.governor.OverclockGuard` until the
+replacements land. This is the paper's "hide the scale-out latency"
+mechanism pointed at failures instead of load spikes.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from dataclasses import dataclass, field
 from ..cluster.lifecycle import VMLifecycleManager
 from ..cluster.vm import VMInstance, VMSpec
 from ..errors import ConfigurationError
+from ..reliability.governor import OverclockGuard
 from ..silicon.configs import B2, FrequencyConfig
 from ..silicon.server import ServerPowerModel
 from ..sim.kernel import Simulator
@@ -72,6 +82,10 @@ class AutoScalerResult:
     scale_out_events: int
     scale_in_events: int
     max_vms: int
+    #: Serving VMs that crashed (injected or otherwise) during the run.
+    vm_failures: int = 0
+    #: Times the degraded mode overclocked survivors to cover a redeploy.
+    recovery_boosts: int = 0
 
     def vm_hours(self) -> float:
         return self.vm_count.integral() / 3600.0
@@ -89,6 +103,8 @@ class AutoScaler:
         scale_out_latency_s: float = 60.0,
         power_model: ServerPowerModel | None = None,
         warmup_s: float = 0.0,
+        recovery_guard: OverclockGuard | None = None,
+        recovery_headroom_watts: float = float("inf"),
     ) -> None:
         if initial_vms < 1:
             raise ConfigurationError("need at least one initial VM")
@@ -103,6 +119,13 @@ class AutoScaler:
         self._scale_out_in_flight = False
         self._last_scale_out_at = -float("inf")
         self._power_model = power_model if power_model is not None else ServerPowerModel()
+        #: Degraded mode: with a guard attached, survivors overclock to
+        #: absorb lost capacity while replacement deploys are in flight.
+        self.recovery_guard = recovery_guard
+        self.recovery_headroom_watts = recovery_headroom_watts
+        self._recovery_in_flight = 0
+        self.vm_failures = 0
+        self.recovery_boosts = 0
 
         # Telemetry sinks.
         self.latency = LatencyRecorder("autoscaler", drop_warmup_before=warmup_s)
@@ -137,7 +160,9 @@ class AutoScaler:
         """VMs serving or deploying."""
         return len(self._lifecycle.active_instances)
 
-    def _deploy_vm(self, latency_override_s: float | None = None) -> None:
+    def _deploy_vm(
+        self, latency_override_s: float | None = None, recovery: bool = False
+    ) -> None:
         def on_ready(instance: VMInstance) -> None:
             app = ServerVM(
                 self._sim,
@@ -149,13 +174,20 @@ class AutoScaler:
             app.set_frequency(self._frequency_ghz)
             self.load_balancer.attach(app)
             self._handles[instance.vm_id] = _VMHandle(instance=instance, app=app)
-            self._scale_out_in_flight = False
+            if recovery:
+                self._recovery_in_flight -= 1
+                if self._recovery_in_flight == 0:
+                    self._end_recovery_boost()
+            else:
+                self._scale_out_in_flight = False
             self._record_vm_count()
 
         self._lifecycle.request_vm(
             self._spec, on_ready=on_ready, latency_override_s=latency_override_s
         )
-        if latency_override_s != 0.0:
+        if recovery:
+            self._recovery_in_flight += 1
+        elif latency_override_s != 0.0:
             self._scale_out_in_flight = True
         self._record_vm_count()
 
@@ -176,6 +208,74 @@ class AutoScaler:
         )
         self.vm_count.set(self._sim.now, float(count))
         self.max_vms = max(self.max_vms, count)
+
+    # ------------------------------------------------------------------
+    # Failure recovery (degraded mode)
+    # ------------------------------------------------------------------
+    @property
+    def recovering(self) -> bool:
+        """True while replacement deploys for crashed VMs are in flight."""
+        return self._recovery_in_flight > 0
+
+    def inject_vm_failures(self, count: int = 1) -> tuple[str, ...]:
+        """Crash up to ``count`` serving VMs and start their recovery.
+
+        Each victim is detached from the load balancer (its in-flight
+        requests are lost — crashes are ungraceful), marked FAILED, and
+        replaced by a fresh deploy that pays the full scale-out latency.
+        With a ``recovery_guard``, survivors are overclocked for the
+        redeploy window. Victims are the most recently attached VMs, so
+        the choice is deterministic. Returns the failed VM ids.
+        """
+        failed: list[str] = []
+        for _ in range(count):
+            vms = self.load_balancer.vms
+            if not vms:
+                break
+            app = vms[-1]
+            self.load_balancer.detach(app)
+            handle = self._handles.pop(app.name)
+            self._lifecycle.fail_vm(handle.instance.vm_id)
+            failed.append(handle.instance.vm_id)
+            self.vm_failures += 1
+            self._deploy_vm(recovery=True)
+        if failed:
+            self._record_vm_count()
+            self._begin_recovery_boost()
+        return tuple(failed)
+
+    def _begin_recovery_boost(self) -> None:
+        """Overclock survivors through the guard while redeploys run."""
+        if self.recovery_guard is None or not self._handles:
+            return
+        requested = self.policy.max_frequency_ghz / self.policy.min_frequency_ghz
+        decision = self.recovery_guard.decide(
+            requested, power_headroom_watts=self.recovery_headroom_watts
+        )
+        if decision.granted_ratio <= 1.0:
+            return
+        target = min(
+            self.policy.max_frequency_ghz,
+            self.policy.min_frequency_ghz * decision.granted_ratio,
+        )
+        # Snap down onto the ladder: real parts clock in discrete bins.
+        target = max(
+            (step for step in self._ladder if step <= target + 1e-9),
+            default=self._ladder[0],
+        )
+        if target > self._frequency_ghz:
+            self.recovery_boosts += 1
+            self._apply_frequency(target)
+
+    def _end_recovery_boost(self) -> None:
+        """All replacements landed: hand frequency back to the policy.
+
+        BASELINE never touches frequency in its decision loop, so the
+        boost must be explicitly dropped; the OC modes re-decide every
+        3 s and will converge on their own.
+        """
+        if self.policy.mode is ScalerMode.BASELINE:
+            self._apply_frequency(self.policy.min_frequency_ghz)
 
     # ------------------------------------------------------------------
     # Control loop
@@ -314,6 +414,8 @@ class AutoScaler:
             scale_out_events=self.scale_out_events,
             scale_in_events=self.scale_in_events,
             max_vms=self.max_vms,
+            vm_failures=self.vm_failures,
+            recovery_boosts=self.recovery_boosts,
         )
 
 

@@ -12,6 +12,13 @@ Usage::
     python -m repro sweep               # list the parallel sweeps
     python -m repro sweep all --workers 4
     python -m repro sweep autoscaler --workers 3 --no-cache
+
+    python -m repro faults              # list the fault scenarios
+    python -m repro faults host-failure --seed 7
+    python -m repro faults all
+
+Modelling errors (:class:`~repro.errors.ReproError`) exit with status 2
+and a one-line message; pass ``--debug`` to get the full traceback.
 """
 
 from __future__ import annotations
@@ -20,10 +27,12 @@ import argparse
 import sys
 from typing import Callable
 
+from .errors import ReproError
 from .experiments import (
     autoscaling,
     characterization,
     environment,
+    failure_recovery,
     highperf_vms,
     oversubscription,
     packing_churn,
@@ -54,6 +63,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "churn": ("Packing density under VM churn", packing_churn.format_packing_churn, False),
     "fig15": ("Eq. 1 model validation (DES, ~1 min)", autoscaling.format_fig15, True),
     "fig16": ("Full auto-scaler + Table XI (DES, minutes)", autoscaling.format_table11, True),
+    "recovery": ("Failure recovery: BASELINE vs OC p95 (DES, ~1 min)", failure_recovery.format_failure_recovery, True),
 }
 
 
@@ -100,8 +110,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["list"],
         help=(
-            "experiment names (see 'list'), 'all' for every fast one, or "
-            "'sweep [name ...]' to run parameter sweeps through the engine"
+            "experiment names (see 'list'), 'all' for every fast one, "
+            "'sweep [name ...]' to run parameter sweeps through the engine, "
+            "or 'faults [scenario ...]' to run fault-injection scenarios"
         ),
     )
     parser.add_argument(
@@ -120,21 +131,44 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="for 'sweep': result-cache directory (default .repro_cache/)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="for 'faults': master seed for the fault plan (default 1)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise modelling errors with full tracebacks",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
-    if args.experiments and args.experiments[0] == "sweep":
-        # Imported lazily: the registry pulls in every experiment module.
-        from .engine.cache import DEFAULT_CACHE_DIR
-        from .engine.registry import run_sweeps
+    try:
+        if args.experiments and args.experiments[0] == "sweep":
+            # Imported lazily: the registry pulls in every experiment module.
+            from .engine.cache import DEFAULT_CACHE_DIR
+            from .engine.registry import run_sweeps
 
-        return run_sweeps(
-            args.experiments[1:],
-            workers=args.workers,
-            use_cache=not args.no_cache,
-            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
-        )
-    return run(args.experiments)
+            return run_sweeps(
+                args.experiments[1:],
+                workers=args.workers,
+                use_cache=not args.no_cache,
+                cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            )
+        if args.experiments and args.experiments[0] == "faults":
+            # Imported lazily: scenarios pull in the experiment modules
+            # on top of the fault substrate.
+            from .faults.scenarios import run_scenarios
+
+            return run_scenarios(args.experiments[1:], seed=args.seed)
+        return run(args.experiments)
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -9,7 +9,7 @@ configuration changes, oversubscribed VM admission, and power draw.
 
 from __future__ import annotations
 
-from ..errors import CapacityError, ConfigurationError, FrequencyError
+from ..errors import CapacityError, ConfigurationError, FrequencyError, HostFailure
 from ..silicon.configs import B2, FrequencyConfig
 from ..silicon.server import ServerPowerModel, ServerSpec, TANK1_SERVER
 from ..thermal.cooling import CoolingTechnology, TWO_PHASE_IMMERSION
@@ -37,6 +37,7 @@ class Host:
         self.oversubscription_ratio = oversubscription_ratio
         self.power_model = power_model if power_model is not None else ServerPowerModel(spec)
         self._vms: dict[str, VMInstance] = {}
+        self._failed = False
         self._validate_config(config)
 
     # ------------------------------------------------------------------
@@ -74,6 +75,35 @@ class Host:
         return self._config.is_overclocked
 
     # ------------------------------------------------------------------
+    # Failure state
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        """True after :meth:`fail`; a failed host admits nothing."""
+        return self._failed
+
+    def fail(self, time: float = 0.0) -> tuple[VMInstance, ...]:
+        """Whole-host failure: every active VM crashes with it.
+
+        Returns the VMs that were lost so a recovery layer can redeploy
+        them elsewhere. Idempotent failures are configuration errors —
+        a host cannot fail twice without :meth:`restore`.
+        """
+        if self._failed:
+            raise ConfigurationError(f"host {self.host_id} has already failed")
+        self._failed = True
+        lost = tuple(vm for vm in self._vms.values() if vm.is_active)
+        for vm in lost:
+            vm.mark_failed(time)
+        return lost
+
+    def restore(self) -> None:
+        """Bring a failed host back (post-repair); its old VMs stay FAILED."""
+        if not self._failed:
+            raise ConfigurationError(f"host {self.host_id} has not failed")
+        self._failed = False
+
+    # ------------------------------------------------------------------
     # VM admission
     # ------------------------------------------------------------------
     @property
@@ -107,6 +137,8 @@ class Host:
 
     def place(self, vm: VMInstance) -> None:
         """Admit a VM (raises :class:`CapacityError` when it cannot fit)."""
+        if self._failed:
+            raise HostFailure(f"host {self.host_id} has failed and admits no VMs")
         if vm.vm_id in self._vms:
             raise ConfigurationError(f"VM {vm.vm_id} is already on host {self.host_id}")
         if not self.fits(vm.spec):
@@ -135,11 +167,15 @@ class Host:
         """
         if not 0.0 <= utilization <= 1.0:
             raise ConfigurationError("utilization must be within [0, 1]")
+        if self._failed:
+            return 0.0
         busy = min(float(self.spec.pcores), self.committed_vcores * utilization)
         return self.power_model.watts(self._config, busy, memory_activity)
 
     def peak_power_watts(self) -> float:
         """Worst-case draw (all pcores busy under the current config)."""
+        if self._failed:
+            return 0.0
         return self.power_model.watts(self._config, float(self.spec.pcores), 1.0)
 
 

@@ -5,6 +5,13 @@ Deploying a VM is slow — "it may take tens of seconds to even minutes"
 scale-out. :class:`VMLifecycleManager` owns that delay: `request_vm`
 returns immediately with a CREATING instance, and the ready callback
 fires after ``creation_latency_s`` of simulated time.
+
+Failure recovery rides the same delay: :meth:`fail_vm` moves a VM to
+FAILED immediately (crashes are instantaneous) and
+:meth:`crash_restart` additionally redeploys a replacement, which — like
+any deploy — takes the full creation latency. That asymmetry (instant
+loss, slow recovery) is what makes failures expensive and the degraded
+auto-scaler mode worthwhile.
 """
 
 from __future__ import annotations
@@ -91,6 +98,12 @@ class VMLifecycleManager:
             self._sim.after(latency, become_ready, name=f"deploy:{vm.vm_id}")
         return vm
 
+    @property
+    def failed_instances(self) -> tuple[VMInstance, ...]:
+        return tuple(
+            vm for vm in self._instances.values() if vm.state is VMState.FAILED
+        )
+
     def delete_vm(self, vm_id: str) -> VMInstance:
         """Delete a VM immediately (scale-in is fast)."""
         vm = self._instances.get(vm_id)
@@ -101,6 +114,33 @@ class VMLifecycleManager:
         vm.mark_deleted(self._sim.now)
         return vm
 
+    def fail_vm(self, vm_id: str) -> VMInstance:
+        """Crash a VM immediately (failures, unlike deploys, are fast)."""
+        vm = self._instances.get(vm_id)
+        if vm is None:
+            raise ConfigurationError(f"no VM {vm_id}")
+        vm.mark_failed(self._sim.now)
+        return vm
+
+    def crash_restart(
+        self,
+        vm_id: str,
+        on_ready: Callable[[VMInstance], None] | None = None,
+        latency_override_s: float | None = None,
+    ) -> tuple[VMInstance, VMInstance]:
+        """Fail ``vm_id`` and start deploying a same-spec replacement.
+
+        Returns ``(failed, replacement)``. The replacement pays the full
+        creation latency — the 60 s redeploy window during which the
+        degraded auto-scaler overclocks survivors to absorb the lost
+        capacity.
+        """
+        failed = self.fail_vm(vm_id)
+        replacement = self.request_vm(
+            failed.spec, on_ready=on_ready, latency_override_s=latency_override_s
+        )
+        return failed, replacement
+
     def vm_hours(self, now: float | None = None) -> float:
         """Total RUNNING VM×hours accumulated (the Table XI cost metric)."""
         current = self._sim.now if now is None else now
@@ -109,3 +149,4 @@ class VMLifecycleManager:
 
 
 __all__ = ["VMLifecycleManager", "PAPER_SCALE_OUT_LATENCY_S"]
+

@@ -21,6 +21,9 @@ class VMState(Enum):
     RUNNING = "running"
     DELETING = "deleting"
     DELETED = "deleted"
+    #: The VM crashed (overclock-induced instability, host failure, ...)
+    #: and is no longer serving; a replacement must be redeployed.
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,7 @@ class VMInstance:
     created_at: float = 0.0
     running_since: float | None = None
     deleted_at: float | None = None
+    failed_at: float | None = None
     #: Name of the workload the VM runs, if known to the provider.
     workload_name: str = ""
 
@@ -63,6 +67,16 @@ class VMInstance:
         self.state = VMState.DELETED
         self.deleted_at = time
 
+    def mark_failed(self, time: float) -> None:
+        """Record an ungraceful crash; terminal like DELETED, but billed
+        and reported separately (the provider eats the cost)."""
+        if self.state in (VMState.DELETED, VMState.FAILED):
+            raise ConfigurationError(
+                f"VM {self.vm_id} is already {self.state.value} and cannot fail"
+            )
+        self.state = VMState.FAILED
+        self.failed_at = time
+
     @property
     def is_active(self) -> bool:
         """True while the VM occupies host resources."""
@@ -72,7 +86,13 @@ class VMInstance:
         """Wall time spent RUNNING up to ``now``."""
         if self.running_since is None:
             return 0.0
-        end = self.deleted_at if self.deleted_at is not None else now
+        # A crash stops service (and billing) even if the instance is
+        # only garbage-collected (deleted) later.
+        end = now
+        if self.failed_at is not None:
+            end = self.failed_at
+        elif self.deleted_at is not None:
+            end = self.deleted_at
         return max(0.0, end - self.running_since)
 
 

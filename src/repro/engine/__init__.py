@@ -8,6 +8,7 @@ imported lazily (not here) because it depends on
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, canonicalize, content_key
+from .chaos import make_faulty
 from .core import EngineStats, RunReport, SweepEngine, SweepTask
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "RunReport",
     "SweepEngine",
     "SweepTask",
+    "make_faulty",
 ]

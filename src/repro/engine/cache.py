@@ -14,7 +14,10 @@ Invalidation is entirely content driven:
 
 There is deliberately no TTL and no in-place mutation: entries are
 written atomically (temp file + :func:`os.replace`) and a corrupt or
-truncated entry is treated as a miss and deleted.
+truncated entry is treated as a miss. Corrupt entries are *quarantined*
+— moved aside into ``<root>/corrupt/`` rather than deleted — so that a
+torn write caused by a crashed worker or a bad disk remains available
+for post-mortem inspection; one warning is logged per quarantined key.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import numbers
 import os
 import pickle
@@ -32,8 +36,13 @@ from typing import Any, Callable, Mapping
 
 from ..errors import EngineError
 
+logger = logging.getLogger(__name__)
+
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "corrupt"
 
 
 def _package_version() -> str:
@@ -131,12 +140,39 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self._warned_keys: set[str] = set()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def quarantine_path(self, key: str) -> Path:
+        """Where a corrupt entry for ``key`` lands after quarantine."""
+        return self.root / QUARANTINE_DIR / f"{key}.pkl"
+
+    def _quarantine(self, key: str, path: Path, error: Exception) -> None:
+        """Move an unreadable entry aside instead of deleting it."""
+        destination = self.quarantine_path(key)
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            # The entry vanished or the move failed; either way the
+            # cache must keep going — this is a miss, not a crash.
+            return
+        self.quarantined += 1
+        if key not in self._warned_keys:
+            self._warned_keys.add(key)
+            logger.warning(
+                "quarantined unreadable cache entry %s -> %s (%s: %s)",
+                key[:12],
+                destination,
+                type(error).__name__,
+                error,
+            )
+
     def load(self, key: str) -> tuple[bool, Any]:
-        """Return ``(hit, value)``; corrupt entries count as misses."""
+        """Return ``(hit, value)``; corrupt entries miss and quarantine."""
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -144,8 +180,8 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except (pickle.UnpicklingError, EOFError, OSError, AttributeError):
-            path.unlink(missing_ok=True)
+        except (pickle.UnpicklingError, EOFError, OSError, AttributeError) as error:
+            self._quarantine(key, path, error)
             self.misses += 1
             return False, None
         self.hits += 1
@@ -169,12 +205,20 @@ class ResultCache:
                 pass
             raise
 
+    #: Glob matching live entries (two-hex-char shards) but never the
+    #: quarantine directory.
+    _ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.pkl"
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every live entry; returns the number removed.
+
+        Quarantined entries survive a :meth:`clear` — they are evidence,
+        not cache state.
+        """
         removed = 0
         if not self.root.exists():
             return 0
-        for path in self.root.glob("*/*.pkl"):
+        for path in self.root.glob(self._ENTRY_GLOB):
             path.unlink(missing_ok=True)
             removed += 1
         return removed
@@ -182,7 +226,13 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self.root.glob(self._ENTRY_GLOB))
 
 
-__all__ = ["ResultCache", "canonicalize", "content_key", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "ResultCache",
+    "canonicalize",
+    "content_key",
+    "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
+]

@@ -1,0 +1,84 @@
+"""Chaos wrappers: make sweep tasks kill their worker, once.
+
+The engine's crash-recovery contract is that a worker dying mid-sweep
+changes nothing about the results — the pool is re-spawned, unfinished
+tasks are re-submitted, and because seeds derive from task *content*
+(:func:`repro.sim.random.split_seed` over ``(master_seed, task.key)``),
+the recovered run is bit-for-bit identical to an undisturbed serial run.
+These helpers exist so tests can exercise that contract with real
+process death rather than mocked exceptions.
+
+:func:`make_faulty` wraps a :class:`~repro.engine.core.SweepTask` so
+that its first execution hard-kills the hosting worker process
+(``os._exit``, no cleanup, exactly how an OOM kill or segfault looks to
+the parent) and every later execution computes the real result. The
+"once" is coordinated through a marker file, the only channel that
+survives the death of the process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .core import SweepTask
+
+
+def _faulty_invoke(
+    fn: Callable[..., Any],
+    fn_params: Mapping[str, Any],
+    marker_path: str,
+    inner_seed_param: str | None = None,
+    seed: int | None = None,
+) -> Any:
+    """Die on the first call (marker absent), compute on every retry.
+
+    Module-level so it crosses the process boundary. The kill only
+    happens inside a pool worker — when running serially in the main
+    process (``multiprocessing.parent_process() is None``) the marker is
+    still dropped but the process survives, so a serial-fallback retry
+    completes instead of killing the test runner.
+    """
+    params = dict(fn_params)
+    if inner_seed_param is not None and seed is not None:
+        params[inner_seed_param] = seed
+    marker = Path(marker_path)
+    if not marker.exists():
+        try:
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+        except OSError:
+            pass
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+    return fn(**params)
+
+
+def make_faulty(task: SweepTask, marker_dir: str | Path) -> SweepTask:
+    """A copy of ``task`` whose first run kills its worker.
+
+    The wrapper keeps the original ``task.key``, so the engine derives
+    the *same* split seed for it and forwards it to the wrapped
+    function's ``seed_param`` — determinism is preserved through the
+    crash. The wrapper is never cacheable: its first execution has a
+    side effect (its own death).
+    """
+    marker = Path(marker_dir) / f"kill-{task.key}.marker"
+    params: dict[str, Any] = {
+        "fn": task.fn,
+        "fn_params": dict(task.params),
+        "marker_path": str(marker),
+        "inner_seed_param": task.seed_param,
+    }
+    return SweepTask(
+        fn=_faulty_invoke,
+        params=params,
+        key=task.key,
+        seed_param="seed" if task.seed_param is not None else None,
+        cacheable=False,
+    )
+
+
+__all__ = ["make_faulty"]

@@ -18,6 +18,18 @@ runs. :class:`SweepEngine` is the one place that executes such sets:
   attached, completed points are persisted under a content digest of
   ``(function, parameters, package version)`` and replayed on the next
   run instead of re-simulated.
+* **Crash recovery.** A worker dying mid-sweep (OOM kill, segfault,
+  injected chaos) breaks the whole :class:`ProcessPoolExecutor`; the
+  engine harvests every completed future, re-spawns the pool, and
+  re-submits only the unfinished tasks, backing off between rounds.
+  After ``max_pool_failures`` consecutive broken pools the stragglers
+  run serially in-process (or an :class:`~repro.errors.EngineError` is
+  raised when ``serial_fallback=False``). Because task seeds derive
+  from content, not scheduling, a recovered run is bit-for-bit
+  identical to an undisturbed one.
+* **Timeouts.** ``task_timeout_s`` bounds each task's wall time; a hung
+  worker is terminated and the run fails fast with an
+  :class:`~repro.errors.EngineError` instead of blocking forever.
 
 The engine deliberately knows nothing about what a task computes; ports
 live next to the models they parallelize (``reliability.montecarlo``,
@@ -30,7 +42,8 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -79,6 +92,12 @@ class RunReport:
     serial_tasks: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    #: Process pools that broke under this run (worker death).
+    worker_failures: int = 0
+    #: Task submissions repeated because their pool broke.
+    retries: int = 0
+    #: Tasks that exceeded ``task_timeout_s``.
+    timeouts: int = 0
     #: Per-task execution time distribution (seconds).
     task_seconds: LogHistogram = field(
         default_factory=lambda: LogHistogram(min_value=1e-6, max_value=86_400.0)
@@ -94,6 +113,12 @@ class RunReport:
             f"{self.workers} worker(s)",
             f"{self.wall_seconds:.3f}s wall",
         ]
+        if self.worker_failures:
+            parts.append(
+                f"{self.worker_failures} pool failure(s) / {self.retries} retried"
+            )
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeout(s)")
         return ", ".join(parts)
 
 
@@ -109,6 +134,9 @@ class EngineStats:
     parallel_tasks: int = 0
     serial_tasks: int = 0
     wall_seconds: float = 0.0
+    worker_failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
 
     def absorb(self, report: RunReport) -> None:
         self.runs += 1
@@ -119,6 +147,9 @@ class EngineStats:
         self.parallel_tasks += report.parallel_tasks
         self.serial_tasks += report.serial_tasks
         self.wall_seconds += report.wall_seconds
+        self.worker_failures += report.worker_failures
+        self.retries += report.retries
+        self.timeouts += report.timeouts
 
 
 def _invoke(fn: Callable[..., Any], params: dict[str, Any]) -> tuple[Any, float]:
@@ -151,19 +182,47 @@ class SweepEngine:
     cache:
         A :class:`ResultCache` to memoize completed points, or ``None``
         to recompute everything.
+    task_timeout_s:
+        Wall-clock bound per task. ``None`` (default) waits forever; a
+        task that exceeds the bound gets its worker terminated and the
+        run raises :class:`~repro.errors.EngineError` — a hung
+        simulation is a bug to surface, not a condition to retry.
+    max_pool_failures:
+        Consecutive broken pools tolerated before giving up on
+        parallelism for the remaining tasks.
+    retry_backoff_s:
+        Base delay between pool re-spawns; round ``n`` sleeps
+        ``n * retry_backoff_s``.
+    serial_fallback:
+        After ``max_pool_failures`` broken pools, finish the remaining
+        tasks serially in-process (default) instead of raising.
     """
 
     def __init__(
         self,
         max_workers: int | None = 1,
         cache: ResultCache | None = None,
+        task_timeout_s: float | None = None,
+        max_pool_failures: int = 3,
+        retry_backoff_s: float = 0.05,
+        serial_fallback: bool = True,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise EngineError("max_workers must be at least 1")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise EngineError("task_timeout_s must be positive (or None)")
+        if max_pool_failures < 1:
+            raise EngineError("max_pool_failures must be at least 1")
+        if retry_backoff_s < 0:
+            raise EngineError("retry_backoff_s cannot be negative")
         self.max_workers = max_workers
         self.cache = cache
+        self.task_timeout_s = task_timeout_s
+        self.max_pool_failures = max_pool_failures
+        self.retry_backoff_s = retry_backoff_s
+        self.serial_fallback = serial_fallback
         self.stats = EngineStats()
         self.last_report: RunReport | None = None
 
@@ -235,23 +294,119 @@ class SweepEngine:
 
         with report.stages.time("execute"):
             if parallel:
-                width = min(self.max_workers, len(parallel))
-                with ProcessPoolExecutor(max_workers=width) as pool:
-                    futures = [
-                        (task, pool.submit(_invoke, task.fn, params))
-                        for task, params in parallel
-                    ]
-                    for task, future in futures:
-                        value, seconds = future.result()
-                        results[task.key] = value
-                        report.task_seconds.record(seconds)
-                report.parallel_tasks += len(parallel)
+                self._run_parallel(parallel, results, report)
             for task, params in serial:
                 value, seconds = _invoke(task.fn, params)
                 results[task.key] = value
                 report.task_seconds.record(seconds)
             report.serial_tasks += len(serial)
         report.executed = len(pending)
+
+    # ------------------------------------------------------------------
+    # Parallel execution with crash recovery
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        items: list[tuple[SweepTask, dict[str, Any]]],
+        results: dict[str, Any],
+        report: RunReport,
+    ) -> None:
+        """Run ``items`` through process pools, recovering broken ones.
+
+        Each round submits the still-unfinished tasks to a fresh pool.
+        A broken pool (worker death) harvests whatever completed and
+        retries the rest after a linear backoff; real task exceptions
+        propagate unchanged on any round.
+        """
+        remaining = list(items)
+        failures = 0
+        while remaining:
+            remaining = self._parallel_round(remaining, results, report)
+            if not remaining:
+                report.parallel_tasks += len(items)
+                return
+            failures += 1
+            report.worker_failures += 1
+            if failures >= self.max_pool_failures:
+                break
+            report.retries += len(remaining)
+            time.sleep(failures * self.retry_backoff_s)
+        if not self.serial_fallback:
+            raise EngineError(
+                f"{failures} consecutive process pools broke; "
+                f"{len(remaining)} task(s) unfinished "
+                f"({', '.join(task.key for task, _ in remaining)})"
+            )
+        # The pool keeps dying — finish the stragglers in-process, where
+        # a crash would at least produce a real traceback.
+        report.parallel_tasks += len(items) - len(remaining)
+        report.serial_tasks += len(remaining)
+        for task, params in remaining:
+            value, seconds = _invoke(task.fn, params)
+            results[task.key] = value
+            report.task_seconds.record(seconds)
+
+    def _parallel_round(
+        self,
+        items: list[tuple[SweepTask, dict[str, Any]]],
+        results: dict[str, Any],
+        report: RunReport,
+    ) -> list[tuple[SweepTask, dict[str, Any]]]:
+        """One pool generation; returns the tasks still unfinished."""
+        width = min(self.max_workers, len(items))
+        pool = ProcessPoolExecutor(max_workers=width)
+        broke = False
+        try:
+            futures = [
+                (task, pool.submit(_invoke, task.fn, params))
+                for task, params in items
+            ]
+            for task, future in futures:
+                try:
+                    value, seconds = future.result(timeout=self.task_timeout_s)
+                except BrokenExecutor:
+                    broke = True
+                    break
+                except FutureTimeoutError:
+                    report.timeouts += 1
+                    self._terminate_workers(pool)
+                    raise EngineError(
+                        f"task {task.key!r} exceeded the {self.task_timeout_s}s "
+                        "timeout; its worker was terminated"
+                    ) from None
+                results[task.key] = value
+                report.task_seconds.record(seconds)
+            if not broke:
+                return []
+            # Harvest every future that finished before the pool broke;
+            # genuine task exceptions still propagate.
+            for task, future in futures:
+                if task.key in results or not future.done():
+                    continue
+                error = future.exception()
+                if error is None:
+                    value, seconds = future.result()
+                    results[task.key] = value
+                    report.task_seconds.record(seconds)
+                elif not isinstance(error, BrokenExecutor):
+                    raise error
+            return [
+                (task, params)
+                for task, params in items
+                if task.key not in results
+            ]
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Kill a pool's worker processes (a hung task never returns)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
 
 __all__ = ["SweepTask", "SweepEngine", "RunReport", "EngineStats"]

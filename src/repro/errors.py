@@ -68,3 +68,23 @@ class TCOError(ReproError):
 
 class EngineError(ReproError):
     """The sweep engine was given an invalid or unexecutable task set."""
+
+
+class FaultError(ReproError):
+    """A fault-injection campaign was misconfigured or could not run."""
+
+
+class InjectionError(FaultError):
+    """An injector could not apply its fault to the target model.
+
+    Raised when a :class:`~repro.faults.plan.FaultSpec` names a target
+    that does not exist, or when no handler is registered for its kind.
+    """
+
+
+class HostFailure(FaultError):
+    """A simulated host failed ungracefully (injected or crash-induced).
+
+    Raised by models that cannot tolerate the failure; recovery-aware
+    layers (the auto-scaler, the fleet) catch it and redeploy instead.
+    """

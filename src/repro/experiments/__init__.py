@@ -24,6 +24,7 @@ Figure 12      :func:`oversubscription.run_fig12`
 Figure 13      :func:`oversubscription.run_fig13`
 Figure 15      :func:`autoscaling.run_fig15`
 Fig 16/Tab XI  :func:`autoscaling.run_fig16`
+Recovery       :func:`failure_recovery.run_failure_recovery`
 =============  ==========================================
 """
 
@@ -31,6 +32,7 @@ from . import (
     autoscaling,
     characterization,
     environment,
+    failure_recovery,
     highperf_vms,
     oversubscription,
     packing_churn,
@@ -42,6 +44,7 @@ from .tables import pct, render_table
 __all__ = [
     "autoscaling",
     "environment",
+    "failure_recovery",
     "packing_churn",
     "characterization",
     "highperf_vms",

@@ -1,0 +1,51 @@
+"""Deterministic fault injection for the simulated datacenter.
+
+The subsystem separates *what goes wrong* from *how it is applied*:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the small immutable values from which an entire injected-misbehaviour
+  schedule can be re-derived (seeded via
+  :func:`~repro.sim.random.split_seed`, one stream per spec);
+* :mod:`~repro.faults.injectors` — :class:`FaultCampaign` plus one
+  injector per :class:`FaultKind`, scheduling faults as ordinary
+  discrete-event callbacks;
+* :mod:`~repro.faults.timeline` — :class:`FaultTimeline`, the recorded
+  event sequence whose SHA-256 :meth:`~FaultTimeline.signature` is the
+  reproducibility contract.
+
+:mod:`~repro.faults.scenarios` (the CLI entry points) is intentionally
+*not* imported here: it pulls in :mod:`repro.experiments`, which itself
+builds on this package. The CLI imports it lazily, mirroring how
+``repro.engine`` defers ``repro.engine.registry``.
+"""
+
+from .injectors import (
+    BREAKER_BREACH,
+    RECOVERED,
+    TJ_ALARM,
+    FaultCampaign,
+    FaultInjector,
+    HostFailureInjector,
+    PowerTripInjector,
+    ThermalExcursionInjector,
+    VMCrashInjector,
+)
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .timeline import FaultEvent, FaultTimeline
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultTimeline",
+    "FaultCampaign",
+    "FaultInjector",
+    "VMCrashInjector",
+    "HostFailureInjector",
+    "ThermalExcursionInjector",
+    "PowerTripInjector",
+    "TJ_ALARM",
+    "BREAKER_BREACH",
+    "RECOVERED",
+]

@@ -1,0 +1,355 @@
+"""Deterministic fault injectors wired into the discrete-event kernel.
+
+A :class:`FaultCampaign` owns one simulator, one
+:class:`~repro.faults.plan.FaultPlan`, and one
+:class:`~repro.faults.timeline.FaultTimeline`. Injectors register per
+:class:`~repro.faults.plan.FaultKind`; :meth:`FaultCampaign.arm` walks
+the plan and lets each injector schedule its fault as ordinary
+simulator events. Sampled fault times come from the campaign's *own*
+random streams (seeded from the plan, one stream per spec), so the
+injected chaos never perturbs — and is never perturbed by — the model's
+random draws.
+
+The injectors deliberately act through callbacks (``on_crash``,
+``on_failure``, ...) rather than poking model internals: the same
+campaign drives a bare :class:`~repro.cluster.lifecycle.VMLifecycleManager`
+in a unit test and a full closed-loop auto-scaler in an experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from ..cluster.power_delivery import PowerNode
+from ..errors import FaultError, InjectionError
+from ..reliability.stability import DEFAULT_ERRORS_PER_CRASH, StabilityModel
+from ..sim.kernel import Simulator
+from ..sim.random import RandomStreams
+from ..thermal.junction import JunctionModel
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .timeline import FaultTimeline
+
+#: Timeline kinds derived from faults (not directly injectable).
+TJ_ALARM = "tj-alarm"
+BREAKER_BREACH = "breaker-breach"
+RECOVERED = "recovered"
+
+
+class FaultInjector:
+    """Base class: schedules one kind of fault into a campaign."""
+
+    kind: FaultKind
+
+    def schedule(self, campaign: "FaultCampaign", index: int, spec: FaultSpec) -> None:
+        raise NotImplementedError
+
+
+class FaultCampaign:
+    """Arms a fault plan against one simulator run."""
+
+    def __init__(self, simulator: Simulator, plan: FaultPlan) -> None:
+        self.simulator = simulator
+        self.plan = plan
+        self.timeline = FaultTimeline()
+        # Independent stream registry: campaign draws never share state
+        # with the model's own RandomStreams.
+        self._streams = RandomStreams(plan.seed)
+        self._injectors: dict[FaultKind, FaultInjector] = {}
+        self._armed = False
+
+    def register(self, injector: FaultInjector) -> "FaultCampaign":
+        """Attach an injector; one per kind (returns self for chaining)."""
+        if injector.kind in self._injectors:
+            raise FaultError(f"an injector for {injector.kind.value} is already registered")
+        self._injectors[injector.kind] = injector
+        return self
+
+    def arm(self) -> None:
+        """Schedule every spec in the plan. Call exactly once, before
+        :meth:`Simulator.run`."""
+        if self._armed:
+            raise FaultError("campaign is already armed")
+        self._armed = True
+        for index, spec in enumerate(self.plan.specs):
+            injector = self._injectors.get(spec.kind)
+            if injector is None:
+                raise InjectionError(
+                    f"no injector registered for {spec.kind.value} "
+                    f"(spec {index} of plan {self.plan.scenario!r})"
+                )
+            injector.schedule(self, index, spec)
+
+    # ------------------------------------------------------------------
+    # Time sampling
+    # ------------------------------------------------------------------
+    def delay_for(
+        self, index: int, spec: FaultSpec, derived_rate_per_hour: float | None = None
+    ) -> float | None:
+        """Seconds from now until spec ``index`` fires, or None for never.
+
+        Pinned specs (``at_s``) convert to a relative delay; sampled
+        specs draw an exponential waiting time from the spec's stream at
+        ``rate_per_hour`` (the spec's own, else ``derived_rate_per_hour``
+        from the injector's physics). A zero rate suppresses the fault;
+        an infinite rate fires it immediately.
+        """
+        now = self.simulator.now
+        if spec.at_s is not None:
+            if spec.at_s < now:
+                raise InjectionError(
+                    f"fault {index} pinned to t={spec.at_s}s but campaign armed at {now}s"
+                )
+            return spec.at_s - now
+        rate = spec.rate_per_hour if spec.rate_per_hour is not None else derived_rate_per_hour
+        if rate is None:
+            raise InjectionError(
+                f"fault {index} ({spec.kind.value}) has no time and no rate to sample from"
+            )
+        if rate <= 0:
+            return None
+        if math.isinf(rate):
+            return 0.0
+        return self._streams.exponential(self.plan.stream_key(index), 3600.0 / rate)
+
+
+def _lookup(mapping: Mapping[str, object], target: str, kind: FaultKind):
+    """Resolve a spec target against an injector's target map."""
+    if target in mapping:
+        return mapping[target]
+    if not target and len(mapping) == 1:
+        return next(iter(mapping.values()))
+    raise InjectionError(
+        f"{kind.value} injector has no target {target!r} "
+        f"(knows: {', '.join(sorted(mapping)) or 'none'})"
+    )
+
+
+class VMCrashInjector(FaultInjector):
+    """Overclock-induced VM crashes, sampled from the stability model.
+
+    The crash *rate* comes from
+    :meth:`~repro.reliability.stability.StabilityModel.crash_rate_per_hour`
+    at the given overclock ratio, so pushing the ratio past the stable
+    margin makes injected crashes exponentially more frequent — the
+    paper's "ungraceful crashes under excess voltage/frequency" made
+    executable.
+    """
+
+    kind = FaultKind.VM_CRASH
+
+    def __init__(
+        self,
+        on_crash: Callable[[str], None],
+        stability: StabilityModel | None = None,
+        overclock_ratio: float = 1.0,
+        errors_per_crash: float = DEFAULT_ERRORS_PER_CRASH,
+    ) -> None:
+        self.on_crash = on_crash
+        self.stability = stability if stability is not None else StabilityModel()
+        self.overclock_ratio = overclock_ratio
+        self.errors_per_crash = errors_per_crash
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        derived = self.stability.crash_rate_per_hour(
+            self.overclock_ratio, self.errors_per_crash
+        )
+        delay = campaign.delay_for(index, spec, derived_rate_per_hour=derived)
+        if delay is None:
+            return
+        effective = spec.rate_per_hour if spec.rate_per_hour is not None else derived
+        detail = (
+            f"rate={effective:.2e}/h"
+            if spec.at_s is None
+            else f"ratio={self.overclock_ratio:.3f}"
+        )
+
+        def fire() -> None:
+            campaign.timeline.record(
+                campaign.simulator.now, spec.kind.value, spec.target, detail
+            )
+            self.on_crash(spec.target)
+
+        campaign.simulator.after(delay, fire, name=f"fault:vm-crash:{spec.target}")
+
+
+class HostFailureInjector(FaultInjector):
+    """Whole-host failures: every VM on the target goes down at once."""
+
+    kind = FaultKind.HOST_FAILURE
+
+    def __init__(self, on_failure: Callable[[str], None]) -> None:
+        self.on_failure = on_failure
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            campaign.timeline.record(
+                campaign.simulator.now, spec.kind.value, spec.target
+            )
+            self.on_failure(spec.target)
+
+        campaign.simulator.after(delay, fire, name=f"fault:host:{spec.target}")
+
+
+class ThermalExcursionInjector(FaultInjector):
+    """Coolant excursions: the thermal reference temperature steps up.
+
+    ``magnitude`` is the step in °C (condenser degradation, facility
+    water event, or the effective rise from fluid-level loss). While the
+    excursion lasts, junction temperatures are evaluated against the
+    elevated reference; a load pushed past ``tj_max`` records a
+    ``tj-alarm`` event — the signal a production controller would use to
+    de-clock.
+    """
+
+    kind = FaultKind.THERMAL_EXCURSION
+
+    def __init__(
+        self,
+        junctions: Mapping[str, JunctionModel],
+        load_watts: Callable[[str], float],
+        on_excursion: Callable[[str, float], None] | None = None,
+        on_recover: Callable[[str, float], None] | None = None,
+    ) -> None:
+        self.junctions = dict(junctions)
+        self.load_watts = load_watts
+        self.on_excursion = on_excursion
+        self.on_recover = on_recover
+
+    def elevated_model(self, target: str, delta_c: float) -> JunctionModel:
+        base = _lookup(self.junctions, target, self.kind)
+        return JunctionModel(
+            reference_temp_c=base.reference_temp_c + delta_c,
+            thermal_resistance_c_per_w=base.thermal_resistance_c_per_w,
+            tj_max_c=base.tj_max_c,
+        )
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        if spec.magnitude <= 0:
+            raise InjectionError("thermal excursion needs a positive magnitude (°C)")
+        _lookup(self.junctions, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            now = campaign.simulator.now
+            elevated = self.elevated_model(spec.target, spec.magnitude)
+            power = self.load_watts(spec.target)
+            tj = elevated.junction_temp_c(power)
+            campaign.timeline.record(
+                now,
+                spec.kind.value,
+                spec.target,
+                f"dT=+{spec.magnitude:.1f}C Tj={tj:.1f}C",
+            )
+            if tj > elevated.tj_max_c:
+                campaign.timeline.record(
+                    now,
+                    TJ_ALARM,
+                    spec.target,
+                    f"Tj={tj:.1f}C > Tjmax={elevated.tj_max_c:.1f}C",
+                )
+            if self.on_excursion is not None:
+                self.on_excursion(spec.target, spec.magnitude)
+            if spec.duration_s > 0:
+
+                def recover() -> None:
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, spec.target,
+                        f"dT=-{spec.magnitude:.1f}C",
+                    )
+                    if self.on_recover is not None:
+                        self.on_recover(spec.target, spec.magnitude)
+
+                campaign.simulator.after(
+                    spec.duration_s, recover, name=f"fault:thermal-recover:{spec.target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:thermal:{spec.target}")
+
+
+class PowerTripInjector(FaultInjector):
+    """Power-delivery trips: a breaker loses part of its rating.
+
+    ``magnitude`` is the fraction of the node's limit lost (0 < m < 1).
+    The injector derates the node in place, records any resulting
+    breach (the capping governor's cue), and restores the limit after
+    ``duration_s``.
+    """
+
+    kind = FaultKind.POWER_TRIP
+
+    def __init__(
+        self,
+        nodes: Mapping[str, PowerNode],
+        utilization: float = 1.0,
+        on_trip: Callable[[PowerNode], None] | None = None,
+        on_restore: Callable[[PowerNode], None] | None = None,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.utilization = utilization
+        self.on_trip = on_trip
+        self.on_restore = on_restore
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        if not 0.0 < spec.magnitude < 1.0:
+            raise InjectionError(
+                "power trip magnitude is the fraction of the limit lost; "
+                f"need 0 < m < 1, got {spec.magnitude}"
+            )
+        _lookup(self.nodes, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            node = _lookup(self.nodes, spec.target, self.kind)
+            now = campaign.simulator.now
+            lost = node.limit_watts * spec.magnitude
+            node.limit_watts -= lost
+            campaign.timeline.record(
+                now, spec.kind.value, spec.target,
+                f"-{lost:.0f}W limit={node.limit_watts:.0f}W",
+            )
+            draw = node.draw_watts(self.utilization)
+            if draw > node.limit_watts:
+                campaign.timeline.record(
+                    now, BREAKER_BREACH, spec.target,
+                    f"draw={draw:.0f}W > limit={node.limit_watts:.0f}W",
+                )
+            if self.on_trip is not None:
+                self.on_trip(node)
+            if spec.duration_s > 0:
+
+                def restore() -> None:
+                    node.limit_watts += lost
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, spec.target,
+                        f"+{lost:.0f}W limit={node.limit_watts:.0f}W",
+                    )
+                    if self.on_restore is not None:
+                        self.on_restore(node)
+
+                campaign.simulator.after(
+                    spec.duration_s, restore, name=f"fault:power-restore:{spec.target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:power-trip:{spec.target}")
+
+
+__all__ = [
+    "FaultCampaign",
+    "FaultInjector",
+    "VMCrashInjector",
+    "HostFailureInjector",
+    "ThermalExcursionInjector",
+    "PowerTripInjector",
+    "TJ_ALARM",
+    "BREAKER_BREACH",
+    "RECOVERED",
+]

@@ -1,0 +1,112 @@
+"""Fault plans: reproducible descriptions of what should go wrong.
+
+A :class:`FaultPlan` is to a fault campaign what a seed is to a
+simulation — a small immutable value from which the entire injected
+misbehaviour can be re-derived. Each :class:`FaultSpec` either pins its
+fault to an exact simulated time (``at_s``) or asks for a *sampled*
+time, in which case the campaign draws it from a named random stream
+seeded by :func:`repro.sim.random.split_seed` over ``(plan.seed,
+spec index, kind, target)`` — never from global state, so two runs of
+the same plan inject identical faults at identical times regardless of
+what else the simulation draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from ..errors import FaultError
+from ..sim.random import split_seed
+
+
+class FaultKind(Enum):
+    """The fault classes of paper Section IV, as injectable events."""
+
+    #: Overclock-induced ungraceful crash of one VM (stability margin).
+    VM_CRASH = "vm-crash"
+    #: Whole-host failure taking every resident VM with it.
+    HOST_FAILURE = "host-failure"
+    #: Coolant excursion: a step in the thermal reference temperature
+    #: (condenser degradation, fluid-level loss) pushing Tj toward Tjmax.
+    THERMAL_EXCURSION = "thermal-excursion"
+    #: Power-delivery trip: a breaker derates and capping must resolve it.
+    POWER_TRIP = "power-trip"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``at_s`` pins the injection time; leaving it ``None`` makes the
+    campaign sample the time — from ``rate_per_hour`` when given, or
+    from the injector's own physics (e.g. the crash injector derives a
+    rate from :class:`~repro.reliability.stability.StabilityModel`).
+    ``magnitude`` is kind-specific: a coolant temperature step in °C for
+    thermal excursions, the fraction of a breaker limit lost for power
+    trips; crashes and host failures ignore it.
+    """
+
+    kind: FaultKind
+    target: str = ""
+    at_s: float | None = None
+    magnitude: float = 0.0
+    duration_s: float = 0.0
+    rate_per_hour: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s is not None and self.at_s < 0:
+            raise FaultError(f"fault time {self.at_s} cannot be negative")
+        if self.duration_s < 0:
+            raise FaultError(f"fault duration {self.duration_s} cannot be negative")
+        if self.rate_per_hour is not None and self.rate_per_hour < 0:
+            raise FaultError(f"fault rate {self.rate_per_hour} cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of faults — the unit of reproducibility.
+
+    Two campaigns armed from equal plans produce equal
+    :class:`~repro.faults.timeline.FaultTimeline` signatures; that is
+    the invariant the chaos tests pin down.
+    """
+
+    seed: int
+    scenario: str = ""
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomics, store a hashable tuple.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def stream_key(self, index: int) -> str:
+        """Name of the random stream driving spec ``index``.
+
+        The key covers the spec's position, kind, and target, so adding
+        a spec never perturbs the sampled times of the ones before it.
+        """
+        spec = self.specs[index]
+        return f"fault:{self.scenario}:{index}:{spec.kind.value}:{spec.target}"
+
+    def stream_seed(self, index: int) -> int:
+        """Child seed for spec ``index`` (pure function of the plan)."""
+        return split_seed(self.seed, self.stream_key(index))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same faults under a different master seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan(scenario={self.scenario!r}, seed={self.seed})"]
+        for index, spec in enumerate(self.specs):
+            when = f"at {spec.at_s:.1f}s" if spec.at_s is not None else "sampled"
+            lines.append(
+                f"  [{index}] {spec.kind.value} -> {spec.target or '<any>'} "
+                f"{when}, magnitude={spec.magnitude}, duration={spec.duration_s}s"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]

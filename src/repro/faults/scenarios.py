@@ -1,0 +1,294 @@
+"""Named fault scenarios for the CLI (``python -m repro faults ...``).
+
+Each scenario builds a small self-contained model, arms a
+:class:`~repro.faults.injectors.FaultCampaign` from a seeded
+:class:`~repro.faults.plan.FaultPlan`, runs it, and renders the outcome
+plus the event timeline and its signature. Re-running with the same
+``--seed`` reproduces the timeline byte-for-byte; changing the seed
+re-rolls every sampled fault time.
+
+This module imports :mod:`repro.experiments` and therefore must not be
+imported from ``repro.faults.__init__`` (the experiments themselves use
+the fault substrate).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from ..cluster.host import Host
+from ..cluster.lifecycle import VMLifecycleManager
+from ..cluster.power_delivery import build_two_rack_row
+from ..cluster.vm import VMInstance, VMSpec
+from ..errors import PowerBudgetExceeded
+from ..experiments.tables import render_table
+from ..reliability.stability import StabilityModel
+from ..sim.kernel import Simulator
+from ..thermal.tank import ImmersedLoad, small_tank_1
+from .injectors import (
+    FaultCampaign,
+    PowerTripInjector,
+    ThermalExcursionInjector,
+    VMCrashInjector,
+)
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .timeline import FaultTimeline
+
+
+def _with_timeline(body: str, timeline: FaultTimeline) -> str:
+    return (
+        f"{body}\n\nFault timeline (signature {timeline.signature()[:16]}...):\n"
+        f"{timeline.describe()}"
+    )
+
+
+def _crash_storm(seed: int) -> str:
+    """Sampled overclock-induced crash times across the margin ramp.
+
+    One VM per overclock ratio between the stable and crash margins;
+    each crash time is drawn from the stability model's crash rate, so
+    the table makes the exponential ramp tangible: a ratio step of one
+    e-folding width (0.025) shortens the expected time-to-crash ~2.7x.
+    """
+    stability = StabilityModel()
+    ratios = (1.24, 1.26, 1.28, 1.30, 1.32, 1.34)
+    horizon_s = 183.0 * 24 * 3600.0  # the paper's six-month window
+    simulator = Simulator(seed=seed)
+    lifecycle = VMLifecycleManager(simulator)
+    crashed: dict[str, float] = {}
+
+    vms: dict[str, str] = {}
+    for ratio in ratios:
+        vm = lifecycle.request_vm(VMSpec(vcores=4, memory_gb=16.0), latency_override_s=0.0)
+        vms[f"{ratio:.2f}"] = vm.vm_id
+
+    plan = FaultPlan(
+        seed=seed,
+        scenario="crash-storm",
+        specs=tuple(
+            FaultSpec(
+                kind=FaultKind.VM_CRASH,
+                target=f"{ratio:.2f}",
+                rate_per_hour=stability.crash_rate_per_hour(ratio),
+            )
+            for ratio in ratios
+        ),
+    )
+
+    def crash(target: str) -> None:
+        lifecycle.fail_vm(vms[target])
+        crashed[target] = simulator.now
+
+    campaign = FaultCampaign(simulator, plan)
+    campaign.register(VMCrashInjector(on_crash=crash, stability=stability))
+    campaign.arm()
+    simulator.run(until=horizon_s)
+
+    rows = []
+    for ratio in ratios:
+        key = f"{ratio:.2f}"
+        rate = stability.crash_rate_per_hour(ratio)
+        when = crashed.get(key)
+        rows.append(
+            (
+                key,
+                f"{rate:.2e}/h",
+                f"{when / 86_400.0:.1f} d" if when is not None else "(survived 6 mo)",
+            )
+        )
+    table = render_table(
+        ["OC ratio", "Crash rate", "First crash"],
+        rows,
+        title="Crash storm: overclock-induced crashes over six months",
+    )
+    return _with_timeline(table, campaign.timeline)
+
+
+def _thermal_excursion(seed: int) -> str:
+    """A coolant excursion in small tank #1 pushes Tj toward Tjmax."""
+    tank = small_tank_1()
+    load_watts = 600.0
+    tank.immerse(ImmersedLoad(name="w3175x", power_watts=load_watts))
+    junction = tank.junction_model_for("w3175x")
+    simulator = Simulator(seed=seed)
+
+    plan = FaultPlan(
+        seed=seed,
+        scenario="thermal-excursion",
+        specs=(
+            FaultSpec(
+                kind=FaultKind.THERMAL_EXCURSION,
+                target="w3175x",
+                at_s=60.0,
+                magnitude=30.0,
+                duration_s=300.0,
+            ),
+        ),
+    )
+    campaign = FaultCampaign(simulator, plan)
+    injector = ThermalExcursionInjector(
+        junctions={"w3175x": junction}, load_watts=lambda target: load_watts
+    )
+    campaign.register(injector)
+    campaign.arm()
+    simulator.run(until=600.0)
+
+    nominal_tj = junction.junction_temp_c(load_watts)
+    excursion_tj = injector.elevated_model("w3175x", 30.0).junction_temp_c(load_watts)
+    rows = [
+        ("nominal", f"{junction.reference_temp_c:.1f} C", f"{nominal_tj:.1f} C", "-"),
+        (
+            "excursion (+30 C)",
+            f"{junction.reference_temp_c + 30.0:.1f} C",
+            f"{excursion_tj:.1f} C",
+            "ALARM" if excursion_tj > junction.tj_max_c else "ok",
+        ),
+    ]
+    table = render_table(
+        ["Condition", "Coolant ref", "Tj @ 600 W", "Tjmax check"],
+        rows,
+        title="Thermal excursion: small tank #1, HFE-7000, BEC on IHS",
+    )
+    return _with_timeline(table, campaign.timeline)
+
+
+def _power_trip(seed: int) -> str:
+    """A rack breaker derates 30% and priority-aware capping resolves it."""
+
+    def make_host(host_id: str) -> Host:
+        host = Host(host_id)
+        host.place(
+            VMInstance(
+                vm_id=f"vm-{host_id}",
+                spec=VMSpec(vcores=host.spec.pcores, memory_gb=64.0),
+            )
+        )
+        return host
+
+    tree = build_two_rack_row(
+        hosts_per_rack=3,
+        make_host=make_host,
+        rack_limit_watts=700.0,
+        row_limit_watts=1400.0,
+    )
+    rack0 = next(node for node in tree.nodes if node.name == "rack-0")
+    simulator = Simulator(seed=seed)
+    utilization = 0.9
+    capped: list[str] = []
+
+    def on_trip(node) -> None:
+        try:
+            for result in tree.enforce(utilization=utilization):
+                if result.capped:
+                    capped.append(
+                        f"{result.host_id}: {result.original_core_ghz:.1f} -> "
+                        f"{result.final_core_ghz:.1f} GHz ({result.final_watts:.0f} W)"
+                    )
+        except PowerBudgetExceeded as error:
+            capped.append(f"UNRESOLVED: {error}")
+
+    plan = FaultPlan(
+        seed=seed,
+        scenario="power-trip",
+        specs=(
+            FaultSpec(
+                kind=FaultKind.POWER_TRIP,
+                target="rack-0",
+                at_s=60.0,
+                magnitude=0.3,
+                duration_s=120.0,
+            ),
+        ),
+    )
+    campaign = FaultCampaign(simulator, plan)
+    campaign.register(
+        PowerTripInjector(nodes={"rack-0": rack0}, utilization=utilization, on_trip=on_trip)
+    )
+    campaign.arm()
+    simulator.run(until=300.0)
+
+    body = render_table(
+        ["Capping action"],
+        [(line,) for line in capped] or [("(no capping needed)",)],
+        title="Power trip: rack-0 breaker derated 30% for 120 s",
+    )
+    return _with_timeline(body, campaign.timeline)
+
+
+def _host_failure(seed: int) -> str:
+    """The headline experiment: BASELINE vs OC recovery (see
+    :mod:`repro.experiments.failure_recovery`)."""
+    # Imported lazily to keep `faults --list` fast and dependency-light.
+    from ..experiments.failure_recovery import format_failure_recovery, run_failure_recovery
+
+    return format_failure_recovery(run_failure_recovery(seed=seed))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One CLI-runnable fault scenario."""
+
+    name: str
+    description: str
+    build: Callable[[int], str]
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "host-failure",
+            "Injected host failure: BASELINE vs OC recovery p95 (DES, ~1 min)",
+            _host_failure,
+        ),
+        ScenarioSpec(
+            "crash-storm",
+            "Overclock-induced crash times sampled from the stability model",
+            _crash_storm,
+        ),
+        ScenarioSpec(
+            "thermal-excursion",
+            "Coolant excursion in small tank #1 pushing Tj toward Tjmax",
+            _thermal_excursion,
+        ),
+        ScenarioSpec(
+            "power-trip",
+            "Rack breaker derate resolved by priority-aware power capping",
+            _power_trip,
+        ),
+    )
+}
+
+
+def list_scenarios() -> str:
+    lines = ["Available fault scenarios:"]
+    for name, spec in SCENARIOS.items():
+        lines.append(f"  {name:20s} {spec.description}")
+    lines.append("  all                  every scenario above")
+    return "\n".join(lines)
+
+
+def run_scenarios(
+    names: list[str], seed: int = 1, stream: TextIO | None = None
+) -> int:
+    """Run the named scenarios; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    if not names:
+        print(list_scenarios(), file=stream)
+        return 0
+    if names == ["all"]:
+        names = list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=stream)
+        print(list_scenarios(), file=stream)
+        return 2
+    for name in names:
+        print(SCENARIOS[name].build(seed), file=stream)
+        print(file=stream)
+    return 0
+
+
+__all__ = ["ScenarioSpec", "SCENARIOS", "list_scenarios", "run_scenarios"]

@@ -1,0 +1,82 @@
+"""The fault timeline: an auditable record of every injected event.
+
+Every injector appends :class:`FaultEvent` records as its faults fire,
+so one object answers "what went wrong, when, and to whom" for a whole
+campaign. The timeline is the determinism contract of the subsystem:
+two runs armed with the same :class:`~repro.faults.plan.FaultPlan` must
+produce byte-identical timelines, which :meth:`FaultTimeline.signature`
+lets tests assert in one comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault (or recovery) that actually happened.
+
+    ``kind`` uses the :class:`~repro.faults.plan.FaultKind` values plus
+    derived markers such as ``tj-alarm`` or ``recovered``; ``detail`` is
+    a short human-readable qualifier that also feeds the signature, so
+    it must be rendered deterministically (no ids from ``id()``, no
+    wall-clock timestamps).
+    """
+
+    time_s: float
+    kind: str
+    target: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time_s:10.3f}s  {self.kind:18s} {self.target}{suffix}"
+
+
+@dataclass
+class FaultTimeline:
+    """Ordered record of the fault events of one campaign."""
+
+    _events: list[FaultEvent] = field(default_factory=list)
+
+    def record(self, time_s: float, kind: str, target: str, detail: str = "") -> FaultEvent:
+        event = FaultEvent(time_s=time_s, kind=kind, target=target, detail=detail)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, kind: str) -> tuple[FaultEvent, ...]:
+        return tuple(event for event in self._events if event.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def signature(self) -> str:
+        """Content digest of the full timeline.
+
+        Equal signatures mean equal campaigns — same faults, same
+        order, same simulated times — which is exactly the reproduction
+        guarantee a :class:`~repro.faults.plan.FaultPlan` seed makes.
+        """
+        blob = "\n".join(
+            f"{event.time_s!r}|{event.kind}|{event.target}|{event.detail}"
+            for event in self._events
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable rendering, one line per event."""
+        if not self._events:
+            return "(no fault events)"
+        return "\n".join(event.describe() for event in self._events)
+
+
+__all__ = ["FaultEvent", "FaultTimeline"]

@@ -40,7 +40,12 @@ from .montecarlo import (
     compare_conditions,
     simulate_fleet,
 )
-from .stability import SIX_MONTHS_HOURS, StabilityModel, StabilityMonitor
+from .stability import (
+    DEFAULT_ERRORS_PER_CRASH,
+    SIX_MONTHS_HOURS,
+    StabilityModel,
+    StabilityMonitor,
+)
 from .wearout import WearoutCounter, WearSegment
 
 __all__ = [
@@ -77,6 +82,7 @@ __all__ = [
     "StabilityModel",
     "StabilityMonitor",
     "SIX_MONTHS_HOURS",
+    "DEFAULT_ERRORS_PER_CRASH",
     "WearoutCounter",
     "WearSegment",
 ]

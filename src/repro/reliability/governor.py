@@ -73,11 +73,23 @@ class OverclockGuard:
     # ------------------------------------------------------------------
     def observe_errors(self, time_hours: float, cumulative_errors: float) -> None:
         """Feed the correctable-error counter; an alarm forces base clock
-        until :meth:`clear_alarm`."""
+        until :meth:`clear_alarm`.
+
+        When the monitor is configured with hysteresis
+        (``clear_after_quiet > 0``) the guard follows its latch: the
+        alarm also clears once enough quiet observations accumulate,
+        without waiting for an operator.
+        """
         if self.monitor is None:
             return
         if self.monitor.observe(time_hours, cumulative_errors):
             self._alarmed = True
+        elif (
+            self._alarmed
+            and self.monitor.clear_after_quiet > 0
+            and not self.monitor.alarmed
+        ):
+            self._alarmed = False
 
     def clear_alarm(self) -> None:
         """Operator acknowledgement after investigating an error spike."""

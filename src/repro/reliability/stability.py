@@ -27,6 +27,12 @@ from ..errors import ConfigurationError, StabilityError
 #: Six months expressed in hours — the paper's characterization window.
 SIX_MONTHS_HOURS = 183.0 * 24.0
 
+#: Correctable errors per ungraceful crash. The characterization saw 56
+#: correctable errors and zero crashes over six months of aggressive
+#: overclocking, so crashes are at least an order of magnitude rarer
+#: than correctable errors at the same operating point.
+DEFAULT_ERRORS_PER_CRASH = 500.0
+
 
 @dataclass(frozen=True)
 class StabilityModel:
@@ -66,6 +72,25 @@ class StabilityModel:
             raise ConfigurationError("hours must be non-negative")
         return self.correctable_error_rate_per_hour(overclock_ratio) * hours
 
+    def crash_rate_per_hour(
+        self,
+        overclock_ratio: float,
+        errors_per_crash: float = DEFAULT_ERRORS_PER_CRASH,
+    ) -> float:
+        """Expected ungraceful crashes per hour at ``overclock_ratio``.
+
+        Inside the stable margin the rate is zero; between the margins it
+        follows the correctable-error ramp scaled down by
+        ``errors_per_crash``; at or past the crash margin the part cannot
+        operate at all and the rate is infinite. Fault injectors sample
+        exponential crash times from this rate.
+        """
+        if errors_per_crash <= 0:
+            raise ConfigurationError("errors_per_crash must be positive")
+        if self.crashes(overclock_ratio):
+            return math.inf
+        return self.correctable_error_rate_per_hour(overclock_ratio) / errors_per_crash
+
     def crashes(self, overclock_ratio: float) -> bool:
         """True when the part cannot operate at this ratio at all."""
         return overclock_ratio >= self.crash_margin
@@ -91,12 +116,49 @@ class StabilityMonitor:
     errors" as the production guardrail. The monitor keeps the last
     observation and reports when the inter-observation error *rate*
     exceeds a threshold, signalling the controller to reduce frequency.
+
+    The alarm is *latched with hysteresis*: once it fires, ``alarmed``
+    stays True until ``clear_after_quiet`` consecutive observations come
+    in below ``clear_threshold_per_hour`` (which defaults to the firing
+    threshold, and may be set lower to widen the hysteresis band).
+    ``clear_after_quiet=0`` — the default — latches forever, leaving the
+    decision to clear with the operator (:meth:`reset_alarm`).
     """
 
     rate_threshold_per_hour: float = 1.0
+    #: Consecutive quiet observations required to auto-clear a latched
+    #: alarm; 0 means the alarm only clears via :meth:`reset_alarm`.
+    clear_after_quiet: int = 0
+    #: Rate below which an observation counts as quiet (defaults to
+    #: ``rate_threshold_per_hour``).
+    clear_threshold_per_hour: float | None = None
     _last_time_hours: float | None = field(default=None, init=False)
     _last_count: float = field(default=0.0, init=False)
     alarms: int = field(default=0, init=False)
+    _alarmed: bool = field(default=False, init=False)
+    _quiet_streak: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.clear_after_quiet < 0:
+            raise ConfigurationError("clear_after_quiet cannot be negative")
+        if (
+            self.clear_threshold_per_hour is not None
+            and self.clear_threshold_per_hour > self.rate_threshold_per_hour
+        ):
+            raise ConfigurationError(
+                "the clear threshold cannot exceed the firing threshold "
+                "(hysteresis bands open downwards)"
+            )
+
+    @property
+    def alarmed(self) -> bool:
+        """True while the alarm is latched."""
+        return self._alarmed
+
+    def reset_alarm(self) -> None:
+        """Operator acknowledgement: unlatch the alarm immediately."""
+        self._alarmed = False
+        self._quiet_streak = 0
 
     def observe(self, time_hours: float, cumulative_errors: float) -> bool:
         """Record a counter reading; returns True when an alarm fires."""
@@ -119,8 +181,27 @@ class StabilityMonitor:
         rate = delta / span
         if rate > self.rate_threshold_per_hour:
             self.alarms += 1
+            self._alarmed = True
+            self._quiet_streak = 0
             return True
+        clear_below = (
+            self.rate_threshold_per_hour
+            if self.clear_threshold_per_hour is None
+            else self.clear_threshold_per_hour
+        )
+        if rate <= clear_below:
+            self._quiet_streak += 1
+            if self._alarmed and 0 < self.clear_after_quiet <= self._quiet_streak:
+                self._alarmed = False
+        else:
+            # Inside the hysteresis band: neither alarming nor quiet.
+            self._quiet_streak = 0
         return False
 
 
-__all__ = ["StabilityModel", "StabilityMonitor", "SIX_MONTHS_HOURS"]
+__all__ = [
+    "StabilityModel",
+    "StabilityMonitor",
+    "SIX_MONTHS_HOURS",
+    "DEFAULT_ERRORS_PER_CRASH",
+]

@@ -1,0 +1,29 @@
+"""Shared test configuration.
+
+``pytest-timeout`` is not available in this environment, so hung-test
+protection uses the standard library instead: when
+``REPRO_TEST_TIMEOUT_S`` is set (the ``make test-chaos`` path),
+:func:`faulthandler.dump_traceback_later` arms a watchdog that dumps
+every thread's traceback and exits the process if the suite wedges —
+a real risk for tests that kill process-pool workers on purpose.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+_TIMEOUT_ENV = "REPRO_TEST_TIMEOUT_S"
+
+
+def pytest_configure(config):
+    timeout = os.environ.get(_TIMEOUT_ENV)
+    if not timeout:
+        return
+    faulthandler.enable()
+    faulthandler.dump_traceback_later(float(timeout), exit=True)
+
+
+def pytest_unconfigure(config):
+    if os.environ.get(_TIMEOUT_ENV):
+        faulthandler.cancel_dump_traceback_later()

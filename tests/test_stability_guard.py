@@ -1,0 +1,201 @@
+"""StabilityMonitor alarm hysteresis and OverclockGuard limit ordering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.failure_modes import OperatingCondition
+from repro.reliability.governor import LIFETIME_NEUTRAL_RATIO, OverclockGuard
+from repro.reliability.stability import (
+    DEFAULT_ERRORS_PER_CRASH,
+    StabilityModel,
+    StabilityMonitor,
+)
+from repro.reliability.wearout import WearoutCounter
+
+
+class TestCrashRate:
+    def test_zero_inside_stable_margin(self):
+        model = StabilityModel()
+        assert model.crash_rate_per_hour(1.0) == 0.0
+        assert model.crash_rate_per_hour(model.stable_margin) == 0.0
+
+    def test_scales_down_from_error_rate(self):
+        model = StabilityModel()
+        ratio = 1.30
+        expected = model.correctable_error_rate_per_hour(ratio) / DEFAULT_ERRORS_PER_CRASH
+        assert model.crash_rate_per_hour(ratio) == pytest.approx(expected)
+
+    def test_infinite_at_crash_margin(self):
+        model = StabilityModel()
+        assert math.isinf(model.crash_rate_per_hour(model.crash_margin))
+
+    def test_errors_per_crash_validated(self):
+        with pytest.raises(ConfigurationError):
+            StabilityModel().crash_rate_per_hour(1.3, errors_per_crash=0.0)
+
+
+class TestMonitorHysteresis:
+    def _fire(self, monitor):
+        monitor.observe(0.0, 0.0)
+        assert monitor.observe(1.0, 100.0)  # 100 errors/hour
+        assert monitor.alarmed
+
+    def test_default_latches_forever(self):
+        monitor = StabilityMonitor(rate_threshold_per_hour=1.0)
+        self._fire(monitor)
+        for hour in range(2, 10):
+            assert not monitor.observe(float(hour), 100.0)  # quiet: rate 0
+        assert monitor.alarmed  # clear_after_quiet=0: only reset_alarm clears
+        monitor.reset_alarm()
+        assert not monitor.alarmed
+
+    def test_auto_clear_after_quiet_streak(self):
+        monitor = StabilityMonitor(rate_threshold_per_hour=1.0, clear_after_quiet=3)
+        self._fire(monitor)
+        monitor.observe(2.0, 100.0)
+        monitor.observe(3.0, 100.0)
+        assert monitor.alarmed  # two quiet observations: not enough
+        monitor.observe(4.0, 100.0)
+        assert not monitor.alarmed  # third quiet observation clears
+
+    def test_band_observation_resets_the_streak(self):
+        monitor = StabilityMonitor(
+            rate_threshold_per_hour=2.0,
+            clear_after_quiet=2,
+            clear_threshold_per_hour=0.5,
+        )
+        monitor.observe(0.0, 0.0)
+        assert monitor.observe(1.0, 10.0)  # 10/h fires
+        monitor.observe(2.0, 10.0)  # 0/h: quiet (1)
+        monitor.observe(3.0, 11.0)  # 1/h: inside (0.5, 2.0] band, no alarm,
+        assert monitor.alarmed      # but the streak resets
+        monitor.observe(4.0, 11.0)  # quiet (1)
+        assert monitor.alarmed
+        monitor.observe(5.0, 11.0)  # quiet (2): clears
+        assert not monitor.alarmed
+
+    def test_refire_during_cooldown_relatches(self):
+        monitor = StabilityMonitor(rate_threshold_per_hour=1.0, clear_after_quiet=2)
+        self._fire(monitor)
+        monitor.observe(2.0, 100.0)  # quiet (1)
+        assert monitor.observe(3.0, 200.0)  # fires again
+        assert monitor.alarms == 2
+        monitor.observe(4.0, 200.0)  # quiet (1)
+        assert monitor.alarmed
+        monitor.observe(5.0, 200.0)  # quiet (2)
+        assert not monitor.alarmed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StabilityMonitor(clear_after_quiet=-1)
+        with pytest.raises(ConfigurationError):
+            StabilityMonitor(
+                rate_threshold_per_hour=1.0, clear_threshold_per_hour=2.0
+            )
+
+
+def _conditions():
+    overclocked = OperatingCondition(tj_max_c=85.0, tj_min_c=45.0, voltage_v=1.1)
+    nominal = OperatingCondition(tj_max_c=70.0, tj_min_c=45.0, voltage_v=0.9)
+    return overclocked, nominal
+
+
+class TestGuardLimitOrdering:
+    """``limited_by`` must name the *binding* constraint under the
+    guard's documented precedence: alarm, then stability, then power,
+    then lifetime."""
+
+    def test_alarm_dominates_everything(self):
+        overclocked, nominal = _conditions()
+        guard = OverclockGuard(
+            monitor=StabilityMonitor(rate_threshold_per_hour=1.0),
+            wearout=WearoutCounter(),
+            overclocked_condition=overclocked,
+            nominal_condition=nominal,
+        )
+        guard.observe_errors(0.0, 0.0)
+        guard.observe_errors(1.0, 50.0)
+        decision = guard.decide(1.5, power_headroom_watts=1.0)
+        assert decision.limited_by == "alarm"
+        assert decision.granted_ratio == 1.0
+        assert not decision.granted
+
+    def test_stability_binds_before_power_when_power_is_looser(self):
+        guard = OverclockGuard()
+        decision = guard.decide(1.5, power_headroom_watts=float("inf"))
+        assert decision.limited_by == "stability"
+        assert decision.granted_ratio == pytest.approx(1.23)
+
+    def test_power_binds_when_tighter_than_stability(self):
+        guard = OverclockGuard()
+        # 43.5 W of headroom buys +10% at 435 W per unit ratio.
+        decision = guard.decide(1.5, power_headroom_watts=43.5)
+        assert decision.limited_by == "power"
+        assert decision.granted_ratio == pytest.approx(1.1)
+
+    def test_lifetime_binds_past_the_neutral_band(self):
+        overclocked, nominal = _conditions()
+        guard = OverclockGuard(
+            stability=StabilityModel(stable_margin=1.30, crash_margin=1.40),
+            wearout=WearoutCounter(),  # fresh counter: zero banked credit
+            overclocked_condition=overclocked,
+            nominal_condition=nominal,
+        )
+        decision = guard.decide(1.28, power_headroom_watts=float("inf"))
+        assert decision.limited_by == "lifetime"
+        assert decision.granted_ratio == pytest.approx(LIFETIME_NEUTRAL_RATIO)
+
+    def test_stability_then_lifetime_composition(self):
+        # Request beyond both: stability caps to 1.30 first, then the
+        # empty wear-out budget pulls it back to the neutral band — the
+        # *last* binding constraint is reported.
+        overclocked, nominal = _conditions()
+        guard = OverclockGuard(
+            stability=StabilityModel(stable_margin=1.30, crash_margin=1.40),
+            wearout=WearoutCounter(),
+            overclocked_condition=overclocked,
+            nominal_condition=nominal,
+        )
+        decision = guard.decide(1.6, power_headroom_watts=float("inf"))
+        assert decision.limited_by == "lifetime"
+        assert decision.granted_ratio == pytest.approx(LIFETIME_NEUTRAL_RATIO)
+
+    def test_banked_credit_unlocks_past_neutral(self):
+        overclocked, nominal = _conditions()
+        counter = WearoutCounter()
+        # A year at the cool nominal condition banks credit vs the
+        # worst-case rated schedule.
+        counter.record(8766.0, nominal, utilization=0.2)
+        assert counter.lifetime_credit() > 0
+        guard = OverclockGuard(
+            stability=StabilityModel(stable_margin=1.30, crash_margin=1.40),
+            wearout=counter,
+            overclocked_condition=overclocked,
+            nominal_condition=nominal,
+        )
+        decision = guard.decide(1.28, power_headroom_watts=float("inf"))
+        assert decision.limited_by == "none"
+        assert decision.granted_ratio == pytest.approx(1.28)
+
+    def test_within_every_limit_reports_none(self):
+        guard = OverclockGuard()
+        decision = guard.decide(1.2, power_headroom_watts=float("inf"))
+        assert decision.limited_by == "none"
+        assert decision.granted_ratio == pytest.approx(1.2)
+
+    def test_alarm_clears_through_monitor_hysteresis(self):
+        guard = OverclockGuard(
+            monitor=StabilityMonitor(rate_threshold_per_hour=1.0, clear_after_quiet=2)
+        )
+        guard.observe_errors(0.0, 0.0)
+        guard.observe_errors(1.0, 50.0)
+        assert guard.decide(1.2).limited_by == "alarm"
+        guard.observe_errors(2.0, 50.0)
+        assert guard.alarmed
+        guard.observe_errors(3.0, 50.0)
+        assert not guard.alarmed
+        assert guard.decide(1.2).limited_by == "none"
