@@ -1,20 +1,30 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
 
-# Chaos suite: worker-kill recovery, fault-plan determinism, and the
-# failure-recovery experiment, repeated over a fixed seed matrix. The
-# conftest arms a faulthandler watchdog (REPRO_TEST_TIMEOUT_S) so a hung
-# pool dumps tracebacks and fails instead of wedging CI.
+# Chaos suite: worker-kill recovery, fault-plan determinism, WAL
+# SIGKILL/resume, and the failure-recovery experiment, repeated over a
+# fixed seed matrix. The conftest arms a faulthandler watchdog
+# (REPRO_TEST_TIMEOUT_S) so a hung pool dumps tracebacks and fails
+# instead of wedging CI; CHAOS_TIMEOUT (seconds) bounds both the
+# watchdog and the subprocess waits inside the chaos tests.
 REPRO_CHAOS_SEEDS ?= 1 2 7
+CHAOS_TIMEOUT ?= 300
 test-chaos:
-	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" REPRO_TEST_TIMEOUT_S=300 \
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) CHAOS_TIMEOUT=$(CHAOS_TIMEOUT) \
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_faults.py \
-		tests/test_engine_chaos.py -q
+		tests/test_engine_chaos.py tests/test_journal.py -q
+
+# Safety suite: sensor-fault transforms, robust fusion, the fail-safe
+# supervisor, and the cross-module monotonicity properties.
+test-safety:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_sensors.py \
+		tests/test_safety.py tests/test_properties.py -q
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only

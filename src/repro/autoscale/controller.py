@@ -32,6 +32,7 @@ from ..cluster.lifecycle import VMLifecycleManager
 from ..cluster.vm import VMInstance, VMSpec
 from ..errors import ConfigurationError
 from ..reliability.governor import OverclockGuard
+from ..reliability.safety import SafetySupervisor
 from ..silicon.configs import B2, FrequencyConfig
 from ..silicon.server import ServerPowerModel
 from ..sim.kernel import Simulator
@@ -86,6 +87,10 @@ class AutoScalerResult:
     vm_failures: int = 0
     #: Times the degraded mode overclocked survivors to cover a redeploy.
     recovery_boosts: int = 0
+    #: Control ticks spent with telemetry degraded (frequency held at base).
+    telemetry_degraded_ticks: int = 0
+    #: Times the safety supervisor tripped and forced a de-rate.
+    telemetry_derates: int = 0
 
     def vm_hours(self) -> float:
         return self.vm_count.integral() / 3600.0
@@ -105,6 +110,7 @@ class AutoScaler:
         warmup_s: float = 0.0,
         recovery_guard: OverclockGuard | None = None,
         recovery_headroom_watts: float = float("inf"),
+        safety: SafetySupervisor | None = None,
     ) -> None:
         if initial_vms < 1:
             raise ConfigurationError("need at least one initial VM")
@@ -126,6 +132,11 @@ class AutoScaler:
         self._recovery_in_flight = 0
         self.vm_failures = 0
         self.recovery_boosts = 0
+        #: Fail-safe telemetry supervisor: while degraded, the frequency
+        #: governor is bypassed and the fleet holds base frequency.
+        self.safety = safety
+        self.telemetry_degraded_ticks = 0
+        self.telemetry_derates = 0
 
         # Telemetry sinks.
         self.latency = LatencyRecorder("autoscaler", drop_warmup_before=warmup_s)
@@ -248,6 +259,9 @@ class AutoScaler:
         """Overclock survivors through the guard while redeploys run."""
         if self.recovery_guard is None or not self._handles:
             return
+        # Never boost blind: degraded telemetry outranks failure recovery.
+        if self.safety is not None and self.safety.degraded:
+            return
         requested = self.policy.max_frequency_ghz / self.policy.min_frequency_ghz
         decision = self.recovery_guard.decide(
             requested, power_headroom_watts=self.recovery_headroom_watts
@@ -307,11 +321,27 @@ class AutoScaler:
         if long_util is None:
             long_util = short_util
 
-        # 2. Scale-out/in on the slow signal.
-        if self.policy.enable_scale_out:
-            self._scale_out_in(long_util)
+        # 2. Telemetry health. A degraded control plane fails safe: hold
+        #    base frequency and suspend scale-in (capacity may only grow)
+        #    until the supervisor re-arms on clean samples.
+        degraded = False
+        if self.safety is not None:
+            if self.safety.fusion is not None:
+                self.safety.poll(now)
+            degraded = self.safety.degraded
+        if degraded:
+            self.telemetry_degraded_ticks += 1
+            if self._frequency_ghz > self.policy.min_frequency_ghz:
+                self.telemetry_derates += 1
+                self._apply_frequency(self.policy.min_frequency_ghz)
 
-        # 3. Frequency control.
+        # 3. Scale-out/in on the slow signal.
+        if self.policy.enable_scale_out:
+            self._scale_out_in(long_util, allow_scale_in=not degraded)
+
+        # 4. Frequency control (suppressed entirely while degraded).
+        if degraded:
+            return
         if self.policy.mode is ScalerMode.OC_A:
             # Model-driven scale-up/down on the fast signal (Fig. 8b).
             self._scale_up_down(short_util, beta)
@@ -325,7 +355,7 @@ class AutoScaler:
             else:
                 self._apply_frequency(self.policy.min_frequency_ghz)
 
-    def _scale_out_in(self, long_util: float) -> None:
+    def _scale_out_in(self, long_util: float, allow_scale_in: bool = True) -> None:
         if (
             long_util > self.policy.scale_out_threshold
             and not self._scale_out_in_flight
@@ -336,7 +366,8 @@ class AutoScaler:
             self._last_scale_out_at = self._sim.now
             self._deploy_vm()
         elif (
-            long_util < self.policy.scale_in_threshold
+            allow_scale_in
+            and long_util < self.policy.scale_in_threshold
             and self.active_vm_count > self.policy.min_vms
             and not self._scale_out_in_flight
         ):
@@ -416,6 +447,8 @@ class AutoScaler:
             max_vms=self.max_vms,
             vm_failures=self.vm_failures,
             recovery_boosts=self.recovery_boosts,
+            telemetry_degraded_ticks=self.telemetry_degraded_ticks,
+            telemetry_derates=self.telemetry_derates,
         )
 
 

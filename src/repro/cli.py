@@ -31,6 +31,7 @@ from .errors import ReproError
 from .experiments import (
     autoscaling,
     characterization,
+    degraded_telemetry,
     environment,
     failure_recovery,
     highperf_vms,
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "fig15": ("Eq. 1 model validation (DES, ~1 min)", autoscaling.format_fig15, True),
     "fig16": ("Full auto-scaler + Table XI (DES, minutes)", autoscaling.format_table11, True),
     "recovery": ("Failure recovery: BASELINE vs OC p95 (DES, ~1 min)", failure_recovery.format_failure_recovery, True),
+    "degraded-telemetry": ("Guard behaviour under sensor faults: naive vs fail-safe (DES)", degraded_telemetry.format_degraded_telemetry, True),
 }
 
 
@@ -95,6 +97,28 @@ def run(names: list[str], stream=None) -> int:
         print(formatter(), file=stream)
         print(file=stream)
     return 0
+
+
+def parse_seed(text: str) -> int:
+    """Validate a user-supplied master seed.
+
+    Seeds feed :func:`~repro.sim.random.split_seed`, whose derivation is
+    defined over non-negative integers only — so reject anything else
+    here, at the CLI boundary, with an actionable message instead of a
+    stack trace from deep inside the seeding machinery.
+    """
+    try:
+        seed = int(text, 10)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"--seed must be a base-10 integer, got {text!r}"
+        ) from None
+    if seed < 0:
+        raise ReproError(
+            f"--seed must be non-negative (seeds are split via sha256 over "
+            f"unsigned integers), got {seed}"
+        )
+    return seed
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,9 +157,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed",
-        type=int,
-        default=1,
+        default="1",
         help="for 'faults': master seed for the fault plan (default 1)",
+    )
+    parser.add_argument(
+        "--run",
+        default=None,
+        metavar="ID",
+        help=(
+            "for 'sweep': name this campaign and journal every completed "
+            "point to <cache-dir>/journal/<ID>.wal (crash-safe, fsync'd)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="ID",
+        help=(
+            "for 'sweep': resume a journaled campaign — replay its "
+            "completed points from the WAL and compute only the rest"
+        ),
     )
     parser.add_argument(
         "--debug",
@@ -145,7 +186,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
+    if args.run is not None and args.resume is not None:
+        parser.error("--run and --resume are mutually exclusive; pass one id")
     try:
+        seed = parse_seed(args.seed)
         if args.experiments and args.experiments[0] == "sweep":
             # Imported lazily: the registry pulls in every experiment module.
             from .engine.cache import DEFAULT_CACHE_DIR
@@ -156,13 +200,15 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 use_cache=not args.no_cache,
                 cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                run_id=args.resume or args.run,
+                resume=args.resume is not None,
             )
         if args.experiments and args.experiments[0] == "faults":
             # Imported lazily: scenarios pull in the experiment modules
             # on top of the fault substrate.
             from .faults.scenarios import run_scenarios
 
-            return run_scenarios(args.experiments[1:], seed=args.seed)
+            return run_scenarios(args.experiments[1:], seed=seed)
         return run(args.experiments)
     except ReproError as error:
         if args.debug:

@@ -10,6 +10,7 @@ imported lazily (not here) because it depends on
 from .cache import DEFAULT_CACHE_DIR, ResultCache, canonicalize, content_key
 from .chaos import make_faulty
 from .core import EngineStats, RunReport, SweepEngine, SweepTask
+from .journal import RunJournal, journal_path
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -18,6 +19,8 @@ __all__ = [
     "content_key",
     "EngineStats",
     "RunReport",
+    "RunJournal",
+    "journal_path",
     "SweepEngine",
     "SweepTask",
     "make_faulty",

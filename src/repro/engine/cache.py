@@ -150,9 +150,24 @@ class ResultCache:
         """Where a corrupt entry for ``key`` lands after quarantine."""
         return self.root / QUARANTINE_DIR / f"{key}.pkl"
 
+    def _quarantine_destination(self, key: str) -> Path:
+        """A quarantine path that never clobbers an earlier specimen.
+
+        The same key can corrupt repeatedly (bad disk, crashing worker
+        re-tearing the same entry); each occurrence is evidence, so later
+        ones land at ``<key>.2.pkl``, ``<key>.3.pkl``, ... instead of
+        overwriting the first.
+        """
+        destination = self.quarantine_path(key)
+        ordinal = 2
+        while destination.exists():
+            destination = self.root / QUARANTINE_DIR / f"{key}.{ordinal}.pkl"
+            ordinal += 1
+        return destination
+
     def _quarantine(self, key: str, path: Path, error: Exception) -> None:
         """Move an unreadable entry aside instead of deleting it."""
-        destination = self.quarantine_path(key)
+        destination = self._quarantine_destination(key)
         try:
             destination.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, destination)

@@ -52,6 +52,7 @@ from ..sim.random import split_seed
 from ..telemetry.histogram import LogHistogram
 from ..telemetry.metrics import Stopwatch
 from .cache import ResultCache, content_key
+from .journal import RunJournal
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,10 @@ class RunReport:
     retries: int = 0
     #: Tasks that exceeded ``task_timeout_s``.
     timeouts: int = 0
+    #: Points replayed from the campaign write-ahead journal.
+    journal_hits: int = 0
+    #: Points durably appended to the journal this run.
+    journal_records: int = 0
     #: Per-task execution time distribution (seconds).
     task_seconds: LogHistogram = field(
         default_factory=lambda: LogHistogram(min_value=1e-6, max_value=86_400.0)
@@ -119,6 +124,11 @@ class RunReport:
             )
         if self.timeouts:
             parts.append(f"{self.timeouts} timeout(s)")
+        if self.journal_hits or self.journal_records:
+            parts.append(
+                f"{self.journal_hits} journal replay(s) / "
+                f"{self.journal_records} journaled"
+            )
         return ", ".join(parts)
 
 
@@ -137,6 +147,8 @@ class EngineStats:
     worker_failures: int = 0
     retries: int = 0
     timeouts: int = 0
+    journal_hits: int = 0
+    journal_records: int = 0
 
     def absorb(self, report: RunReport) -> None:
         self.runs += 1
@@ -150,6 +162,8 @@ class EngineStats:
         self.worker_failures += report.worker_failures
         self.retries += report.retries
         self.timeouts += report.timeouts
+        self.journal_hits += report.journal_hits
+        self.journal_records += report.journal_records
 
 
 def _invoke(fn: Callable[..., Any], params: dict[str, Any]) -> tuple[Any, float]:
@@ -196,6 +210,11 @@ class SweepEngine:
     serial_fallback:
         After ``max_pool_failures`` broken pools, finish the remaining
         tasks serially in-process (default) instead of raising.
+    journal:
+        An open :class:`~repro.engine.journal.RunJournal`. Every
+        completed (cacheable) point is durably appended as it finishes,
+        and points already in the journal are replayed without
+        executing — the crash/resume path of ``sweep --resume``.
     """
 
     def __init__(
@@ -206,6 +225,7 @@ class SweepEngine:
         max_pool_failures: int = 3,
         retry_backoff_s: float = 0.05,
         serial_fallback: bool = True,
+        journal: RunJournal | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -223,8 +243,11 @@ class SweepEngine:
         self.max_pool_failures = max_pool_failures
         self.retry_backoff_s = retry_backoff_s
         self.serial_fallback = serial_fallback
+        self.journal = journal
         self.stats = EngineStats()
         self.last_report: RunReport | None = None
+        #: task.key -> content digest of the current run (journal keying).
+        self._active_keys: dict[str, str | None] = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -249,17 +272,32 @@ class SweepEngine:
         started = time.perf_counter()
         results: dict[str, Any] = {}
         pending: list[tuple[SweepTask, dict[str, Any], str | None]] = []
+        self._active_keys = {}
 
         with report.stages.time("cache-probe"):
             for task in tasks:
                 params = task.resolved_params(master_seed)
                 key = None
-                if self.cache is not None and task.cacheable:
+                if (self.cache is not None or self.journal is not None) and task.cacheable:
                     key = content_key(task.fn, params)
+                self._active_keys[task.key] = key
+                # The journal is the campaign's own completed work; it
+                # outranks the shared cache on resume.
+                if self.journal is not None and key is not None:
+                    if key in self.journal.replayed:
+                        report.journal_hits += 1
+                        results[task.key] = self.journal.replayed[key]
+                        continue
+                if self.cache is not None and key is not None:
                     hit, value = self.cache.load(key)
                     if hit:
                         report.cache_hits += 1
                         results[task.key] = value
+                        # Journal cache hits too: the WAL must be able to
+                        # resume the campaign even without the cache.
+                        if self.journal is not None:
+                            self.journal.record(key, task.key, value)
+                            report.journal_records += 1
                         continue
                     report.cache_misses += 1
                 pending.append((task, params, key))
@@ -277,6 +315,28 @@ class SweepEngine:
         self.stats.absorb(report)
         self.last_report = report
         return {task.key: results[task.key] for task in tasks}
+
+    def _complete(
+        self,
+        task: SweepTask,
+        value: Any,
+        seconds: float,
+        results: dict[str, Any],
+        report: RunReport,
+    ) -> None:
+        """Land one executed task: record the result and journal it.
+
+        Called the moment each result reaches the parent process, so a
+        later crash loses at most the in-flight points — everything
+        landed here is durably recoverable via ``--resume``.
+        """
+        results[task.key] = value
+        report.task_seconds.record(seconds)
+        if self.journal is not None:
+            key = self._active_keys.get(task.key)
+            if key is not None:
+                self.journal.record(key, task.key, value)
+                report.journal_records += 1
 
     def _execute(
         self,
@@ -297,8 +357,7 @@ class SweepEngine:
                 self._run_parallel(parallel, results, report)
             for task, params in serial:
                 value, seconds = _invoke(task.fn, params)
-                results[task.key] = value
-                report.task_seconds.record(seconds)
+                self._complete(task, value, seconds, results, report)
             report.serial_tasks += len(serial)
         report.executed = len(pending)
 
@@ -343,8 +402,7 @@ class SweepEngine:
         report.serial_tasks += len(remaining)
         for task, params in remaining:
             value, seconds = _invoke(task.fn, params)
-            results[task.key] = value
-            report.task_seconds.record(seconds)
+            self._complete(task, value, seconds, results, report)
 
     def _parallel_round(
         self,
@@ -374,8 +432,7 @@ class SweepEngine:
                         f"task {task.key!r} exceeded the {self.task_timeout_s}s "
                         "timeout; its worker was terminated"
                     ) from None
-                results[task.key] = value
-                report.task_seconds.record(seconds)
+                self._complete(task, value, seconds, results, report)
             if not broke:
                 return []
             # Harvest every future that finished before the pool broke;
@@ -386,8 +443,7 @@ class SweepEngine:
                 error = future.exception()
                 if error is None:
                     value, seconds = future.result()
-                    results[task.key] = value
-                    report.task_seconds.record(seconds)
+                    self._complete(task, value, seconds, results, report)
                 elif not isinstance(error, BrokenExecutor):
                     raise error
             return [

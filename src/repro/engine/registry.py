@@ -19,10 +19,12 @@ from typing import Callable, TextIO
 from ..experiments import autoscaling, oversubscription
 from ..experiments.tables import pct, render_table
 from ..reliability import air_condition, compare_conditions, immersion_condition
+from ..errors import ReproError
 from ..tco import sweep_energy_share, sweep_immersion_pue, sweep_oversubscription
 from ..thermal import FC_3284, HFE_7000
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .core import SweepEngine
+from .journal import RunJournal, journal_path
 
 #: Operating conditions of the Monte Carlo fleet-reliability sweep.
 RELIABILITY_CONDITIONS = {
@@ -152,8 +154,18 @@ def run_sweeps(
     use_cache: bool = True,
     cache_dir: str = DEFAULT_CACHE_DIR,
     stream: TextIO | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> int:
-    """Run the named sweeps through one shared engine; returns exit code."""
+    """Run the named sweeps through one shared engine; returns exit code.
+
+    ``run_id`` names the campaign and attaches a crash-safe write-ahead
+    journal at ``<cache_dir>/journal/<run_id>.wal``; every completed
+    point is fsync'd there, so a killed campaign restarted with
+    ``resume=True`` replays its finished points and only computes the
+    remainder. ``resume`` requires the journal to already exist — a typo
+    in the run id should fail loudly, not silently start from scratch.
+    """
     stream = stream if stream is not None else sys.stdout
     if not names or names == ["list"]:
         print(list_sweeps(), file=stream)
@@ -165,26 +177,53 @@ def run_sweeps(
         print(f"unknown sweep(s): {', '.join(unknown)}", file=stream)
         print(list_sweeps(), file=stream)
         return 2
-    engine = SweepEngine(
-        max_workers=workers,
-        cache=ResultCache(cache_dir) if use_cache else None,
-    )
-    for name in names:
-        print(SWEEPS[name].build(engine), file=stream)
-        print(file=stream)
-    stats = engine.stats
-    cache_note = (
-        f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es) in {cache_dir}"
-        if use_cache
-        else "cache disabled"
-    )
-    print(
-        f"[engine] {stats.tasks} task(s) across {stats.runs} sweep run(s): "
-        f"{stats.executed} executed ({stats.parallel_tasks} parallel / "
-        f"{stats.serial_tasks} serial, {workers} worker(s)), {cache_note}, "
-        f"{stats.wall_seconds:.2f}s total",
-        file=stream,
-    )
+    journal = None
+    if run_id is not None:
+        wal = journal_path(cache_dir, run_id)
+        if resume and not wal.exists():
+            raise ReproError(
+                f"cannot resume run {run_id!r}: no journal at {wal} "
+                "(check the run id, or start fresh with --run)"
+            )
+        journal = RunJournal(wal, run_id)
+        journal.open()
+        if journal.replayed:
+            print(
+                f"[journal] resuming run {run_id!r}: "
+                f"{len(journal.replayed)} completed point(s) replayed from {wal}",
+                file=stream,
+            )
+    try:
+        engine = SweepEngine(
+            max_workers=workers,
+            cache=ResultCache(cache_dir) if use_cache else None,
+            journal=journal,
+        )
+        for name in names:
+            print(SWEEPS[name].build(engine), file=stream)
+            print(file=stream)
+        stats = engine.stats
+        cache_note = (
+            f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es) in {cache_dir}"
+            if use_cache
+            else "cache disabled"
+        )
+        journal_note = ""
+        if journal is not None:
+            journal_note = (
+                f", journal {stats.journal_hits} replayed / "
+                f"{stats.journal_records} recorded"
+            )
+        print(
+            f"[engine] {stats.tasks} task(s) across {stats.runs} sweep run(s): "
+            f"{stats.executed} executed ({stats.parallel_tasks} parallel / "
+            f"{stats.serial_tasks} serial, {workers} worker(s)), {cache_note}"
+            f"{journal_note}, {stats.wall_seconds:.2f}s total",
+            file=stream,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 

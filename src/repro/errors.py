@@ -70,6 +70,27 @@ class EngineError(ReproError):
     """The sweep engine was given an invalid or unexecutable task set."""
 
 
+class JournalError(EngineError):
+    """A campaign write-ahead journal is unreadable, tampered, or stale.
+
+    Raised on replay when a record's sha256 chain does not validate, or
+    when the journal header belongs to a different package version.
+    """
+
+
+class SensorError(ReproError):
+    """A telemetry sensor or fusion layer was driven with invalid inputs."""
+
+
+class TelemetryDegraded(ReproError):
+    """Telemetry for a control loop is lost or persistently implausible.
+
+    The safety supervisor raises (or records) this condition when it
+    trips to the fail-safe state; controllers must hold base frequency
+    until the supervisor re-arms on clean samples.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection campaign was misconfigured or could not run."""
 

@@ -31,6 +31,7 @@ Recovery       :func:`failure_recovery.run_failure_recovery`
 from . import (
     autoscaling,
     characterization,
+    degraded_telemetry,
     environment,
     failure_recovery,
     highperf_vms,
@@ -43,6 +44,7 @@ from .tables import pct, render_table
 
 __all__ = [
     "autoscaling",
+    "degraded_telemetry",
     "environment",
     "failure_recovery",
     "packing_churn",

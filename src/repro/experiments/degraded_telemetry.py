@@ -1,0 +1,336 @@
+"""Degraded-telemetry experiment: what a blind controller costs.
+
+The paper's overclocking contract leans entirely on telemetry — Tj
+against Tjmax, correctable-error counts, power draw. This experiment
+quantifies what happens when that telemetry lies. A coolant excursion
+(+55 °C for one minute, the condenser-degradation scenario of the fault
+subsystem) makes the *overclocked* operating point exceed Tjmax while
+the base point stays legal; a sensor fault injected over the excursion
+window then masks the hazard from the controller.
+
+Two controllers race over the identical seeded fault schedule:
+
+* **naive** — trusts a single sensor channel verbatim (the seed
+  repository's pre-robustness behaviour);
+* **fail-safe** — median-of-3 fusion with physics plausibility bounds,
+  a :class:`~repro.reliability.safety.SafetySupervisor`, and the
+  :class:`~repro.reliability.governor.OverclockGuard` holding base
+  frequency whenever the supervisor is degraded.
+
+The headline numbers are control ticks spent above Tjmax per fault kind
+and, for total telemetry loss (every channel dropped), the de-rate
+latency in ticks — the bound ``SafetyConfig.max_suspect_ticks``
+guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..faults.injectors import FaultCampaign, register_sensor_injectors
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..reliability.governor import OverclockGuard
+from ..reliability.safety import SafetyConfig, SafetySupervisor
+from ..sim.kernel import Simulator
+from ..telemetry.sensors import (
+    FaultySensor,
+    SensorFusion,
+    VirtualSensor,
+    tj_plausibility_bounds,
+)
+from ..thermal.junction import JunctionModel
+from .tables import render_table
+
+#: Control-loop cadence (one guard decision per second).
+TICK_S = 1.0
+HORIZON_S = 120.0
+#: Coolant excursion window: +55 °C between t=30 s and t=90 s.
+EXCURSION_AT_S = 30.0
+EXCURSION_DURATION_S = 60.0
+EXCURSION_MAGNITUDE_C = 55.0
+#: Sensor faults straddle the excursion so the hazard is masked.
+FAULT_AT_S = 20.0
+FAULT_DURATION_S = 80.0
+
+#: The paper's HFE-7000 tank with BEC on the IHS (Table III).
+COOLANT_REF_C = 34.0
+R_TH_C_PER_W = 0.08
+TJ_MAX_C = 110.0
+#: Socket power: 205 W base, +435 W per unit of overclock ratio (the
+#: measured Section IV slope: +100 W buys +23%).
+BASE_WATTS = 205.0
+EXTRA_WATTS_PER_RATIO = 435.0
+OC_RATIO = 1.23
+#: Naive controller's de-rate threshold on the (trusted) Tj reading.
+DERATE_THRESHOLD_C = 104.0
+
+#: Per-kind fault magnitudes (noise sigma, lag depth, spike amplitude).
+FAULT_MAGNITUDES: dict[FaultKind, float] = {
+    FaultKind.SENSOR_STUCK: 0.0,
+    FaultKind.SENSOR_DROPOUT: 0.0,
+    FaultKind.SENSOR_NOISE: 12.0,
+    FaultKind.SENSOR_LAG: 30.0,
+    FaultKind.SENSOR_SPIKE: 40.0,
+}
+
+
+class _Host:
+    """Minimal plant model: ratio + excursion offset -> true Tj."""
+
+    def __init__(self) -> None:
+        self.ratio = OC_RATIO
+        self.excursion_c = 0.0
+        self.junction = JunctionModel(
+            reference_temp_c=COOLANT_REF_C,
+            thermal_resistance_c_per_w=R_TH_C_PER_W,
+            tj_max_c=TJ_MAX_C,
+        )
+
+    @property
+    def watts(self) -> float:
+        return BASE_WATTS + EXTRA_WATTS_PER_RATIO * (self.ratio - 1.0)
+
+    @property
+    def true_tj_c(self) -> float:
+        return self.junction.junction_temp_c(self.watts) + self.excursion_c
+
+
+@dataclass
+class ControllerOutcome:
+    """One controller's record over one fault scenario."""
+
+    label: str
+    ticks_above_tjmax: int = 0
+    max_tj_c: float = 0.0
+    derate_ticks: int = 0
+    final_ratio: float = OC_RATIO
+    #: Tick index (within the fault window) of the first de-rate, or None.
+    first_derate_tick: int | None = None
+    degrade_events: int = 0
+    rearm_events: int = 0
+
+
+@dataclass
+class DegradedTelemetryResult:
+    """Outcome of the full experiment at one seed."""
+
+    seed: int
+    #: Per sensor-fault kind: (naive outcome, fail-safe outcome).
+    by_kind: dict[str, tuple[ControllerOutcome, ControllerOutcome]] = field(
+        default_factory=dict
+    )
+    #: Total telemetry loss (all channels dropped): fail-safe outcome.
+    total_loss: ControllerOutcome | None = None
+    #: Ticks from total loss to the guard holding base frequency.
+    loss_derate_latency_ticks: int | None = None
+    #: Tick bound the supervisor promises (``max_suspect_ticks``).
+    bound_ticks: int = SafetyConfig().max_suspect_ticks
+
+
+def _schedule_excursion(simulator: Simulator, host: _Host) -> None:
+    def begin() -> None:
+        host.excursion_c = EXCURSION_MAGNITUDE_C
+
+    def end() -> None:
+        host.excursion_c = 0.0
+
+    simulator.at(EXCURSION_AT_S, begin, name="excursion:begin")
+    simulator.at(EXCURSION_AT_S + EXCURSION_DURATION_S, end, name="excursion:end")
+
+
+def _run_naive(kind: FaultKind, seed: int) -> ControllerOutcome:
+    """Single trusted channel; the fault feeds the controller directly."""
+    host = _Host()
+    simulator = Simulator(seed=seed)
+    sensor = FaultySensor(VirtualSensor("tj0", lambda: host.true_tj_c), seed=seed)
+    outcome = ControllerOutcome(label="naive")
+
+    plan = FaultPlan(
+        seed=seed,
+        scenario=f"degraded-telemetry:{kind.value}:naive",
+        specs=(
+            FaultSpec(
+                kind=kind,
+                target="tj0",
+                at_s=FAULT_AT_S,
+                magnitude=FAULT_MAGNITUDES[kind],
+                duration_s=FAULT_DURATION_S,
+            ),
+        ),
+    )
+    campaign = FaultCampaign(simulator, plan)
+    register_sensor_injectors(campaign, {"tj0": sensor})
+    campaign.arm()
+    _schedule_excursion(simulator, host)
+
+    def tick() -> None:
+        if host.true_tj_c > TJ_MAX_C:
+            outcome.ticks_above_tjmax += 1
+        outcome.max_tj_c = max(outcome.max_tj_c, host.true_tj_c)
+        reading = sensor.sample(simulator.now).value
+        # Naive policy: believe the number, overclock whenever it is cool.
+        host.ratio = 1.0 if reading > DERATE_THRESHOLD_C else OC_RATIO
+        if host.ratio == 1.0:
+            outcome.derate_ticks += 1
+
+    simulator.every(TICK_S, tick, name="control:naive")
+    simulator.run(until=HORIZON_S)
+    outcome.final_ratio = host.ratio
+    return outcome
+
+
+def _build_safe_plant(
+    host: _Host, seed: int
+) -> tuple[dict[str, FaultySensor], SensorFusion, SafetySupervisor, OverclockGuard]:
+    sensors = {
+        name: FaultySensor(VirtualSensor(name, lambda: host.true_tj_c), seed=seed)
+        for name in ("tj0", "tj1", "tj2")
+    }
+    # The plausibility ceiling: hottest analytically reachable Tj at the
+    # overclocked point plus the worst modelled coolant excursion.
+    oc_watts = BASE_WATTS + EXTRA_WATTS_PER_RATIO * (OC_RATIO - 1.0)
+    bounds = tj_plausibility_bounds(
+        host.junction, max_power_watts=oc_watts, margin_c=EXCURSION_MAGNITUDE_C + 5.0
+    )
+    fusion = SensorFusion(list(sensors.values()), bounds=bounds)
+    supervisor = SafetySupervisor(fusion=fusion)
+    guard = OverclockGuard(safety=supervisor)
+    return sensors, fusion, supervisor, guard
+
+
+def _run_safe(
+    kind: FaultKind | None, seed: int, faulty_channels: tuple[str, ...]
+) -> ControllerOutcome:
+    """Fusion + supervisor + guard; ``kind=None`` means no sensor fault.
+
+    ``faulty_channels`` selects which of the three redundant channels
+    the fault hits — one for the per-kind comparison, all three for the
+    total-telemetry-loss scenario.
+    """
+    host = _Host()
+    simulator = Simulator(seed=seed)
+    sensors, fusion, supervisor, guard = _build_safe_plant(host, seed)
+    outcome = ControllerOutcome(label="fail-safe")
+    tick_index = 0
+
+    if kind is not None:
+        plan = FaultPlan(
+            seed=seed,
+            scenario=f"degraded-telemetry:{kind.value}:safe",
+            specs=tuple(
+                FaultSpec(
+                    kind=kind,
+                    target=name,
+                    at_s=FAULT_AT_S,
+                    magnitude=FAULT_MAGNITUDES[kind],
+                    duration_s=FAULT_DURATION_S,
+                )
+                for name in faulty_channels
+            ),
+        )
+        campaign = FaultCampaign(simulator, plan)
+        register_sensor_injectors(campaign, sensors)
+        campaign.arm()
+    _schedule_excursion(simulator, host)
+
+    def tick() -> None:
+        nonlocal tick_index
+        tick_index += 1
+        if host.true_tj_c > TJ_MAX_C:
+            outcome.ticks_above_tjmax += 1
+        outcome.max_tj_c = max(outcome.max_tj_c, host.true_tj_c)
+        reading = fusion.read(simulator.now)
+        guard.observe_telemetry(reading)
+        decision = guard.decide(OC_RATIO)
+        ratio = decision.granted_ratio
+        # Ordinary thermal management on the *fused* estimate: de-rate
+        # while the believed Tj is near the ceiling.
+        if reading.healthy and reading.raw_value > DERATE_THRESHOLD_C:
+            ratio = 1.0
+        host.ratio = ratio
+        if ratio == 1.0:
+            outcome.derate_ticks += 1
+            if (
+                outcome.first_derate_tick is None
+                and simulator.now >= FAULT_AT_S
+            ):
+                outcome.first_derate_tick = tick_index
+
+    simulator.every(TICK_S, tick, name="control:safe")
+    simulator.run(until=HORIZON_S)
+    outcome.final_ratio = host.ratio
+    outcome.degrade_events = supervisor.degrade_events
+    outcome.rearm_events = supervisor.rearm_events
+    return outcome
+
+
+def run_degraded_telemetry(seed: int = 1) -> DegradedTelemetryResult:
+    """Run every sensor-fault kind plus the total-loss scenario."""
+    result = DegradedTelemetryResult(seed=seed)
+    for kind in sorted(FAULT_MAGNITUDES, key=lambda k: k.value):
+        naive = _run_naive(kind, seed)
+        safe = _run_safe(kind, seed, faulty_channels=("tj0",))
+        result.by_kind[kind.value] = (naive, safe)
+
+    # Total telemetry loss: every redundant channel drops at once. The
+    # fusion loses quorum, the supervisor trips within its tick bound,
+    # and the guard holds base frequency until the channels return.
+    loss = _run_safe(
+        FaultKind.SENSOR_DROPOUT, seed, faulty_channels=("tj0", "tj1", "tj2")
+    )
+    result.total_loss = loss
+    if loss.first_derate_tick is not None:
+        # Ticks between the dropout landing and the first base-frequency
+        # tick; the supervisor promises at most max_suspect_ticks.
+        fault_tick = int(FAULT_AT_S / TICK_S)
+        result.loss_derate_latency_ticks = loss.first_derate_tick - fault_tick
+    return result
+
+
+def format_degraded_telemetry(
+    result: DegradedTelemetryResult | None = None, seed: int = 1
+) -> str:
+    result = result if result is not None else run_degraded_telemetry(seed=seed)
+    rows = []
+    for kind, (naive, safe) in result.by_kind.items():
+        rows.append(
+            (
+                kind,
+                str(naive.ticks_above_tjmax),
+                str(safe.ticks_above_tjmax),
+                f"{naive.max_tj_c:.1f} C",
+                f"{safe.max_tj_c:.1f} C",
+            )
+        )
+    table = render_table(
+        ["Sensor fault", "naive >Tjmax", "fail-safe >Tjmax", "naive max Tj", "fail-safe max Tj"],
+        rows,
+        title=(
+            "Control ticks above Tjmax during a masked coolant excursion "
+            f"(+{EXCURSION_MAGNITUDE_C:.0f} C for {EXCURSION_DURATION_S:.0f} s, "
+            f"seed {result.seed})"
+        ),
+    )
+    loss = result.total_loss
+    loss_lines = []
+    if loss is not None:
+        latency = result.loss_derate_latency_ticks
+        rearmed = " (re-armed and overclocking again)" if loss.final_ratio > 1.0 else ""
+        loss_lines = [
+            "",
+            "",
+            f"Total telemetry loss (all 3 channels dropped at t={FAULT_AT_S:.0f} s):",
+            f"  de-rate latency     {latency} tick(s) (bound: {result.bound_ticks})",
+            f"  ticks above Tjmax   {loss.ticks_above_tjmax}",
+            f"  degrade/re-arm      {loss.degrade_events}/{loss.rearm_events}",
+            f"  final ratio         {loss.final_ratio:.2f}{rearmed}",
+        ]
+    return table + "\n".join(loss_lines)
+
+
+__all__ = [
+    "DegradedTelemetryResult",
+    "ControllerOutcome",
+    "run_degraded_telemetry",
+    "format_degraded_telemetry",
+]

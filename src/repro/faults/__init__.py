@@ -27,13 +27,18 @@ from .injectors import (
     FaultInjector,
     HostFailureInjector,
     PowerTripInjector,
+    SensorFaultInjector,
     ThermalExcursionInjector,
     VMCrashInjector,
+    register_sensor_injectors,
 )
-from .plan import FaultKind, FaultPlan, FaultSpec
+from .plan import SENSOR_FAULT_KINDS, FaultKind, FaultPlan, FaultSpec
 from .timeline import FaultEvent, FaultTimeline
 
 __all__ = [
+    "SENSOR_FAULT_KINDS",
+    "SensorFaultInjector",
+    "register_sensor_injectors",
     "FaultKind",
     "FaultSpec",
     "FaultPlan",

@@ -26,8 +26,9 @@ from ..errors import FaultError, InjectionError
 from ..reliability.stability import DEFAULT_ERRORS_PER_CRASH, StabilityModel
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
+from ..telemetry.sensors import FaultySensor, SensorFault, SensorFaultMode
 from ..thermal.junction import JunctionModel
-from .plan import FaultKind, FaultPlan, FaultSpec
+from .plan import SENSOR_FAULT_KINDS, FaultKind, FaultPlan, FaultSpec
 from .timeline import FaultTimeline
 
 #: Timeline kinds derived from faults (not directly injectable).
@@ -342,6 +343,92 @@ class PowerTripInjector(FaultInjector):
         campaign.simulator.after(delay, fire, name=f"fault:power-trip:{spec.target}")
 
 
+#: FaultKind → transform applied by :class:`SensorFaultInjector`.
+_SENSOR_MODE_BY_KIND: dict[FaultKind, SensorFaultMode] = {
+    FaultKind.SENSOR_STUCK: SensorFaultMode.STUCK,
+    FaultKind.SENSOR_DROPOUT: SensorFaultMode.DROPOUT,
+    FaultKind.SENSOR_NOISE: SensorFaultMode.NOISE,
+    FaultKind.SENSOR_LAG: SensorFaultMode.LAG,
+    FaultKind.SENSOR_SPIKE: SensorFaultMode.SPIKE,
+}
+
+
+class SensorFaultInjector(FaultInjector):
+    """Corrupts one telemetry channel instead of breaking hardware.
+
+    One injector instance handles one sensor-fault :class:`FaultKind`
+    (the campaign registry maps kind → injector); use
+    :func:`register_sensor_injectors` to cover all five at once. At fire
+    time the target :class:`~repro.telemetry.sensors.FaultySensor` gets
+    the matching transform injected; ``duration_s > 0`` schedules the
+    clear. ``magnitude`` follows the transform's meaning — noise sigma,
+    spike amplitude, or lag depth in samples.
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        sensors: Mapping[str, FaultySensor],
+        on_fault: Callable[[str, SensorFault], None] | None = None,
+        on_clear: Callable[[str], None] | None = None,
+    ) -> None:
+        if kind not in SENSOR_FAULT_KINDS:
+            raise InjectionError(f"{kind.value} is not a sensor-fault kind")
+        self.kind = kind
+        self.sensors = dict(sensors)
+        self.on_fault = on_fault
+        self.on_clear = on_clear
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        _lookup(self.sensors, spec.target, self.kind)  # fail fast at arm time
+        mode = _SENSOR_MODE_BY_KIND[self.kind]
+        fault = SensorFault(mode=mode, magnitude=spec.magnitude)  # validate early
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            sensor = _lookup(self.sensors, spec.target, self.kind)
+            sensor.inject(fault)
+            detail = (
+                f"magnitude={spec.magnitude:g}" if spec.magnitude else mode.value
+            )
+            campaign.timeline.record(
+                campaign.simulator.now, spec.kind.value, spec.target, detail
+            )
+            if self.on_fault is not None:
+                self.on_fault(spec.target, fault)
+            if spec.duration_s > 0:
+
+                def clear() -> None:
+                    sensor.clear()
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, spec.target, mode.value
+                    )
+                    if self.on_clear is not None:
+                        self.on_clear(spec.target)
+
+                campaign.simulator.after(
+                    spec.duration_s, clear, name=f"fault:sensor-clear:{spec.target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:sensor:{spec.target}")
+
+
+def register_sensor_injectors(
+    campaign: FaultCampaign,
+    sensors: Mapping[str, FaultySensor],
+    on_fault: Callable[[str, SensorFault], None] | None = None,
+    on_clear: Callable[[str], None] | None = None,
+) -> FaultCampaign:
+    """Register one :class:`SensorFaultInjector` per sensor-fault kind."""
+    for kind in sorted(SENSOR_FAULT_KINDS, key=lambda k: k.value):
+        campaign.register(
+            SensorFaultInjector(kind, sensors, on_fault=on_fault, on_clear=on_clear)
+        )
+    return campaign
+
+
 __all__ = [
     "FaultCampaign",
     "FaultInjector",
@@ -349,6 +436,8 @@ __all__ = [
     "HostFailureInjector",
     "ThermalExcursionInjector",
     "PowerTripInjector",
+    "SensorFaultInjector",
+    "register_sensor_injectors",
     "TJ_ALARM",
     "BREAKER_BREACH",
     "RECOVERED",

@@ -32,6 +32,29 @@ class FaultKind(Enum):
     THERMAL_EXCURSION = "thermal-excursion"
     #: Power-delivery trip: a breaker derates and capping must resolve it.
     POWER_TRIP = "power-trip"
+    #: Sensor stuck-at: the channel freezes at its last healthy value.
+    SENSOR_STUCK = "sensor-stuck"
+    #: Sensor dropout: no new samples arrive (sequence number stalls).
+    SENSOR_DROPOUT = "sensor-dropout"
+    #: Sensor noise: additive Gaussian noise of sigma ``magnitude``.
+    SENSOR_NOISE = "sensor-noise"
+    #: Sensor lag: samples delayed by ``magnitude`` readings.
+    SENSOR_LAG = "sensor-lag"
+    #: Sensor spike: occasional ±``magnitude`` excursions.
+    SENSOR_SPIKE = "sensor-spike"
+
+
+#: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
+#: rather than component failure).
+SENSOR_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.SENSOR_STUCK,
+        FaultKind.SENSOR_DROPOUT,
+        FaultKind.SENSOR_NOISE,
+        FaultKind.SENSOR_LAG,
+        FaultKind.SENSOR_SPIKE,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -109,4 +132,4 @@ class FaultPlan:
         return "\n".join(lines)
 
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "SENSOR_FAULT_KINDS"]

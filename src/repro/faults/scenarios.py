@@ -226,6 +226,18 @@ def _host_failure(seed: int) -> str:
     return format_failure_recovery(run_failure_recovery(seed=seed))
 
 
+def _degraded_telemetry(seed: int) -> str:
+    """Sensor faults masking a coolant excursion: naive vs fail-safe
+    control (see :mod:`repro.experiments.degraded_telemetry`)."""
+    # Imported lazily, mirroring _host_failure.
+    from ..experiments.degraded_telemetry import (
+        format_degraded_telemetry,
+        run_degraded_telemetry,
+    )
+
+    return format_degraded_telemetry(run_degraded_telemetry(seed=seed))
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One CLI-runnable fault scenario."""
@@ -257,6 +269,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "power-trip",
             "Rack breaker derate resolved by priority-aware power capping",
             _power_trip,
+        ),
+        ScenarioSpec(
+            "degraded-telemetry",
+            "Sensor faults masking a coolant excursion: naive vs fail-safe guard",
+            _degraded_telemetry,
         ),
     )
 }

@@ -35,6 +35,7 @@ from .lifetime import (
     project_table5,
 )
 from .governor import GuardDecision, LIFETIME_NEUTRAL_RATIO, OverclockGuard
+from .safety import SafetyConfig, SafetyState, SafetySupervisor, physics_tj_bounds
 from .montecarlo import (
     FleetReliabilityResult,
     compare_conditions,
@@ -49,6 +50,10 @@ from .stability import (
 from .wearout import WearoutCounter, WearSegment
 
 __all__ = [
+    "SafetyState",
+    "SafetyConfig",
+    "SafetySupervisor",
+    "physics_tj_bounds",
     "FleetReliabilityResult",
     "simulate_fleet",
     "compare_conditions",

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..telemetry.sensors import FusedReading
 from .failure_modes import OperatingCondition
+from .safety import SafetySupervisor
 from .stability import StabilityModel, StabilityMonitor
 from .wearout import WearoutCounter
 
@@ -34,7 +36,7 @@ class GuardDecision:
 
     requested_ratio: float
     granted_ratio: float
-    limited_by: str  # "none", "stability", "alarm", "lifetime", "power"
+    limited_by: str  # "none", "stability", "alarm", "lifetime", "power", "telemetry"
 
     @property
     def granted(self) -> bool:
@@ -53,14 +55,18 @@ class OverclockGuard:
         nominal_condition: OperatingCondition | None = None,
         extra_watts_per_ratio: float = 435.0,
         step_ratio: float = 0.01,
+        safety: SafetySupervisor | None = None,
     ) -> None:
         """``extra_watts_per_ratio`` converts ratio above 1.0 into added
         socket watts (the paper's measured slope: +100 W buys +23%, i.e.
-        ~435 W per unit ratio)."""
+        ~435 W per unit ratio). ``safety`` attaches a fail-safe telemetry
+        supervisor: while it is degraded every decision grants base
+        frequency (``limited_by="telemetry"``)."""
         if step_ratio <= 0:
             raise ConfigurationError("step ratio must be positive")
         self.stability = stability if stability is not None else StabilityModel()
         self.monitor = monitor
+        self.safety = safety
         self.wearout = wearout
         self.overclocked_condition = overclocked_condition
         self.nominal_condition = nominal_condition
@@ -91,6 +97,17 @@ class OverclockGuard:
         ):
             self._alarmed = False
 
+    def observe_telemetry(self, reading: FusedReading) -> None:
+        """Feed one control tick's fused sensor reading to the safety
+        supervisor (no-op without one). A run of unhealthy readings trips
+        the fail-safe; the next :meth:`decide` then de-rates to base."""
+        if self.safety is not None:
+            self.safety.observe(reading)
+
+    @property
+    def telemetry_degraded(self) -> bool:
+        return self.safety is not None and self.safety.degraded
+
     def clear_alarm(self) -> None:
         """Operator acknowledgement after investigating an error spike."""
         self._alarmed = False
@@ -111,6 +128,9 @@ class OverclockGuard:
         """Largest safe ratio at or below the request."""
         if requested_ratio < 1.0:
             raise ConfigurationError("requested ratio must be >= 1.0")
+        # 0. Telemetry health: a blind guard must not overclock at all.
+        if self.telemetry_degraded:
+            return GuardDecision(requested_ratio, 1.0, "telemetry")
         if self._alarmed:
             return GuardDecision(requested_ratio, 1.0, "alarm")
 

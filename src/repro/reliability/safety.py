@@ -1,0 +1,181 @@
+"""Fail-safe de-rating on degraded telemetry.
+
+The guaranteed-overclocking contract holds only while the control plane
+can *see*. :class:`SafetySupervisor` is the state machine between the
+robust estimation layer (:class:`~repro.telemetry.sensors.SensorFusion`)
+and the frequency actuators:
+
+* **ARMED** — telemetry healthy; overclock requests pass through.
+* **DEGRADED** — ``max_suspect_ticks`` consecutive unhealthy readings
+  (telemetry loss or sustained implausibility) tripped the supervisor:
+  every caller must de-rate to base frequency, and a typed
+  :class:`~repro.errors.TelemetryDegraded` condition is recorded.
+* **re-armed** — ``rearm_clean_samples`` consecutive healthy readings
+  close the hysteresis loop and overclocking may resume.
+
+The tick bound is the contract the chaos tests pin down: under any
+injected sensor fault the part spends at most ``max_suspect_ticks``
+control ticks above Tjmax before the de-rate lands, and total telemetry
+loss always converges to base frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError, TelemetryDegraded
+from ..silicon.power_model import DynamicPowerModel, LeakageModel, solve_socket_power
+from ..telemetry.sensors import (
+    FusedReading,
+    PlausibilityBounds,
+    SensorFusion,
+    tj_plausibility_bounds,
+)
+from ..thermal.junction import JunctionModel
+
+
+class SafetyState(Enum):
+    """Supervisor states (armed → degraded → re-armed)."""
+
+    ARMED = "armed"
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Hysteresis bounds of the fail-safe state machine."""
+
+    #: Consecutive unhealthy readings before the supervisor trips. This
+    #: is the de-rate latency bound, in control ticks.
+    max_suspect_ticks: int = 3
+    #: Consecutive healthy readings (K) required to re-arm after a trip.
+    rearm_clean_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_suspect_ticks < 1:
+            raise ConfigurationError("max_suspect_ticks must be at least 1")
+        if self.rearm_clean_samples < 1:
+            raise ConfigurationError("rearm_clean_samples must be at least 1")
+
+
+class SafetySupervisor:
+    """Armed/degraded state machine over fused control-plane telemetry.
+
+    Feed it one :class:`~repro.telemetry.sensors.FusedReading` per
+    control tick via :meth:`observe` (or let :meth:`poll` sample an
+    attached fusion). Consumers gate frequency grants on
+    :attr:`degraded`; :meth:`check` raises the recorded
+    :class:`~repro.errors.TelemetryDegraded` for callers that prefer an
+    exception to a flag.
+    """
+
+    def __init__(
+        self,
+        fusion: SensorFusion | None = None,
+        config: SafetyConfig | None = None,
+    ) -> None:
+        self.fusion = fusion
+        self.config = config if config is not None else SafetyConfig()
+        self.state = SafetyState.ARMED
+        self._suspect_streak = 0
+        self._clean_streak = 0
+        self.last_reading: FusedReading | None = None
+        self.last_condition: TelemetryDegraded | None = None
+        self.degrade_events = 0
+        self.rearm_events = 0
+        self.ticks_observed = 0
+        self.ticks_degraded = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.state is SafetyState.DEGRADED
+
+    def observe(self, reading: FusedReading) -> SafetyState:
+        """Fold one control tick's fused reading into the state machine."""
+        self.ticks_observed += 1
+        self.last_reading = reading
+        if reading.healthy:
+            self._suspect_streak = 0
+            if self.state is SafetyState.DEGRADED:
+                self._clean_streak += 1
+                if self._clean_streak >= self.config.rearm_clean_samples:
+                    self.state = SafetyState.ARMED
+                    self.rearm_events += 1
+                    self._clean_streak = 0
+                    self.last_condition = None
+        else:
+            self._clean_streak = 0
+            if self.state is SafetyState.ARMED:
+                self._suspect_streak += 1
+                if self._suspect_streak >= self.config.max_suspect_ticks:
+                    self._trip(reading)
+        if self.state is SafetyState.DEGRADED:
+            self.ticks_degraded += 1
+        return self.state
+
+    def _trip(self, reading: FusedReading) -> None:
+        self.state = SafetyState.DEGRADED
+        self.degrade_events += 1
+        self._suspect_streak = 0
+        reasons = ", ".join(
+            f"{channel}:{reason}" for channel, reason in reading.rejected
+        ) or "no healthy channels"
+        self.last_condition = TelemetryDegraded(
+            f"telemetry degraded at t={reading.time_s:.1f}s "
+            f"({reading.healthy_channels}/{reading.total_channels} channels healthy; "
+            f"{reasons}); holding base frequency until "
+            f"{self.config.rearm_clean_samples} clean sample(s)"
+        )
+
+    def poll(self, time_s: float) -> FusedReading:
+        """Sample the attached fusion and observe the result."""
+        if self.fusion is None:
+            raise ConfigurationError("supervisor has no fusion layer to poll")
+        reading = self.fusion.read(time_s)
+        self.observe(reading)
+        return reading
+
+    def check(self) -> None:
+        """Raise the recorded condition while degraded; no-op when armed."""
+        if self.degraded and self.last_condition is not None:
+            raise self.last_condition
+
+    def safe_ratio(self, requested_ratio: float) -> float:
+        """The largest ratio telemetry health permits (1.0 while degraded)."""
+        return 1.0 if self.degraded else requested_ratio
+
+
+def physics_tj_bounds(
+    junction: JunctionModel,
+    dynamic: DynamicPowerModel,
+    leakage: LeakageModel,
+    frequency_ghz: float,
+    voltage_v: float,
+    margin_c: float = 5.0,
+) -> PlausibilityBounds:
+    """Plausibility envelope for Tj readings at one V/F operating point.
+
+    Solves the coupled power/temperature fixed point at full activity to
+    find the hottest analytically reachable junction temperature for the
+    current frequency and voltage; a sensor reading above it (plus
+    margin) — or below the coolant reference — is physically impossible
+    and must be rejected rather than acted on.
+    """
+    hottest = solve_socket_power(
+        dynamic, leakage, junction, frequency_ghz, voltage_v, activity=1.0
+    )
+    return tj_plausibility_bounds(
+        junction, max_power_watts=hottest.total_watts, margin_c=margin_c
+    )
+
+
+__all__ = [
+    "SafetyState",
+    "SafetyConfig",
+    "SafetySupervisor",
+    "physics_tj_bounds",
+]

@@ -13,6 +13,8 @@ import math
 
 import numpy as np
 
+from ..errors import ConfigurationError
+
 
 def split_seed(master_seed: int, key: str) -> int:
     """Derive a stable 64-bit child seed from a master seed and a key.
@@ -22,7 +24,15 @@ def split_seed(master_seed: int, key: str) -> int:
     uses it with the task key, so a sweep point's seed depends only on
     ``(master_seed, task_key)`` — never on execution order or worker
     count. Parallel and serial runs therefore draw identical variates.
+
+    The derivation is defined over non-negative master seeds only;
+    anything else is a caller bug and fails loudly here rather than
+    producing a quietly different variate sequence.
     """
+    if master_seed < 0:
+        raise ConfigurationError(
+            f"master seed must be non-negative, got {master_seed}"
+        )
     digest = hashlib.sha256(f"{master_seed}:{key}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
 

@@ -11,8 +11,30 @@ from .histogram import LogHistogram
 from .metrics import Sample, StateIntegrator, Stopwatch, TimeSeries
 from .percentiles import LatencyRecorder, percentile
 from .power_meter import PowerMeter
+from .sensors import (
+    FaultySensor,
+    FusedReading,
+    PlausibilityBounds,
+    ReadingStatus,
+    SensorFault,
+    SensorFaultMode,
+    SensorFusion,
+    SensorSample,
+    VirtualSensor,
+    tj_plausibility_bounds,
+)
 
 __all__ = [
+    "SensorSample",
+    "SensorFaultMode",
+    "SensorFault",
+    "VirtualSensor",
+    "FaultySensor",
+    "PlausibilityBounds",
+    "tj_plausibility_bounds",
+    "ReadingStatus",
+    "FusedReading",
+    "SensorFusion",
     "LogHistogram",
     "write_records_csv",
     "write_timeseries_csv",

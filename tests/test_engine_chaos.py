@@ -158,6 +158,22 @@ class TestCacheQuarantine:
         assert quarantined.exists()
         assert quarantined.read_bytes() == b"not a pickle"
 
+    def test_repeat_quarantine_keeps_every_specimen(self, tmp_path):
+        """Regression: a key corrupting twice must not overwrite the
+        first quarantined specimen — each lands at a uniquified path."""
+        _, entry = self._prime(tmp_path)
+        cache = ResultCache(tmp_path)
+        entry.write_bytes(b"first corruption")
+        cache.load(entry.stem)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(b"second corruption")
+        cache.load(entry.stem)
+        first = tmp_path / QUARANTINE_DIR / entry.name
+        second = tmp_path / QUARANTINE_DIR / f"{entry.stem}.2.pkl"
+        assert first.read_bytes() == b"first corruption"
+        assert second.read_bytes() == b"second corruption"
+        assert cache.quarantined == 2
+
     def test_quarantine_warns_once_per_key(self, tmp_path, caplog):
         _, entry = self._prime(tmp_path)
         cache = ResultCache(tmp_path)

@@ -367,6 +367,7 @@ class TestScenarios:
             "crash-storm",
             "thermal-excursion",
             "power-trip",
+            "degraded-telemetry",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

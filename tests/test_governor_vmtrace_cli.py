@@ -156,3 +156,41 @@ class TestCLI:
         buffer = io.StringIO()
         assert run([], stream=buffer) == 0
         assert "Available experiments" in buffer.getvalue()
+
+
+class TestSeedValidation:
+    """CLI --seed must reject junk with a clear error and exit code 2."""
+
+    def test_parse_seed_accepts_non_negative_integers(self):
+        from repro.cli import parse_seed
+
+        assert parse_seed("0") == 0
+        assert parse_seed("42") == 42
+
+    def test_parse_seed_rejects_negative(self):
+        from repro.cli import parse_seed
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="non-negative"):
+            parse_seed("-3")
+
+    def test_parse_seed_rejects_non_integer(self):
+        from repro.cli import parse_seed
+        from repro.errors import ReproError
+
+        for junk in ("1.5", "seven", "", "0x10"):
+            with pytest.raises(ReproError, match="base-10 integer"):
+                parse_seed(junk)
+
+    def test_main_exits_2_with_message_on_bad_seed(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "crash-storm", "--seed", "-1"]) == 2
+        captured = capsys.readouterr()
+        assert "error: --seed must be non-negative" in captured.err
+
+    def test_main_exits_2_on_non_integer_seed(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "crash-storm", "--seed", "two"]) == 2
+        assert "base-10 integer" in capsys.readouterr().err

@@ -133,3 +133,65 @@ def test_workload_speedup_bounded_by_clock_ratio(core, memory, io):
     max_ratio = max(speedups.values())
     scale = profile.time_scale(speedups)
     assert 1.0 / max_ratio - 1e-9 <= scale <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Silicon: V/F curve monotonicity
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=5.0),
+    st.floats(min_value=0.0, max_value=1.5),
+)
+def test_vf_voltage_and_power_monotone_in_frequency(frequency, step):
+    """Voltage and dynamic power must be non-decreasing in frequency —
+    including the extrapolated regions past the measured anchors."""
+    from repro.silicon import DynamicPowerModel, w3175x_vf_curve
+
+    curve = w3175x_vf_curve()
+    lower_v = curve.voltage_at(frequency)
+    upper_v = curve.voltage_at(frequency + step)
+    assert upper_v >= lower_v - 1e-12
+
+    dynamic = DynamicPowerModel(
+        ref_watts=175.0, ref_frequency_ghz=3.4, ref_voltage_v=0.9
+    )
+    lower_p = dynamic.watts(frequency, lower_v)
+    upper_p = dynamic.watts(frequency + step, upper_v) if step > 0 else lower_p
+    assert upper_p >= lower_p - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Thermal: junction temperature monotone in power, every cooling tech
+# ----------------------------------------------------------------------
+def _all_junction_models():
+    from repro.thermal import FC_3284, HFE_7000
+    from repro.thermal.junction import (
+        BECPlacement,
+        air_junction_model,
+        immersion_junction_model,
+    )
+
+    models = [
+        air_junction_model(35.0, 0.21, air_rise_c=10.0),
+        air_junction_model(27.0, 0.22),
+    ]
+    for fluid in (FC_3284, HFE_7000):
+        for bec in BECPlacement:
+            models.append(immersion_junction_model(fluid, bec))
+    return models
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=500.0),
+)
+def test_junction_temperature_monotone_in_power(power, extra):
+    """Tj must be non-decreasing in power for every cooling technology,
+    and never read below the coolant reference temperature."""
+    for junction in _all_junction_models():
+        cooler = junction.junction_temp_c(power)
+        hotter = junction.junction_temp_c(power + extra)
+        assert hotter >= cooler - 1e-9
+        assert cooler >= junction.reference_temp_c - 1e-9

@@ -1,0 +1,223 @@
+"""Sensor-channel faults and robust fusion (repro.telemetry.sensors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SensorError
+from repro.telemetry import (
+    FaultySensor,
+    PlausibilityBounds,
+    ReadingStatus,
+    SensorFault,
+    SensorFaultMode,
+    SensorFusion,
+    VirtualSensor,
+    tj_plausibility_bounds,
+)
+from repro.thermal.junction import JunctionModel
+
+
+class _Source:
+    """Mutable ground truth the sensors sample."""
+
+    def __init__(self, value: float = 50.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+
+def make_channel(name="tj0", value=50.0, seed=0):
+    source = _Source(value)
+    return source, FaultySensor(VirtualSensor(name, source), seed=seed)
+
+
+class TestVirtualSensor:
+    def test_sequence_numbers_are_monotonic(self):
+        sensor = VirtualSensor("tj", lambda: 42.0)
+        seqs = [sensor.sample(float(t)).seq for t in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_requires_name(self):
+        with pytest.raises(SensorError):
+            VirtualSensor("", lambda: 0.0)
+
+
+class TestFaultValidation:
+    def test_noise_needs_positive_sigma(self):
+        with pytest.raises(SensorError):
+            SensorFault(SensorFaultMode.NOISE, magnitude=0.0)
+
+    def test_spike_needs_positive_amplitude(self):
+        with pytest.raises(SensorError):
+            SensorFault(SensorFaultMode.SPIKE, magnitude=-1.0)
+
+    def test_lag_needs_depth(self):
+        with pytest.raises(SensorError):
+            SensorFault(SensorFaultMode.LAG, magnitude=0.0)
+
+    def test_lag_bounded_by_buffer(self):
+        _, channel = make_channel()
+        with pytest.raises(SensorError):
+            channel.inject(
+                SensorFault(
+                    SensorFaultMode.LAG,
+                    magnitude=FaultySensor.MAX_LAG_SAMPLES + 1,
+                )
+            )
+
+
+class TestFaultTransforms:
+    def test_stuck_freezes_value_but_seq_advances(self):
+        source, channel = make_channel()
+        first = channel.sample(0.0)
+        channel.inject(SensorFault(SensorFaultMode.STUCK))
+        source.value = 99.0
+        later = channel.sample(1.0)
+        assert later.value == first.value == 50.0
+        assert later.seq > first.seq
+
+    def test_dropout_reemits_last_sample_with_stale_seq(self):
+        source, channel = make_channel()
+        first = channel.sample(0.0)
+        channel.inject(SensorFault(SensorFaultMode.DROPOUT))
+        source.value = 99.0
+        held = channel.sample(1.0)
+        assert held.seq == first.seq
+        assert held.value == first.value
+
+    def test_dropout_before_any_sample_emits_seq_zero(self):
+        _, channel = make_channel()
+        channel.inject(SensorFault(SensorFaultMode.DROPOUT))
+        assert channel.sample(0.0).seq == 0
+
+    def test_lag_returns_old_values(self):
+        source, channel = make_channel()
+        for t in range(5):
+            source.value = float(t)
+            channel.sample(float(t))
+        channel.inject(SensorFault(SensorFaultMode.LAG, magnitude=3))
+        source.value = 100.0
+        lagged = channel.sample(5.0)
+        # History now holds [0..4, 100]; three samples back is value 2.
+        assert lagged.value == pytest.approx(2.0)
+        assert lagged.seq == 6
+
+    def test_noise_is_deterministic_per_seed(self):
+        values = []
+        for _ in range(2):
+            source, channel = make_channel(seed=7)
+            channel.inject(SensorFault(SensorFaultMode.NOISE, magnitude=5.0))
+            values.append([channel.sample(float(t)).value for t in range(10)])
+        assert values[0] == values[1]
+        assert any(v != 50.0 for v in values[0])
+
+    def test_different_seeds_draw_different_noise(self):
+        runs = []
+        for seed in (1, 2):
+            _, channel = make_channel(seed=seed)
+            channel.inject(SensorFault(SensorFaultMode.NOISE, magnitude=5.0))
+            runs.append([channel.sample(float(t)).value for t in range(10)])
+        assert runs[0] != runs[1]
+
+    def test_spike_amplitude_and_determinism(self):
+        source, channel = make_channel(seed=3)
+        channel.inject(
+            SensorFault(SensorFaultMode.SPIKE, magnitude=40.0, spike_probability=1.0)
+        )
+        sample = channel.sample(0.0)
+        assert abs(sample.value - 50.0) == pytest.approx(40.0)
+
+    def test_clear_restores_truth(self):
+        source, channel = make_channel()
+        channel.sample(0.0)
+        channel.inject(SensorFault(SensorFaultMode.STUCK))
+        source.value = 75.0
+        assert channel.sample(1.0).value == 50.0
+        channel.clear()
+        assert channel.sample(2.0).value == 75.0
+
+
+class TestPlausibility:
+    def test_bounds_reject_inverted(self):
+        with pytest.raises(SensorError):
+            PlausibilityBounds(10.0, 0.0)
+
+    def test_tj_bounds_span_reference_to_max_power(self):
+        junction = JunctionModel(reference_temp_c=34.0, thermal_resistance_c_per_w=0.08)
+        bounds = tj_plausibility_bounds(junction, max_power_watts=305.0, margin_c=5.0)
+        assert bounds.lower == pytest.approx(29.0)
+        assert bounds.upper == pytest.approx(34.0 + 0.08 * 305.0 + 5.0)
+        assert bounds.contains(34.0)
+        assert not bounds.contains(200.0)
+
+
+class TestSensorFusion:
+    def test_median_outvotes_single_stuck_channel(self):
+        sources, channels = [], []
+        for i in range(3):
+            source, channel = make_channel(name=f"tj{i}", seed=i)
+            sources.append(source)
+            channels.append(channel)
+        fusion = SensorFusion(channels, ewma_alpha=1.0)
+        fusion.read(0.0)
+        channels[0].inject(SensorFault(SensorFaultMode.STUCK))
+        for source in sources:
+            source.value = 112.0
+        reading = fusion.read(1.0)
+        assert reading.healthy
+        assert reading.raw_value == pytest.approx(112.0)
+
+    def test_stale_channels_are_rejected(self):
+        sources, channels = [], []
+        for i in range(3):
+            source, channel = make_channel(name=f"tj{i}", seed=i)
+            sources.append(source)
+            channels.append(channel)
+        fusion = SensorFusion(channels)
+        fusion.read(0.0)
+        channels[0].inject(SensorFault(SensorFaultMode.DROPOUT))
+        reading = fusion.read(1.0)
+        assert ("tj0", "stale") in reading.rejected
+        assert reading.healthy_channels == 2
+
+    def test_total_dropout_loses_quorum(self):
+        channels = [make_channel(name=f"tj{i}")[1] for i in range(3)]
+        fusion = SensorFusion(channels)
+        fusion.read(0.0)
+        for channel in channels:
+            channel.inject(SensorFault(SensorFaultMode.DROPOUT))
+        reading = fusion.read(1.0)
+        assert reading.status is ReadingStatus.NO_QUORUM
+        assert reading.value is None
+        assert not reading.healthy
+
+    def test_implausible_samples_are_rejected(self):
+        source, channel = make_channel()
+        fusion = SensorFusion(
+            [channel], bounds=PlausibilityBounds(0.0, 100.0), min_quorum=1
+        )
+        source.value = 500.0
+        reading = fusion.read(0.0)
+        assert reading.status is ReadingStatus.NO_QUORUM
+        assert ("tj0", "implausible") in reading.rejected
+
+    def test_ewma_smooths_steps(self):
+        source, channel = make_channel(value=0.0)
+        fusion = SensorFusion([channel], ewma_alpha=0.5, min_quorum=1)
+        fusion.read(0.0)
+        source.value = 100.0
+        reading = fusion.read(1.0)
+        assert reading.raw_value == pytest.approx(100.0)
+        assert reading.value == pytest.approx(50.0)
+
+    def test_duplicate_channel_names_rejected(self):
+        channels = [make_channel(name="tj")[1] for _ in range(2)]
+        with pytest.raises(SensorError):
+            SensorFusion(channels)
+
+    def test_quorum_must_be_achievable(self):
+        channel = make_channel()[1]
+        with pytest.raises(SensorError):
+            SensorFusion([channel], min_quorum=2)

@@ -1,0 +1,58 @@
+"""Subprocess driver for the WAL SIGKILL chaos test.
+
+Runs a small journaled campaign of deliberately slow sweep points so
+the parent test can SIGKILL this process *mid-campaign* — after some
+results have been fsync'd to the write-ahead log but before the sweep
+finishes. The parent then resumes the run in-process and asserts the
+recovered results are bit-identical to an uninterrupted campaign.
+
+Invoked as ``python -m tests.walhelper <cache_dir> <run_id>`` with
+``PYTHONPATH`` covering both ``src/`` and the repository root.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.engine import RunJournal, SweepEngine, SweepTask, journal_path
+
+#: Campaign shape shared with the parent test.
+POINTS = 8
+MASTER_SEED = 3
+SLEEP_S = 0.15
+
+
+def slow_point(x: int, seed: int = 0) -> dict:
+    """A sweep point slow enough to be killed between completions."""
+    time.sleep(SLEEP_S)
+    return {"x": x, "seed": seed, "value": x * x + seed % 97}
+
+
+def build_tasks() -> list[SweepTask]:
+    return [
+        SweepTask(fn=slow_point, params={"x": i}, key=f"p{i}", seed_param="seed")
+        for i in range(POINTS)
+    ]
+
+
+def run_campaign(cache_dir: str, run_id: str) -> dict:
+    """One journaled serial campaign; returns the result map."""
+    journal = RunJournal(journal_path(cache_dir, run_id), run_id)
+    journal.open()
+    try:
+        engine = SweepEngine(max_workers=1, cache=None, journal=journal)
+        return engine.run(build_tasks(), master_seed=MASTER_SEED)
+    finally:
+        journal.close()
+
+
+def main(argv: list[str]) -> int:
+    cache_dir, run_id = argv[1], argv[2]
+    run_campaign(cache_dir, run_id)
+    print("CAMPAIGN-DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
