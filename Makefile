@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -25,6 +25,19 @@ test-chaos:
 test-safety:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_sensors.py \
 		tests/test_safety.py tests/test_properties.py -q
+
+# Control-plane suite: retry policy, circuit breaker, lossy channel,
+# command bus, dead-man lease, reconciliation loop, and the
+# partition-recovery acceptance contract (naive stays overclocked,
+# robust reverts within the lease bound; signatures bit-identical)
+# over the REPRO_CHAOS_SEEDS matrix.
+test-control:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_control.py \
+		tests/test_partition_recovery.py -q
+
+lint:
+	ruff check src tests benchmarks
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only

@@ -8,12 +8,14 @@ under ``benchmarks/results/`` so a plain ``pytest benchmarks/
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture
@@ -49,3 +51,21 @@ def emit():
         print(f"\n{text}\n")
 
     return _emit
+
+
+@pytest.fixture
+def emit_json():
+    """Persist a machine-readable benchmark record at the repo root.
+
+    ``make bench-smoke`` (and the full ``make bench``) leave a
+    ``BENCH_<name>.json`` next to the Makefile so CI and tooling can
+    diff headline numbers across commits without parsing the human
+    tables under ``benchmarks/results/``.
+    """
+
+    def _emit_json(name: str, record: dict) -> None:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench] wrote {path}\n")
+
+    return _emit_json

@@ -6,8 +6,6 @@ shortened ramp: the slower the deploy, the more latency overclocking
 hides.
 """
 
-import pytest
-
 from repro.autoscale import AutoScaler, AutoscalePolicy, ScalerMode
 from repro.sim import OpenLoopSource, PiecewiseSchedule, Simulator
 

@@ -1,7 +1,7 @@
 """Benchmark: Figure 10 — STREAM bandwidth across Table VII configs."""
 
 from repro.experiments.highperf_vms import format_fig10, run_fig10
-from repro.silicon import B1, B4, OC3
+from repro.silicon import B4, OC3
 from repro.workloads.stream import bandwidth_gain_over_b1
 
 

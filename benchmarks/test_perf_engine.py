@@ -70,7 +70,7 @@ def run_sweep(engine):
 
 
 @pytest.mark.perf
-def test_perf_engine(tmp_path, emit):
+def test_perf_engine(tmp_path, emit, emit_json):
     conditions = sweep_conditions()
 
     serial = SweepEngine(max_workers=1)
@@ -125,6 +125,39 @@ def test_perf_engine(tmp_path, emit):
                 "parallel output bit-for-bit identical to serial: yes",
             ]
         ),
+    )
+
+    # Machine-readable record at the repo root (BENCH_engine.json):
+    # headline wall times, throughput, and cache effectiveness, for
+    # cross-commit diffing without parsing the table above.
+    warm_probes = warm.cache_hits + warm.cache_misses
+    emit_json(
+        "engine",
+        {
+            "benchmark": "perf_engine",
+            "grid": grid,
+            "conditions": len(conditions),
+            "servers_per_condition": SERVERS,
+            "usable_cores": cores,
+            "parallel_workers": PARALLEL_WORKERS,
+            "serial_wall_s": round(serial_seconds, 6),
+            "parallel_wall_s": round(parallel_seconds, 6),
+            "warm_cache_wall_s": round(warm_seconds, 6),
+            "speedup": round(speedup, 4),
+            "tasks_per_second_serial": round(len(conditions) / serial_seconds, 4)
+            if serial_seconds > 0
+            else None,
+            "tasks_per_second_parallel": round(len(conditions) / parallel_seconds, 4)
+            if parallel_seconds > 0
+            else None,
+            "cold_cache_hits": cold.cache_hits,
+            "cold_cache_misses": cold.cache_misses,
+            "warm_cache_hits": warm.cache_hits,
+            "warm_cache_misses": warm.cache_misses,
+            "warm_cache_hit_rate": round(warm.cache_hits / warm_probes, 4)
+            if warm_probes
+            else None,
+        },
     )
 
     # Warm cache must beat both execution paths outright: replay is I/O,

@@ -19,6 +19,7 @@ Subpackages
 -----------
 ``repro.sim``          deterministic discrete-event simulation kernel
 ``repro.engine``       parallel sweep execution, seed-splitting, result cache
+``repro.control``      unreliable actuation: command bus, leases, breakers
 ``repro.faults``       deterministic fault injection (plans, campaigns)
 ``repro.telemetry``    Aperf/Pperf counters, metrics, power metering
 ``repro.thermal``      fluids, cooling technologies, tanks, junction models
@@ -34,6 +35,7 @@ Subpackages
 from . import (
     autoscale,
     cluster,
+    control,
     engine,
     errors,
     experiments,
@@ -54,6 +56,7 @@ __version__ = "1.0.0"
 __all__ = [
     "autoscale",
     "cluster",
+    "control",
     "engine",
     "errors",
     "experiments",

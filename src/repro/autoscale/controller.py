@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cluster.lifecycle import VMLifecycleManager
 from ..cluster.vm import VMInstance, VMSpec
@@ -43,6 +44,10 @@ from ..telemetry.power_meter import PowerMeter
 from ..workloads.queueing import LoadBalancer, ServerVM
 from .model import minimum_frequency_below, utilization_headroom_frequency
 from .policy import AutoscalePolicy, ScalerMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..control.bus import Command, HostAgent
+    from ..control.link import ActuationLink
 
 
 @dataclass
@@ -91,6 +96,14 @@ class AutoScalerResult:
     telemetry_degraded_ticks: int = 0
     #: Times the safety supervisor tripped and forced a de-rate.
     telemetry_derates: int = 0
+    #: Actuation commands that exhausted every retry without an ack.
+    actuation_failures: int = 0
+    #: Command re-sends after ack timeouts or breaker fast-fails.
+    actuation_retries: int = 0
+    #: Times the fleet's dead-man lease reverted it to base frequency.
+    lease_reverts: int = 0
+    #: Drift repairs issued by the reconciliation loop.
+    reconcile_repairs: int = 0
 
     def vm_hours(self) -> float:
         return self.vm_count.integral() / 3600.0
@@ -137,6 +150,16 @@ class AutoScaler:
         self.safety = safety
         self.telemetry_degraded_ticks = 0
         self.telemetry_derates = 0
+        #: Unreliable actuation path (None = perfect, instantaneous).
+        #: While attached, ``_frequency_ghz`` is the controller's
+        #: *desired* frequency; serving VMs change speed only when the
+        #: SET_FREQUENCY command actually lands on the host agent.
+        self.actuation: "ActuationLink | None" = None
+        self._actuation_host = ""
+        self._actuation_agent: "HostAgent | None" = None
+        self._pending_deploys: dict[str, tuple[float | None, bool]] = {}
+        self._deploy_seq = 0
+        self.lease_reverts = 0
 
         # Telemetry sinks.
         self.latency = LatencyRecorder("autoscaler", drop_warmup_before=warmup_s)
@@ -171,8 +194,100 @@ class AutoScaler:
         """VMs serving or deploying."""
         return len(self._lifecycle.active_instances)
 
+    # ------------------------------------------------------------------
+    # Unreliable actuation (the control plane between ASC and fleet)
+    # ------------------------------------------------------------------
+    def attach_actuation(self, link: "ActuationLink", host_id: str = "fleet") -> None:
+        """Route all further actuation through an unreliable control plane.
+
+        The link's host agent becomes the fleet's BMC: frequency changes,
+        deploys, and retirements happen only when their commands survive
+        the link's channel, and the agent's dead-man lease autonomously
+        reverts the fleet to base frequency if the controller's
+        heartbeats (sent every decision tick) stop arriving.
+        """
+        if self.actuation is not None:
+            raise ConfigurationError("an actuation link is already attached")
+        self.actuation = link
+        self._actuation_host = host_id
+        self._actuation_agent = link.add_host(
+            host_id,
+            base_frequency_ghz=self.policy.min_frequency_ghz,
+            apply_frequency=self._apply_frequency_direct,
+            deploy_vm=self._materialize_deploy,
+            retire_vm=self._materialize_retire,
+            on_lease_expired=self._on_lease_expired,
+        )
+
+    def _actual_frequency_ghz(self) -> float:
+        """What the fleet is really running (vs. ``_frequency_ghz`` desired)."""
+        if self._actuation_agent is not None:
+            return self._actuation_agent.frequency_ghz
+        return self._frequency_ghz
+
+    def _on_lease_expired(self, host_id: str) -> None:
+        self.lease_reverts += 1
+
+    def _materialize_deploy(self, token: str) -> None:
+        """A DEPLOY_VM command landed: actually create the VM."""
+        params = self._pending_deploys.pop(token, None)
+        if params is None:
+            return  # duplicate/reconciled deploy for a settled token
+        latency_override_s, recovery = params
+        self._deploy_vm_direct(latency_override_s, recovery, counted=True)
+
+    def _materialize_retire(self, token: str) -> None:
+        """A RETIRE_VM command landed: detach the named VM if still serving."""
+        handle = self._handles.get(token)
+        if handle is None:
+            return  # already retired, crashed, or duplicate delivery
+        self.load_balancer.detach(handle.app)
+        del self._handles[token]
+        self._lifecycle.delete_vm(handle.instance.vm_id)
+        self._record_vm_count()
+
+    def _on_deploy_failed(self, command: "Command", reason: str) -> None:
+        """A deploy exhausted its retries: give the decision loop its
+        slot back (it will re-decide from live load next tick)."""
+        token = str(command.payload)
+        params = self._pending_deploys.pop(token, None)
+        if params is None:
+            return
+        _, recovery = params
+        if self.actuation is not None and self.actuation.reconciler is not None:
+            self.actuation.reconciler.drop_vm(token)
+        if recovery:
+            self._recovery_in_flight -= 1
+            if self._recovery_in_flight == 0:
+                self._end_recovery_boost()
+        else:
+            self._scale_out_in_flight = False
+
     def _deploy_vm(
         self, latency_override_s: float | None = None, recovery: bool = False
+    ) -> None:
+        if self.actuation is None or latency_override_s == 0.0:
+            # Bootstrap deploys predate the link; everything else rides it.
+            self._deploy_vm_direct(latency_override_s, recovery)
+            return
+        self._deploy_seq += 1
+        token = f"vm-deploy-{self._deploy_seq}"
+        self._pending_deploys[token] = (latency_override_s, recovery)
+        # Intent is booked now; the host materializes it when (if) the
+        # command lands, and _on_deploy_failed returns the slot.
+        if recovery:
+            self._recovery_in_flight += 1
+        else:
+            self._scale_out_in_flight = True
+        self.actuation.deploy_vm(
+            token, self._actuation_host, on_failed=self._on_deploy_failed
+        )
+
+    def _deploy_vm_direct(
+        self,
+        latency_override_s: float | None = None,
+        recovery: bool = False,
+        counted: bool = False,
     ) -> None:
         def on_ready(instance: VMInstance) -> None:
             app = ServerVM(
@@ -182,7 +297,7 @@ class AutoScaler:
                 base_frequency_ghz=self.policy.min_frequency_ghz,
                 latency_recorder=self.latency,
             )
-            app.set_frequency(self._frequency_ghz)
+            app.set_frequency(self._actual_frequency_ghz())
             self.load_balancer.attach(app)
             self._handles[instance.vm_id] = _VMHandle(instance=instance, app=app)
             if recovery:
@@ -196,18 +311,28 @@ class AutoScaler:
         self._lifecycle.request_vm(
             self._spec, on_ready=on_ready, latency_override_s=latency_override_s
         )
-        if recovery:
-            self._recovery_in_flight += 1
-        elif latency_override_s != 0.0:
-            self._scale_out_in_flight = True
+        if not counted:
+            if recovery:
+                self._recovery_in_flight += 1
+            elif latency_override_s != 0.0:
+                self._scale_out_in_flight = True
         self._record_vm_count()
 
     def _retire_vm(self) -> None:
-        """Scale in: detach the most recent VM and let it drain."""
+        """Scale in: detach the most recent VM and let it drain.
+
+        With actuation attached the controller picks the victim now but
+        the detach happens only when the RETIRE_VM command lands — a
+        lost retirement leaves the VM serving (billable drift the
+        reconciliation loop exists to bound).
+        """
         vms = self.load_balancer.vms
         if not vms:
             return
         app = vms[-1]
+        if self.actuation is not None:
+            self.actuation.retire_vm(app.name, self._actuation_host)
+            return
         self.load_balancer.detach(app)
         handle = self._handles.pop(app.name)
         self._lifecycle.delete_vm(handle.instance.vm_id)
@@ -296,6 +421,13 @@ class AutoScaler:
     # ------------------------------------------------------------------
     def _decide(self) -> None:
         now = self._sim.now
+        # 0. Actuation-plane liveness: heartbeats renew the fleet's
+        #    dead-man lease, and an open breaker degrades the safety
+        #    supervisor exactly like lost telemetry.
+        if self.actuation is not None:
+            self.actuation.heartbeat()
+            if self.safety is not None:
+                self.safety.observe_actuation(now, len(self.actuation.open_breakers))
         # 1. Sample telemetry from every serving VM.
         utils: list[float] = []
         betas: list[float] = []
@@ -314,7 +446,7 @@ class AutoScaler:
         short_util = sum(utils) / len(utils)
         beta = sum(betas) / len(betas)
         self.utilization_trace.record(now, short_util)
-        self.frequency_trace.record(now, self._frequency_ghz)
+        self.frequency_trace.record(now, self._actual_frequency_ghz())
         self._sample_power(short_util)
 
         long_util = self.utilization_trace.window_mean(now, self.policy.scale_out_window_s)
@@ -397,9 +529,17 @@ class AutoScaler:
                 self._apply_frequency(target)
 
     def _apply_frequency(self, frequency_ghz: float) -> None:
+        """Desire ``frequency_ghz``; apply it directly or via the bus."""
         if frequency_ghz == self._frequency_ghz:
             return
         self._frequency_ghz = frequency_ghz
+        if self.actuation is not None:
+            self.actuation.set_frequency(frequency_ghz, hosts=(self._actuation_host,))
+            return
+        self._apply_frequency_direct(frequency_ghz)
+
+    def _apply_frequency_direct(self, frequency_ghz: float) -> None:
+        """The actuator: retune every serving VM (host-agent callback)."""
         for handle in self._handles.values():
             handle.app.set_frequency(frequency_ghz)
 
@@ -411,15 +551,18 @@ class AutoScaler:
             handle.app.vcores * utilization for handle in self._handles.values()
         )
         busy_cores = min(busy_cores, float(self._power_model.spec.pcores))
+        # Power follows the frequency the silicon actually runs, not the
+        # one the controller believes it commanded.
+        actual_ghz = self._actual_frequency_ghz()
         # Voltage tracks the V/F curve: the +50 mV offset applies in full
         # only at the top of the ladder (4.1 GHz), proportionally below.
         span = self.policy.max_frequency_ghz - self.policy.min_frequency_ghz
         offset_mv = 50.0 * max(
-            0.0, (self._frequency_ghz - self.policy.min_frequency_ghz) / span
+            0.0, (actual_ghz - self.policy.min_frequency_ghz) / span
         )
         config = FrequencyConfig(
             name="asc-dynamic",
-            core_ghz=self._frequency_ghz,
+            core_ghz=actual_ghz,
             voltage_offset_mv=offset_mv,
             turbo_enabled=None,
             llc_ghz=B2.llc_ghz,
@@ -449,6 +592,18 @@ class AutoScaler:
             recovery_boosts=self.recovery_boosts,
             telemetry_degraded_ticks=self.telemetry_degraded_ticks,
             telemetry_derates=self.telemetry_derates,
+            actuation_failures=(
+                self.actuation.counters.failures if self.actuation is not None else 0
+            ),
+            actuation_retries=(
+                self.actuation.counters.retries if self.actuation is not None else 0
+            ),
+            lease_reverts=self.lease_reverts,
+            reconcile_repairs=(
+                self.actuation.counters.reconcile_repairs
+                if self.actuation is not None
+                else 0
+            ),
         )
 
 

@@ -14,7 +14,7 @@ the host's idle/uncore/memory floor is paid once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError, PowerBudgetExceeded
 from ..silicon.configs import B2, FrequencyConfig

@@ -1,0 +1,49 @@
+"""Reliable actuation over an unreliable control plane.
+
+The paper's auto-scaler assumes frequency-set and deploy commands reach
+hosts instantly and reliably; this package is the machinery a real
+deployment needs when they do not. It provides, bottom-up:
+
+* :mod:`~repro.control.retry` — :class:`RetryPolicy`, the shared
+  bounded-attempts / exponential-backoff / deterministic-jitter policy
+  used by both the sweep engine and the command bus;
+* :mod:`~repro.control.channel` — :class:`LossyChannel`, a seed-driven
+  transport that drops, delays, duplicates, and partitions messages;
+* :mod:`~repro.control.breaker` — :class:`CircuitBreaker`, the per-host
+  closed → open → half-open send gate;
+* :mod:`~repro.control.bus` — :class:`CommandBus` (controller side:
+  retries, ack timeouts, breakers) and :class:`HostAgent` (host side:
+  idempotency dedup, staleness rejection, the dead-man lease);
+* :mod:`~repro.control.reconcile` — :class:`Reconciler`, the periodic
+  desired-vs-reported differ that repairs the drift retries cannot;
+* :mod:`~repro.control.link` — :class:`ActuationLink`, all of the above
+  wired and seeded as one unit.
+
+Nothing here imports :mod:`repro.faults`, :mod:`repro.reliability`, or
+:mod:`repro.autoscale` at runtime — the engine imports this package, and
+those packages import the engine, so the dependency must stay one-way.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .bus import Ack, Command, CommandBus, CommandKind, HostAgent
+from .channel import ChannelConfig, LossyChannel
+from .link import ActuationLink
+from .reconcile import Reconciler
+from .retry import COMMAND_RETRIES, ENGINE_POOL_RETRIES, RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "ENGINE_POOL_RETRIES",
+    "COMMAND_RETRIES",
+    "BreakerState",
+    "CircuitBreaker",
+    "ChannelConfig",
+    "LossyChannel",
+    "CommandKind",
+    "Command",
+    "Ack",
+    "HostAgent",
+    "CommandBus",
+    "Reconciler",
+    "ActuationLink",
+]

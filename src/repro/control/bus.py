@@ -1,0 +1,494 @@
+"""The command bus: reliable actuation over an unreliable transport.
+
+The paper's auto-scaler (§VI-D) silently assumes its frequency-set and
+VM-deploy commands reach hosts instantly and reliably. This module is
+the machinery a real tank deployment needs when they do not:
+
+* :class:`Command` — typed, idempotency-keyed actuation messages
+  (``set-frequency``, ``deploy-vm``, ``retire-vm``, ``heartbeat``).
+* :class:`CommandBus` — the controller-side endpoint: bounded retries
+  with exponential backoff and deterministic jitter
+  (:class:`~repro.control.retry.RetryPolicy`), an ack timeout per
+  attempt, and a per-host :class:`~repro.control.breaker.CircuitBreaker`
+  so a dark host fails fast instead of soaking the retry budget.
+* :class:`HostAgent` — the host-side endpoint: idempotency-key dedup
+  (a retried command applies once even when the first ack was the
+  thing that got lost), sequence-based staleness rejection (a delayed
+  old ``set-frequency`` cannot overwrite a newer one), and the
+  **dead-man lease** — miss ``lease_misses`` controller heartbeats and
+  the host autonomously reverts its frequency to base, so a partitioned
+  overclocked host can never cook itself.
+
+Every endpoint shares one
+:class:`~repro.telemetry.counters.ControlPlaneCounters` and optionally
+records into one :class:`~repro.faults.timeline.FaultTimeline`, so a
+whole run's actuation story is auditable and signature-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ConfigurationError, ControlError
+from ..sim.kernel import Simulator
+from ..telemetry.counters import ControlPlaneCounters
+from .breaker import CircuitBreaker
+from .channel import LossyChannel
+from .retry import COMMAND_RETRIES, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..faults.timeline import FaultTimeline
+
+#: Timeline kinds recorded by the bus machinery.
+BREAKER_OPEN = "breaker-open"
+LEASE_EXPIRED = "lease-expired"
+CMD_FAILED = "cmd-failed"
+
+
+class CommandKind(Enum):
+    """The actuation verbs the controller may issue."""
+
+    SET_FREQUENCY = "set-frequency"
+    DEPLOY_VM = "deploy-vm"
+    RETIRE_VM = "retire-vm"
+    HEARTBEAT = "heartbeat"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One typed actuation message.
+
+    The ``idempotency_key`` identifies the *logical* command across
+    retries and duplications; ``sequence`` orders commands from one bus
+    so late deliveries can be recognised as stale.
+    """
+
+    kind: CommandKind
+    target: str
+    idempotency_key: str
+    sequence: int
+    payload: float | str | None = None
+    issued_at_s: float = 0.0
+
+    def describe(self) -> str:
+        payload = "" if self.payload is None else f"={self.payload}"
+        return f"{self.kind.value}{payload}#{self.sequence}"
+
+
+@dataclass(frozen=True)
+class Ack:
+    """A host's acknowledgement of one applied (or rejected) command.
+
+    Every ack piggybacks the host's *current* frequency, so any
+    acknowledged command — even a heartbeat — doubles as a state report
+    the reconciliation loop can diff against desired state.
+    """
+
+    idempotency_key: str
+    target: str
+    applied_at_s: float
+    frequency_ghz: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class _Pending:
+    """Controller-side state for one in-flight logical command."""
+
+    command: Command
+    attempt: int
+    retry: bool
+    on_applied: Callable[[Ack], None] | None
+    on_failed: Callable[[Command, str], None] | None
+    timeout_event: object | None = None
+
+
+class HostAgent:
+    """The host-side command endpoint (BMC/hypervisor stand-in).
+
+    ``apply_frequency`` / ``deploy_vm`` / ``retire_vm`` are the actuator
+    callbacks into the model; the agent owns dedup, staleness, lease
+    supervision, and ack emission. The dead-man lease arms at
+    construction: a controller that never heartbeats is indistinguishable
+    from a partition, and the host de-rates either way.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        host_id: str,
+        channel: LossyChannel,
+        base_frequency_ghz: float,
+        apply_frequency: Callable[[float], None] | None = None,
+        deploy_vm: Callable[[str], None] | None = None,
+        retire_vm: Callable[[str], None] | None = None,
+        heartbeat_interval_s: float = 3.0,
+        lease_misses: int = 3,
+        counters: ControlPlaneCounters | None = None,
+        timeline: "FaultTimeline | None" = None,
+        on_lease_expired: Callable[[str], None] | None = None,
+    ) -> None:
+        if heartbeat_interval_s <= 0:
+            raise ConfigurationError("heartbeat_interval_s must be positive")
+        if lease_misses < 1:
+            raise ConfigurationError("lease_misses must be at least 1")
+        if base_frequency_ghz <= 0:
+            raise ConfigurationError("base frequency must be positive")
+        self._sim = simulator
+        self.host_id = host_id
+        self.channel = channel
+        self.base_frequency_ghz = base_frequency_ghz
+        self.frequency_ghz = base_frequency_ghz
+        self._apply_frequency = apply_frequency
+        self._deploy_vm = deploy_vm
+        self._retire_vm = retire_vm
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.lease_misses = lease_misses
+        self.counters = counters if counters is not None else ControlPlaneCounters()
+        self.timeline = timeline
+        self.on_lease_expired = on_lease_expired
+        #: Set by :meth:`CommandBus.attach`; acks travel back through it.
+        self.reply: Callable[[Ack], None] | None = None
+        self._acked: dict[str, Ack] = {}
+        self._last_frequency_sequence = -1
+        self._last_heartbeat_s = simulator.now
+        self.lease_expiries = 0
+        self._sim.every(
+            heartbeat_interval_s, self._check_lease, name=f"lease:{host_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    @property
+    def is_overclocked(self) -> bool:
+        return self.frequency_ghz > self.base_frequency_ghz + 1e-12
+
+    @property
+    def lease_deadline_s(self) -> float:
+        """Virtual time at which the current lease expires."""
+        return self._last_heartbeat_s + self.lease_misses * self.heartbeat_interval_s
+
+    def receive(self, command: Command) -> None:
+        """Process one delivered command (possibly a duplicate)."""
+        now = self._sim.now
+        # Any controller message proves the control link is alive — a
+        # partitioned host misses everything, so everything renews.
+        self._last_heartbeat_s = now
+        cached = self._acked.get(command.idempotency_key)
+        if cached is not None:
+            self.counters.dedup_hits += 1
+            self._send_ack(cached)
+            return
+        detail = self._apply(command)
+        ack = Ack(
+            idempotency_key=command.idempotency_key,
+            target=self.host_id,
+            applied_at_s=now,
+            frequency_ghz=self.frequency_ghz,
+            detail=detail,
+        )
+        self._acked[command.idempotency_key] = ack
+        self._send_ack(ack)
+
+    def _apply(self, command: Command) -> str:
+        if command.kind is CommandKind.HEARTBEAT:
+            return "alive"
+        if command.kind is CommandKind.SET_FREQUENCY:
+            if command.sequence < self._last_frequency_sequence:
+                # A delayed old set-frequency must not overwrite a newer
+                # one: ack it (it is superseded, retrying is pointless)
+                # but do not apply it.
+                self.counters.stale_rejects += 1
+                return "stale"
+            self._last_frequency_sequence = command.sequence
+            frequency = float(command.payload)  # type: ignore[arg-type]
+            self.frequency_ghz = frequency
+            if self._apply_frequency is not None:
+                self._apply_frequency(frequency)
+            return f"{frequency:.3f}GHz"
+        if command.kind is CommandKind.DEPLOY_VM:
+            if self._deploy_vm is None:
+                raise ControlError(f"host {self.host_id} cannot deploy VMs")
+            self._deploy_vm(str(command.payload))
+            return f"deploy {command.payload}"
+        if command.kind is CommandKind.RETIRE_VM:
+            if self._retire_vm is None:
+                raise ControlError(f"host {self.host_id} cannot retire VMs")
+            self._retire_vm(str(command.payload))
+            return f"retire {command.payload}"
+        raise ControlError(f"unhandled command kind {command.kind}")  # pragma: no cover
+
+    def _send_ack(self, ack: Ack) -> None:
+        if self.reply is None:
+            return
+        reply = self.reply
+        self.channel.deliver(
+            self.host_id, lambda: reply(ack), describe=f"ack {ack.idempotency_key}"
+        )
+
+    # ------------------------------------------------------------------
+    # Dead-man lease
+    # ------------------------------------------------------------------
+    def _check_lease(self) -> None:
+        now = self._sim.now
+        if now <= self.lease_deadline_s + 1e-9:
+            return
+        if not self.is_overclocked:
+            return
+        # The controller has gone quiet past the lease window while this
+        # host is overclocked: fail safe, autonomously, now.
+        previous = self.frequency_ghz
+        self.frequency_ghz = self.base_frequency_ghz
+        if self._apply_frequency is not None:
+            self._apply_frequency(self.base_frequency_ghz)
+        self.lease_expiries += 1
+        self.counters.lease_expiries += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                now,
+                LEASE_EXPIRED,
+                self.host_id,
+                f"{previous:.3f}->{self.base_frequency_ghz:.3f}GHz "
+                f"after {self.lease_misses} missed heartbeat(s)",
+            )
+        if self.on_lease_expired is not None:
+            self.on_lease_expired(self.host_id)
+
+
+class CommandBus:
+    """Controller-side endpoint: retries, timeouts, circuit breakers."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: LossyChannel,
+        retry_policy: RetryPolicy | None = None,
+        ack_timeout_s: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_open_s: float = 30.0,
+        seed: int = 0,
+        name: str = "bus",
+        counters: ControlPlaneCounters | None = None,
+        timeline: "FaultTimeline | None" = None,
+    ) -> None:
+        if ack_timeout_s <= 0:
+            raise ConfigurationError("ack_timeout_s must be positive")
+        self._sim = simulator
+        self.channel = channel
+        self.retry_policy = retry_policy if retry_policy is not None else COMMAND_RETRIES
+        self.ack_timeout_s = ack_timeout_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_open_s = breaker_open_s
+        self.seed = seed
+        self.name = name
+        self.counters = counters if counters is not None else ControlPlaneCounters()
+        self.timeline = timeline
+        self._agents: dict[str, HostAgent] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._pending: dict[str, _Pending] = {}
+        self._sequence = 0
+        #: Optional global observer invoked for every accepted ack —
+        #: the reconciler hangs here to harvest piggybacked state.
+        self.on_ack: Callable[[Ack], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, agent: HostAgent) -> HostAgent:
+        """Register a host endpoint (its acks route back to this bus)."""
+        if agent.host_id in self._agents:
+            raise ConfigurationError(f"agent {agent.host_id} is already attached")
+        self._agents[agent.host_id] = agent
+        agent.reply = self._receive_ack
+        return agent
+
+    def agent_for(self, target: str) -> HostAgent:
+        agent = self._agents.get(target)
+        if agent is None:
+            raise ControlError(f"no host agent attached for target {target!r}")
+        return agent
+
+    def breaker_for(self, target: str) -> CircuitBreaker:
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_threshold, self.breaker_open_s)
+            self._breakers[target] = breaker
+        return breaker
+
+    @property
+    def open_breakers(self) -> tuple[str, ...]:
+        """Targets whose breaker is currently OPEN (controller is blind)."""
+        return tuple(
+            sorted(
+                target
+                for target, breaker in self._breakers.items()
+                if breaker.is_open
+            )
+        )
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def has_pending(
+        self,
+        target: str,
+        kind: CommandKind | None = None,
+        payload: float | str | None = None,
+    ) -> bool:
+        """Is a command to ``target`` still awaiting its ack?
+
+        ``kind``/``payload`` narrow the match (None = any) — the
+        reconciler uses this to avoid racing commands already in flight.
+        """
+        return any(
+            pending.command.target == target
+            and (kind is None or pending.command.kind is kind)
+            and (payload is None or pending.command.payload == payload)
+            for pending in self._pending.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        kind: CommandKind,
+        target: str,
+        payload: float | str | None = None,
+        on_applied: Callable[[Ack], None] | None = None,
+        on_failed: Callable[[Command, str], None] | None = None,
+        retry: bool | None = None,
+    ) -> Command:
+        """Issue one logical command; retries and dedup are automatic.
+
+        Heartbeats default to fire-and-forget (``retry=False``): the
+        next tick sends a fresh one anyway, and a missed ack still
+        feeds the breaker, which is the signal that matters.
+        """
+        self.agent_for(target)  # fail fast on unknown targets
+        if retry is None:
+            retry = kind is not CommandKind.HEARTBEAT
+        self._sequence += 1
+        command = Command(
+            kind=kind,
+            target=target,
+            idempotency_key=f"{self.name}:{target}:{kind.value}:{self._sequence}",
+            sequence=self._sequence,
+            payload=payload,
+            issued_at_s=self._sim.now,
+        )
+        self.counters.commands_sent += 1
+        self._pending[command.idempotency_key] = _Pending(
+            command=command,
+            attempt=0,
+            retry=retry,
+            on_applied=on_applied,
+            on_failed=on_failed,
+        )
+        self._attempt(command.idempotency_key)
+        return command
+
+    def _attempt(self, key: str) -> None:
+        pending = self._pending.get(key)
+        if pending is None:  # acked (or failed) while a retry was queued
+            return
+        pending.attempt += 1
+        if pending.attempt > 1:
+            self.counters.retries += 1
+        command = pending.command
+        now = self._sim.now
+        breaker = self.breaker_for(command.target)
+        if not breaker.allow(now):
+            self.counters.breaker_fast_fails += 1
+            self._retry_or_fail(key, reason="breaker-open")
+            return
+        self.counters.attempts += 1
+        agent = self.agent_for(command.target)
+        self.channel.deliver(
+            command.target,
+            lambda: agent.receive(command),
+            describe=command.describe(),
+        )
+        pending.timeout_event = self._sim.after(
+            self.ack_timeout_s,
+            lambda: self._on_timeout(key, pending.attempt),
+            name=f"{self.name}:timeout:{key}",
+        )
+
+    def _on_timeout(self, key: str, attempt: int) -> None:
+        pending = self._pending.get(key)
+        if pending is None or pending.attempt != attempt:
+            return  # acked, or a later attempt owns the watchdog now
+        self.counters.timeouts += 1
+        self._record_breaker_failure(pending.command.target)
+        self._retry_or_fail(key, reason="ack-timeout")
+
+    def _retry_or_fail(self, key: str, reason: str) -> None:
+        pending = self._pending.get(key)
+        if pending is None:  # pragma: no cover - defensive
+            return
+        command = pending.command
+        if pending.retry and pending.attempt < self.retry_policy.max_attempts:
+            delay = self.retry_policy.jittered_backoff_s(
+                pending.attempt, seed=self.seed, key=key
+            )
+            self._sim.after(delay, lambda: self._attempt(key), name=f"{self.name}:retry:{key}")
+            return
+        del self._pending[key]
+        self.counters.failures += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                self._sim.now,
+                CMD_FAILED,
+                command.target,
+                f"{command.describe()} {reason} after {pending.attempt} attempt(s)",
+            )
+        if pending.on_failed is not None:
+            pending.on_failed(command, reason)
+
+    def _record_breaker_failure(self, target: str) -> None:
+        breaker = self.breaker_for(target)
+        opens_before = breaker.opens
+        breaker.record_failure(self._sim.now)
+        if breaker.opens > opens_before:
+            self.counters.breaker_opens += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    self._sim.now,
+                    BREAKER_OPEN,
+                    target,
+                    f"cooling down {self.breaker_open_s:.0f}s",
+                )
+
+    # ------------------------------------------------------------------
+    # Ack path
+    # ------------------------------------------------------------------
+    def _receive_ack(self, ack: Ack) -> None:
+        pending = self._pending.pop(ack.idempotency_key, None)
+        if pending is None:
+            return  # duplicate ack for an already-settled command
+        event = pending.timeout_event
+        if event is not None:
+            event.cancel()  # type: ignore[attr-defined]
+        self.counters.acks += 1
+        self.breaker_for(ack.target).record_success()
+        if self.on_ack is not None:
+            self.on_ack(ack)
+        if pending.on_applied is not None:
+            pending.on_applied(ack)
+
+
+__all__ = [
+    "CommandKind",
+    "Command",
+    "Ack",
+    "HostAgent",
+    "CommandBus",
+    "BREAKER_OPEN",
+    "LEASE_EXPIRED",
+    "CMD_FAILED",
+]

@@ -1,0 +1,190 @@
+"""The reconciliation loop: desired state vs. what the fleet reports.
+
+Retries and leases handle *transient* loss; reconciliation handles the
+drift that survives anyway — a down-clock command whose entire retry
+budget fell into a partition, a deploy whose host went dark mid-create,
+a host that autonomously de-rated on a dead-man lease while the
+controller still believes it overclocked.
+
+:class:`Reconciler` keeps two maps:
+
+* **desired** — what the controller intends: a target frequency per
+  host (:meth:`set_desired_frequency`) and a set of wanted VM deploys
+  (:meth:`want_vm`);
+* **reported** — what the hosts last said: every ack piggybacks the
+  host's actual frequency (see :class:`~repro.control.bus.Ack`), and
+  the reconciler harvests them via :meth:`observe_ack` hung on
+  :attr:`CommandBus.on_ack`.
+
+Each ``interval_s`` tick it diffs the two and re-issues idempotent
+repair commands through the bus for every divergence: re-assert the
+desired frequency (this is what demotes a zombie overclock once the
+link heals), re-issue lost deploys. Hosts whose circuit breaker is open
+are skipped — they are unreachable by definition; the repair fires on
+the first tick after the breaker re-closes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..sim.kernel import Simulator
+from ..telemetry.counters import ControlPlaneCounters
+from .bus import Ack, Command, CommandBus, CommandKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..faults.timeline import FaultTimeline
+
+#: Timeline kind recorded for every repair command the loop issues.
+RECONCILE_REPAIR = "reconcile-repair"
+
+
+class Reconciler:
+    """Periodic desired-vs-reported differ issuing idempotent repairs."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bus: CommandBus,
+        interval_s: float = 15.0,
+        counters: ControlPlaneCounters | None = None,
+        timeline: "FaultTimeline | None" = None,
+        name: str = "reconciler",
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("reconcile interval_s must be positive")
+        self._sim = simulator
+        self.bus = bus
+        self.interval_s = interval_s
+        self.counters = counters if counters is not None else bus.counters
+        self.timeline = timeline
+        self.name = name
+        self._desired_freq: dict[str, float] = {}
+        self._reported_freq: dict[str, float] = {}
+        #: token -> host for deploys the controller still wants to exist.
+        self._wanted_vms: dict[str, str] = {}
+        self._confirmed_vms: set[str] = set()
+        #: Repairs currently in flight (suppresses duplicate issues).
+        self._in_flight: set[str] = set()
+        self.repairs = 0
+        self.ticks = 0
+        bus.on_ack = self.observe_ack
+        self._sim.every(interval_s, self.tick, name=f"{name}:tick")
+
+    # ------------------------------------------------------------------
+    # Desired state (written by the controller)
+    # ------------------------------------------------------------------
+    def set_desired_frequency(self, host_id: str, frequency_ghz: float) -> None:
+        """Declare the frequency ``host_id`` should be running."""
+        self._desired_freq[host_id] = frequency_ghz
+
+    def want_vm(self, token: str, host_id: str) -> None:
+        """Declare that deploy ``token`` must exist on ``host_id``."""
+        self._wanted_vms[token] = host_id
+
+    def drop_vm(self, token: str) -> None:
+        """The controller no longer wants ``token`` (retired/abandoned)."""
+        self._wanted_vms.pop(token, None)
+        self._confirmed_vms.discard(token)
+
+    def confirm_vm(self, token: str) -> None:
+        """A deploy acked — stop repairing it."""
+        if token in self._wanted_vms:
+            self._confirmed_vms.add(token)
+
+    # ------------------------------------------------------------------
+    # Reported state (harvested from acks)
+    # ------------------------------------------------------------------
+    def note_frequency(self, host_id: str, frequency_ghz: float) -> None:
+        """Seed (or correct) the reported frequency for ``host_id``."""
+        self._reported_freq[host_id] = frequency_ghz
+
+    def observe_ack(self, ack: Ack) -> None:
+        """Harvest the piggybacked state report from any accepted ack."""
+        self._reported_freq[ack.target] = ack.frequency_ghz
+
+    def divergent_hosts(self) -> tuple[str, ...]:
+        """Hosts whose reported frequency disagrees with desired state."""
+        return tuple(
+            sorted(
+                host
+                for host, desired in self._desired_freq.items()
+                if abs(self._reported_freq.get(host, desired) - desired) > 1e-9
+                or host not in self._reported_freq
+            )
+        )
+
+    @property
+    def pending_deploys(self) -> tuple[str, ...]:
+        """Wanted deploy tokens not yet confirmed by an ack."""
+        return tuple(
+            sorted(token for token in self._wanted_vms if token not in self._confirmed_vms)
+        )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Diff desired vs reported and issue repairs for the drift."""
+        self.ticks += 1
+        for host in self.divergent_hosts():
+            if self._skip(host, f"freq:{host}"):
+                continue
+            if self.bus.has_pending(host, CommandKind.SET_FREQUENCY):
+                continue  # don't race a command already in flight
+            desired = self._desired_freq[host]
+            self._repair(
+                f"freq:{host}",
+                CommandKind.SET_FREQUENCY,
+                host,
+                desired,
+                detail=f"re-assert {desired:.3f}GHz",
+            )
+        for token in self.pending_deploys:
+            host = self._wanted_vms[token]
+            if self._skip(host, f"vm:{token}"):
+                continue
+            if self.bus.has_pending(host, CommandKind.DEPLOY_VM, payload=token):
+                continue  # the original send is still retrying
+            self._repair(
+                f"vm:{token}",
+                CommandKind.DEPLOY_VM,
+                host,
+                token,
+                detail=f"re-issue deploy {token}",
+            )
+
+    def _skip(self, host: str, repair_key: str) -> bool:
+        if repair_key in self._in_flight:
+            return True
+        if self.bus.breaker_for(host).is_open:
+            return True  # unreachable by definition; retry after re-close
+        return False
+
+    def _repair(
+        self,
+        repair_key: str,
+        kind: CommandKind,
+        host: str,
+        payload: float | str,
+        detail: str,
+    ) -> None:
+        self.repairs += 1
+        self.counters.reconcile_repairs += 1
+        if self.timeline is not None:
+            self.timeline.record(self._sim.now, RECONCILE_REPAIR, host, detail)
+        self._in_flight.add(repair_key)
+
+        def applied(ack: Ack) -> None:
+            self._in_flight.discard(repair_key)
+            if kind is CommandKind.DEPLOY_VM:
+                self.confirm_vm(str(payload))
+
+        def failed(command: Command, reason: str) -> None:
+            self._in_flight.discard(repair_key)  # try again next tick
+
+        self.bus.send(kind, host, payload, on_applied=applied, on_failed=failed)
+
+
+__all__ = ["Reconciler", "RECONCILE_REPAIR"]

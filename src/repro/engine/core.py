@@ -47,6 +47,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..control.retry import RetryPolicy
 from ..errors import EngineError
 from ..sim.random import split_seed
 from ..telemetry.histogram import LogHistogram
@@ -205,8 +206,14 @@ class SweepEngine:
         Consecutive broken pools tolerated before giving up on
         parallelism for the remaining tasks.
     retry_backoff_s:
-        Base delay between pool re-spawns; round ``n`` sleeps
-        ``n * retry_backoff_s``.
+        Base delay between pool re-spawns; round ``n`` backs off per
+        the retry policy's schedule.
+    retry_policy:
+        A :class:`~repro.control.retry.RetryPolicy` governing pool
+        re-spawns — the same shared policy type the command bus uses.
+        ``None`` (default) derives one from ``max_pool_failures`` and
+        ``retry_backoff_s``; passing a policy explicitly overrides
+        both.
     serial_fallback:
         After ``max_pool_failures`` broken pools, finish the remaining
         tasks serially in-process (default) instead of raising.
@@ -224,6 +231,7 @@ class SweepEngine:
         task_timeout_s: float | None = None,
         max_pool_failures: int = 3,
         retry_backoff_s: float = 0.05,
+        retry_policy: RetryPolicy | None = None,
         serial_fallback: bool = True,
         journal: RunJournal | None = None,
     ) -> None:
@@ -237,11 +245,23 @@ class SweepEngine:
             raise EngineError("max_pool_failures must be at least 1")
         if retry_backoff_s < 0:
             raise EngineError("retry_backoff_s cannot be negative")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_attempts=max_pool_failures,
+                base_delay_s=retry_backoff_s,
+                max_delay_s=max(30.0, retry_backoff_s),
+            )
+        else:
+            # An explicit policy is the single source of truth; mirror
+            # it into the legacy attributes so report consumers agree.
+            max_pool_failures = retry_policy.max_attempts
+            retry_backoff_s = retry_policy.base_delay_s
         self.max_workers = max_workers
         self.cache = cache
         self.task_timeout_s = task_timeout_s
         self.max_pool_failures = max_pool_failures
         self.retry_backoff_s = retry_backoff_s
+        self.retry_policy = retry_policy
         self.serial_fallback = serial_fallback
         self.journal = journal
         self.stats = EngineStats()
@@ -386,10 +406,10 @@ class SweepEngine:
                 return
             failures += 1
             report.worker_failures += 1
-            if failures >= self.max_pool_failures:
+            if failures >= self.retry_policy.max_attempts:
                 break
             report.retries += len(remaining)
-            time.sleep(failures * self.retry_backoff_s)
+            time.sleep(self.retry_policy.backoff_s(failures))
         if not self.serial_fallback:
             raise EngineError(
                 f"{failures} consecutive process pools broke; "

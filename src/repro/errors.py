@@ -91,6 +91,24 @@ class TelemetryDegraded(ReproError):
     """
 
 
+class ControlError(ReproError):
+    """The actuation control plane was misused or misconfigured.
+
+    Raised for wiring mistakes (sending to a host with no attached
+    agent, attaching the same agent twice) — never for transport loss,
+    which is reported through :class:`CommandFailure` callbacks.
+    """
+
+
+class CommandFailure(ControlError):
+    """A command exhausted its retry budget without an acknowledgement.
+
+    Carried to ``on_failed`` callbacks (or raised by callers that choose
+    to escalate); the reconciliation loop exists to repair the drift
+    these failures leave behind.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection campaign was misconfigured or could not run."""
 

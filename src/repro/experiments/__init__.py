@@ -37,6 +37,7 @@ from . import (
     highperf_vms,
     oversubscription,
     packing_churn,
+    partition_recovery,
     tco_experiments,
     usecases,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "environment",
     "failure_recovery",
     "packing_churn",
+    "partition_recovery",
     "characterization",
     "highperf_vms",
     "oversubscription",

@@ -17,7 +17,6 @@ from ..silicon.configs import (
     B3,
     B4,
     CONFIG_ORDER,
-    FREQUENCY_CONFIGS,
     FrequencyConfig,
     OC1,
     OC2,

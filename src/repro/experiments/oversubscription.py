@@ -18,7 +18,6 @@ from ..silicon.configs import B2, OC3
 from ..silicon.server import ServerPowerModel
 from ..workloads.catalog import BI, SPECJBB, SQL, TERASORT
 from ..workloads.oltp import (
-    OversubscriptionPoint,
     cores_saved_by_overclocking,
     pcore_sweep,
 )

@@ -23,6 +23,7 @@ from .injectors import (
     BREAKER_BREACH,
     RECOVERED,
     TJ_ALARM,
+    ChannelFaultInjector,
     FaultCampaign,
     FaultInjector,
     HostFailureInjector,
@@ -30,15 +31,25 @@ from .injectors import (
     SensorFaultInjector,
     ThermalExcursionInjector,
     VMCrashInjector,
+    register_channel_injectors,
     register_sensor_injectors,
 )
-from .plan import SENSOR_FAULT_KINDS, FaultKind, FaultPlan, FaultSpec
+from .plan import (
+    CHANNEL_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 from .timeline import FaultEvent, FaultTimeline
 
 __all__ = [
     "SENSOR_FAULT_KINDS",
+    "CHANNEL_FAULT_KINDS",
     "SensorFaultInjector",
+    "ChannelFaultInjector",
     "register_sensor_injectors",
+    "register_channel_injectors",
     "FaultKind",
     "FaultSpec",
     "FaultPlan",

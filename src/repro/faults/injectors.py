@@ -22,13 +22,20 @@ import math
 from typing import Callable, Mapping
 
 from ..cluster.power_delivery import PowerNode
+from ..control.channel import LossyChannel
 from ..errors import FaultError, InjectionError
 from ..reliability.stability import DEFAULT_ERRORS_PER_CRASH, StabilityModel
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
 from ..telemetry.sensors import FaultySensor, SensorFault, SensorFaultMode
 from ..thermal.junction import JunctionModel
-from .plan import SENSOR_FAULT_KINDS, FaultKind, FaultPlan, FaultSpec
+from .plan import (
+    CHANNEL_FAULT_KINDS,
+    SENSOR_FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 from .timeline import FaultTimeline
 
 #: Timeline kinds derived from faults (not directly injectable).
@@ -415,6 +422,124 @@ class SensorFaultInjector(FaultInjector):
         campaign.simulator.after(delay, fire, name=f"fault:sensor:{spec.target}")
 
 
+class ChannelFaultInjector(FaultInjector):
+    """Breaks the actuation transport instead of hardware or telemetry.
+
+    One injector instance handles one control-plane
+    :class:`~repro.faults.plan.FaultKind` (use
+    :func:`register_channel_injectors` to cover all four at once). The
+    target names the controller→host *link*; at fire time the matching
+    :class:`~repro.control.channel.LossyChannel` override is set —
+    elevated drop probability, added delay, duplicate probability, or a
+    full partition — and cleared again after ``duration_s``.
+    ``magnitude`` follows the kind's meaning: a probability for drops
+    and duplicates, seconds for delays; partitions ignore it
+    (``duration_s == 0`` partitions until something calls ``heal``).
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        channels: Mapping[str, LossyChannel],
+        on_fault: Callable[[str, FaultSpec], None] | None = None,
+        on_clear: Callable[[str], None] | None = None,
+    ) -> None:
+        if kind not in CHANNEL_FAULT_KINDS:
+            raise InjectionError(f"{kind.value} is not a control-plane fault kind")
+        self.kind = kind
+        self.channels = dict(channels)
+        self.on_fault = on_fault
+        self.on_clear = on_clear
+
+    def _validate(self, spec: FaultSpec) -> None:
+        if self.kind is FaultKind.CMD_DROP and not 0.0 < spec.magnitude <= 1.0:
+            raise InjectionError("cmd-drop magnitude is a probability in (0, 1]")
+        if self.kind is FaultKind.CMD_DUPLICATE and not 0.0 < spec.magnitude < 1.0:
+            raise InjectionError("cmd-duplicate magnitude is a probability in (0, 1)")
+        if self.kind is FaultKind.CMD_DELAY and spec.magnitude <= 0.0:
+            raise InjectionError("cmd-delay magnitude is a positive delay in seconds")
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        self._validate(spec)
+        _lookup(self.channels, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            channel = _lookup(self.channels, spec.target, self.kind)
+            now = campaign.simulator.now
+            target = spec.target
+            if self.kind is FaultKind.CMD_PARTITION:
+                duration = spec.duration_s if spec.duration_s > 0 else None
+                channel.partition(target, duration)
+                detail = (
+                    f"for {spec.duration_s:.0f}s" if duration is not None else "until healed"
+                )
+            elif self.kind is FaultKind.CMD_DROP:
+                # p=1 is allowed (a total blackhole) even though baseline
+                # channel configs cap below 1 — that is the fault's point.
+                channel.set_drop(target, spec.magnitude)
+                detail = f"p={spec.magnitude:g}"
+            elif self.kind is FaultKind.CMD_DUPLICATE:
+                channel.set_duplicate(target, spec.magnitude)
+                detail = f"p={spec.magnitude:g}"
+            else:  # CMD_DELAY
+                channel.set_extra_delay(target, spec.magnitude)
+                detail = f"+{spec.magnitude:g}s"
+            campaign.timeline.record(now, spec.kind.value, target, detail)
+            if self.on_fault is not None:
+                self.on_fault(target, spec)
+            if spec.duration_s > 0 and self.kind is not FaultKind.CMD_PARTITION:
+
+                def clear() -> None:
+                    if self.kind is FaultKind.CMD_DROP:
+                        channel.clear_drop(target)
+                    elif self.kind is FaultKind.CMD_DUPLICATE:
+                        channel.clear_duplicate(target)
+                    else:
+                        channel.clear_extra_delay(target)
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, target, self.kind.value
+                    )
+                    if self.on_clear is not None:
+                        self.on_clear(target)
+
+                campaign.simulator.after(
+                    spec.duration_s, clear, name=f"fault:cmd-clear:{target}"
+                )
+            elif spec.duration_s > 0:
+                # The channel expires partitions lazily; record the heal
+                # eagerly so timelines carry the full fault window.
+
+                def healed() -> None:
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, target, "partition healed"
+                    )
+                    if self.on_clear is not None:
+                        self.on_clear(target)
+
+                campaign.simulator.after(
+                    spec.duration_s, healed, name=f"fault:cmd-heal:{target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:cmd:{spec.target}")
+
+
+def register_channel_injectors(
+    campaign: FaultCampaign,
+    channels: Mapping[str, LossyChannel],
+    on_fault: Callable[[str, FaultSpec], None] | None = None,
+    on_clear: Callable[[str], None] | None = None,
+) -> FaultCampaign:
+    """Register one :class:`ChannelFaultInjector` per control-plane kind."""
+    for kind in sorted(CHANNEL_FAULT_KINDS, key=lambda k: k.value):
+        campaign.register(
+            ChannelFaultInjector(kind, channels, on_fault=on_fault, on_clear=on_clear)
+        )
+    return campaign
+
+
 def register_sensor_injectors(
     campaign: FaultCampaign,
     sensors: Mapping[str, FaultySensor],
@@ -437,7 +562,9 @@ __all__ = [
     "ThermalExcursionInjector",
     "PowerTripInjector",
     "SensorFaultInjector",
+    "ChannelFaultInjector",
     "register_sensor_injectors",
+    "register_channel_injectors",
     "TJ_ALARM",
     "BREAKER_BREACH",
     "RECOVERED",

@@ -42,6 +42,19 @@ class FaultKind(Enum):
     SENSOR_LAG = "sensor-lag"
     #: Sensor spike: occasional ±``magnitude`` excursions.
     SENSOR_SPIKE = "sensor-spike"
+    #: Control-plane loss: the command link to ``target`` drops each
+    #: message with probability ``magnitude`` for ``duration_s``.
+    CMD_DROP = "cmd-drop"
+    #: Control-plane lag: every message to ``target`` is delayed by an
+    #: extra ``magnitude`` seconds for ``duration_s``.
+    CMD_DELAY = "cmd-delay"
+    #: Control-plane duplication: each message to ``target`` is delivered
+    #: twice with probability ``magnitude`` for ``duration_s``.
+    CMD_DUPLICATE = "cmd-duplicate"
+    #: Network partition: the command link to ``target`` is severed for
+    #: ``duration_s`` (0 = until explicitly healed); in-flight messages
+    #: and acks die with it.
+    CMD_PARTITION = "cmd-partition"
 
 
 #: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
@@ -53,6 +66,17 @@ SENSOR_FAULT_KINDS: frozenset[FaultKind] = frozenset(
         FaultKind.SENSOR_NOISE,
         FaultKind.SENSOR_LAG,
         FaultKind.SENSOR_SPIKE,
+    }
+)
+
+#: The control-plane subset of :class:`FaultKind` (actuation transport
+#: misbehaviour rather than component or telemetry failure).
+CHANNEL_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.CMD_DROP,
+        FaultKind.CMD_DELAY,
+        FaultKind.CMD_DUPLICATE,
+        FaultKind.CMD_PARTITION,
     }
 )
 
@@ -132,4 +156,10 @@ class FaultPlan:
         return "\n".join(lines)
 
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "SENSOR_FAULT_KINDS"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "SENSOR_FAULT_KINDS",
+    "CHANNEL_FAULT_KINDS",
+]

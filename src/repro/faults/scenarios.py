@@ -226,6 +226,18 @@ def _host_failure(seed: int) -> str:
     return format_failure_recovery(run_failure_recovery(seed=seed))
 
 
+def _partition(seed: int) -> str:
+    """A severed command link: naive vs robust actuation (see
+    :mod:`repro.experiments.partition_recovery`)."""
+    # Imported lazily, mirroring _host_failure.
+    from ..experiments.partition_recovery import (
+        format_partition_recovery,
+        run_partition_recovery,
+    )
+
+    return format_partition_recovery(run_partition_recovery(seed=seed))
+
+
 def _degraded_telemetry(seed: int) -> str:
     """Sensor faults masking a coolant excursion: naive vs fail-safe
     control (see :mod:`repro.experiments.degraded_telemetry`)."""
@@ -274,6 +286,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "degraded-telemetry",
             "Sensor faults masking a coolant excursion: naive vs fail-safe guard",
             _degraded_telemetry,
+        ),
+        ScenarioSpec(
+            "partition",
+            "Severed command link: naive vs robust actuation (lease, reconcile)",
+            _partition,
         ),
     )
 }

@@ -86,13 +86,25 @@ class SafetySupervisor:
         self.rearm_events = 0
         self.ticks_observed = 0
         self.ticks_degraded = 0
+        # Actuation-path health (fed by observe_actuation): an open
+        # circuit breaker is tracked with its own streaks so a healthy
+        # telemetry tick cannot mask a dark actuation path.
+        self._actuation_suspect = 0
+        self._actuation_clean = 0
+        self._actuation_degraded = False
+        self.actuation_degrade_events = 0
 
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
     @property
     def degraded(self) -> bool:
-        return self.state is SafetyState.DEGRADED
+        """True when either telemetry or actuation health has tripped."""
+        return self.state is SafetyState.DEGRADED or self._actuation_degraded
+
+    @property
+    def actuation_degraded(self) -> bool:
+        return self._actuation_degraded
 
     def observe(self, reading: FusedReading) -> SafetyState:
         """Fold one control tick's fused reading into the state machine."""
@@ -130,6 +142,44 @@ class SafetySupervisor:
             f"{reasons}); holding base frequency until "
             f"{self.config.rearm_clean_samples} clean sample(s)"
         )
+
+    def observe_actuation(self, time_s: float, open_breakers: int) -> bool:
+        """Fold the actuation path's health into the fail-safe decision.
+
+        An open circuit breaker means commands to that host are not
+        landing — the controller is exactly as blind as it would be on
+        lost telemetry, so the same hysteresis applies:
+        ``max_suspect_ticks`` consecutive ticks with any breaker open
+        trip the supervisor (:attr:`degraded` goes True and overclock
+        grants stop), and ``rearm_clean_samples`` consecutive clean
+        ticks re-arm it. Returns the actuation-degraded flag.
+        """
+        if open_breakers > 0:
+            self._actuation_clean = 0
+            if not self._actuation_degraded:
+                self._actuation_suspect += 1
+                if self._actuation_suspect >= self.config.max_suspect_ticks:
+                    self._actuation_degraded = True
+                    self._actuation_suspect = 0
+                    self.degrade_events += 1
+                    self.actuation_degrade_events += 1
+                    self.last_condition = TelemetryDegraded(
+                        f"actuation degraded at t={time_s:.1f}s "
+                        f"({open_breakers} open circuit breaker(s)); holding "
+                        f"base frequency until {self.config.rearm_clean_samples} "
+                        f"clean tick(s)"
+                    )
+        else:
+            self._actuation_suspect = 0
+            if self._actuation_degraded:
+                self._actuation_clean += 1
+                if self._actuation_clean >= self.config.rearm_clean_samples:
+                    self._actuation_degraded = False
+                    self._actuation_clean = 0
+                    self.rearm_events += 1
+                    if self.state is SafetyState.ARMED:
+                        self.last_condition = None
+        return self._actuation_degraded
 
     def poll(self, time_s: float) -> FusedReading:
         """Sample the attached fusion and observe the result."""

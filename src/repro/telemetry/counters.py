@@ -16,7 +16,7 @@ supplied by the hypervisor scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from ..errors import WorkloadError
 from ..units import ghz_to_mhz
@@ -114,4 +114,62 @@ class CoreCounters:
         )
 
 
-__all__ = ["CoreCounters", "CounterSnapshot", "CounterDelta"]
+@dataclass
+class ControlPlaneCounters:
+    """Actuation-path health counters (the command bus's vital signs).
+
+    One instance is shared by a :class:`~repro.control.bus.CommandBus`,
+    its :class:`~repro.control.bus.HostAgent` endpoints, and the
+    :class:`~repro.control.reconcile.Reconciler`, so a single object
+    answers "how unreliable was actuation this run" — the control-plane
+    analogue of the Aperf/Pperf counters above.
+    """
+
+    #: Logical commands issued by the controller (retries not included).
+    commands_sent: int = 0
+    #: Physical send attempts (first sends + retries).
+    attempts: int = 0
+    #: Acks that made it back to the controller.
+    acks: int = 0
+    #: Re-sends after an ack timeout or a breaker fast-fail.
+    retries: int = 0
+    #: Attempts whose ack never arrived within the timeout.
+    timeouts: int = 0
+    #: Commands that exhausted every attempt without an ack.
+    failures: int = 0
+    #: Sends rejected locally because the host's breaker was open.
+    breaker_fast_fails: int = 0
+    #: Breaker trips (closed/half-open → open) across all hosts.
+    breaker_opens: int = 0
+    #: Duplicate deliveries absorbed by host-side idempotency keys.
+    dedup_hits: int = 0
+    #: Deliveries rejected as stale (superseded by a newer sequence).
+    stale_rejects: int = 0
+    #: Hosts that reverted to base frequency on a missed-heartbeat lease.
+    lease_expiries: int = 0
+    #: Drift repairs issued by the reconciliation loop.
+    reconcile_repairs: int = 0
+
+    def merge(self, other: "ControlPlaneCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no control-plane activity)"
+
+
+__all__ = [
+    "CoreCounters",
+    "CounterSnapshot",
+    "CounterDelta",
+    "ControlPlaneCounters",
+]

@@ -22,7 +22,7 @@ from repro.errors import (
     PlacementError,
     PowerBudgetExceeded,
 )
-from repro.silicon import B2, OC1, OCP_BLADE_8168
+from repro.silicon import OC1, OCP_BLADE_8168
 from repro.thermal import DIRECT_EVAPORATIVE, TWO_PHASE_IMMERSION
 
 
@@ -216,6 +216,50 @@ class TestFleet:
         with pytest.raises(ConfigurationError):
             fleet.fail_host("h0")
 
+    def test_failover_recreates_in_flight_deploys(self):
+        """VMs still CREATING when their host dies are displaced too.
+
+        A deploy that has not reached RUNNING is still customer state —
+        the failover path must re-create it on a survivor exactly like a
+        running VM, not silently drop it because it never booted.
+        """
+        fleet = Fleet([make_host(f"h{i}", ratio=1.2) for i in range(3)], buffer_hosts=0)
+        running = VMInstance("vm-running", VMSpec(4, 8.0))
+        running.mark_running(5.0)
+        in_flight = VMInstance("vm-creating", VMSpec(4, 8.0))
+        assert in_flight.state is VMState.CREATING and in_flight.is_active
+        fleet.host_by_id("h0").place(running)
+        fleet.host_by_id("h0").place(in_flight)
+
+        outcome = fleet.fail_host("h0")
+        assert outcome.recreated_vms == 2
+        assert outcome.lost_vms == 0
+        survivors = [h for h in fleet.hosts if h.host_id != "h0"]
+        recreated_ids = {vm.vm_id for host in survivors for vm in host.vms}
+        assert recreated_ids == {"vm-running", "vm-creating"}
+
+    def test_failover_ignores_deleted_vms(self):
+        """Only active VMs are displaced; deleted ones stay dead."""
+        fleet = Fleet([make_host(f"h{i}") for i in range(2)], buffer_hosts=0)
+        dead = VMInstance("vm-dead", VMSpec(4, 8.0))
+        dead.mark_running(1.0)
+        fleet.host_by_id("h0").place(dead)
+        dead.mark_deleted(2.0)
+        outcome = fleet.fail_host("h0")
+        assert outcome.recreated_vms == 0
+        assert outcome.lost_vms == 0
+
+    def test_failover_counts_lost_vms_when_survivors_full(self):
+        """With survivors packed solid, displaced VMs are lost, not hung."""
+        fleet = Fleet([make_host(f"h{i}") for i in range(2)], buffer_hosts=0)
+        fleet.host_by_id("h1").place(VMInstance("full", VMSpec(28, 28.0)))
+        doomed = VMInstance("vm-doomed", VMSpec(4, 8.0))
+        fleet.host_by_id("h0").place(doomed)
+        outcome = fleet.fail_host("h0")
+        assert outcome.recreated_vms == 0
+        assert outcome.lost_vms == 1
+        assert outcome.overclocked_hosts == ()
+
 
 class TestCapacityCrisis:
     def test_gap_bridged_by_overclocking(self):
@@ -237,6 +281,33 @@ class TestCapacityCrisis:
         plan = bridge_capacity_gap(hosts, demand_vcores=supply + 50)
         assert not plan.fully_bridged
         assert plan.hosts_overclocked == 0
+
+    def test_partial_bridge_reports_not_fully_bridged(self):
+        """A gap larger than the whole fleet's overclock headroom: every
+        host overclocks, yet the plan must still say fully_bridged=False
+        and report exactly how much capacity it did reclaim."""
+        hosts = [make_host(f"h{i}") for i in range(3)]
+        supply = sum(h.vcore_capacity for h in hosts)
+        headroom = sum(int(h.spec.pcores * 0.2) for h in hosts)
+        plan = bridge_capacity_gap(hosts, demand_vcores=supply + headroom + 10)
+        assert not plan.fully_bridged
+        assert plan.hosts_overclocked == len(hosts)
+        assert plan.bridged_vcores == headroom
+        assert plan.gap_vcores == headroom + 10
+        for host in hosts:
+            assert host.is_overclocked
+
+    def test_unit_extra_ratio_bridges_nothing(self):
+        """extra_ratio 1.0 reclaims zero vcores, so nothing overclocks."""
+        hosts = [make_host(f"h{i}") for i in range(2)]
+        supply = sum(h.vcore_capacity for h in hosts)
+        plan = bridge_capacity_gap(
+            hosts, demand_vcores=supply + 5, extra_ratio_when_overclocked=1.0
+        )
+        assert not plan.fully_bridged
+        assert plan.hosts_overclocked == 0
+        assert plan.bridged_vcores == 0
+        assert isinstance(plan, CapacityGapPlan)
 
 
 class TestPowerCap:

@@ -1,0 +1,569 @@
+"""Tests for the control plane: retry policy, breaker, channel, bus,
+dead-man lease, and the reconciliation loop."""
+
+import pytest
+
+from repro.control import (
+    ActuationLink,
+    BreakerState,
+    ChannelConfig,
+    CircuitBreaker,
+    CommandBus,
+    CommandKind,
+    HostAgent,
+    LossyChannel,
+    Reconciler,
+    RetryPolicy,
+)
+from repro.control.retry import COMMAND_RETRIES, ENGINE_POOL_RETRIES
+from repro.engine import SweepEngine
+from repro.errors import ConfigurationError, ControlError
+from repro.sim import Simulator
+from repro.telemetry.counters import ControlPlaneCounters
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy (shared by the bus and the sweep engine)
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.1, backoff_factor=2.0, max_delay_s=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(5) == pytest.approx(0.5)
+        assert policy.max_retries == 5
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_s(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.0)
+
+    def test_jitter_is_deterministic_in_seed_key_attempt(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.25)
+        first = policy.jittered_backoff_s(2, seed=7, key="cmd:a")
+        again = policy.jittered_backoff_s(2, seed=7, key="cmd:a")
+        assert first == again  # bit-identical, not merely close
+        assert policy.schedule(seed=7, key="cmd:a") == policy.schedule(seed=7, key="cmd:a")
+
+    def test_jitter_varies_with_key_and_stays_bounded(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.25)
+        delays = {policy.jittered_backoff_s(1, seed=7, key=f"cmd:{i}") for i in range(16)}
+        assert len(delays) > 1  # different keys decorrelate
+        for delay in delays:
+            assert 0.75 <= delay <= 1.25
+
+    def test_zero_jitter_returns_nominal(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.5)
+        assert policy.jittered_backoff_s(2, seed=99, key="x") == policy.backoff_s(2)
+
+    def test_schedule_length_matches_retry_budget(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1)
+        assert len(policy.schedule()) == 3
+
+
+class TestEnginePolicyBridge:
+    """The sweep engine now speaks the shared RetryPolicy."""
+
+    def test_legacy_args_derive_a_policy(self):
+        engine = SweepEngine(max_pool_failures=2, retry_backoff_s=0.25)
+        assert engine.retry_policy.max_attempts == 2
+        assert engine.retry_policy.base_delay_s == pytest.approx(0.25)
+
+    def test_explicit_policy_overrides_legacy_args(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01)
+        engine = SweepEngine(retry_policy=policy)
+        assert engine.retry_policy is policy
+        assert engine.max_pool_failures == 5
+        assert engine.retry_backoff_s == pytest.approx(0.01)
+
+    def test_defaults_match_the_published_constant(self):
+        engine = SweepEngine()
+        assert engine.retry_policy.max_attempts == ENGINE_POOL_RETRIES.max_attempts
+        assert engine.retry_policy.base_delay_s == ENGINE_POOL_RETRIES.base_delay_s
+
+    def test_command_retries_jitter_on(self):
+        assert COMMAND_RETRIES.jitter_fraction > 0.0
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, open_duration_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.is_open
+        assert breaker.opens == 1
+        assert not breaker.allow(5.0)  # still cooling down
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, open_duration_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_duration_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # cool-down over: the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(10.0)  # second caller waits on the probe
+        assert breaker.probes == 1
+
+    def test_probe_success_recloses(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_duration_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.closes == 1
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_duration_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)
+        breaker.record_failure(10.5)
+        assert breaker.is_open
+        assert breaker.opens == 2
+        assert not breaker.allow(20.0)  # new cool-down runs from t=10.5
+        assert breaker.allow(20.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(open_duration_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# LossyChannel
+# ----------------------------------------------------------------------
+def _count_deliveries(channel, target, sends):
+    landed = []
+    for index in range(sends):
+        channel.deliver(target, lambda i=index: landed.append(i))
+    return landed
+
+
+class TestLossyChannel:
+    def test_perfect_by_default(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        landed = _count_deliveries(channel, "h0", 10)
+        sim.run(until=1.0)
+        assert landed == list(range(10))
+        assert channel.dropped == 0
+
+    def test_drop_schedule_is_seed_deterministic(self):
+        def drops_for(seed):
+            sim = Simulator(seed=seed)
+            channel = LossyChannel(sim, seed=seed)
+            channel.set_drop("h0", 0.5)
+            landed = _count_deliveries(channel, "h0", 40)
+            sim.run(until=1.0)
+            return tuple(landed)
+
+        assert drops_for(7) == drops_for(7)  # same seed, same schedule
+        assert drops_for(7) != drops_for(8)  # reseeding re-rolls it
+        assert 0 < len(drops_for(7)) < 40  # p=0.5 actually bites
+
+    def test_total_drop_override_eats_everything(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        channel.set_drop("h0", 1.0)  # injector-only severity
+        landed = _count_deliveries(channel, "h0", 5)
+        sim.run(until=1.0)
+        assert landed == []
+        assert channel.dropped == 5
+        channel.clear_drop("h0")
+        assert channel.deliver("h0", lambda: None)
+
+    def test_partition_eats_at_send_and_in_flight(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(
+            sim, seed=1, config=ChannelConfig(min_delay_s=1.0, max_delay_s=1.0)
+        )
+        landed = []
+        # In flight when the partition opens at t=0.5: dies mid-air.
+        channel.deliver("h0", lambda: landed.append("first"))
+        sim.after(0.5, lambda: channel.partition("h0", duration_s=10.0))
+        # Sent during the partition: refused at the send side.
+        sim.after(1.0, lambda: channel.deliver("h0", lambda: landed.append("second")))
+        sim.run(until=5.0)
+        assert landed == []
+        assert channel.dropped == 2
+
+    def test_partition_expires_lazily_and_heals_early(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        channel.partition("h0", duration_s=5.0)
+        assert channel.is_partitioned("h0")
+        channel.heal("h0")
+        assert not channel.is_partitioned("h0")
+        channel.partition("h1")  # no duration: severed until healed
+        sim.run(until=100.0)
+        assert channel.is_partitioned("h1")
+
+    def test_duplicate_delivers_twice(self):
+        sim = Simulator(seed=3)
+        channel = LossyChannel(sim, seed=3)
+        channel.set_duplicate("h0", 0.99)
+        landed = _count_deliveries(channel, "h0", 10)
+        sim.run(until=1.0)
+        assert len(landed) > 10
+        assert channel.duplicated == len(landed) - 10
+
+    def test_extra_delay_defers_delivery(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        channel.set_extra_delay("h0", 2.5)
+        arrived = []
+        channel.deliver("h0", lambda: arrived.append(sim.now))
+        sim.run(until=10.0)
+        assert arrived == [pytest.approx(2.5)]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(min_delay_s=2.0, max_delay_s=1.0)
+        channel = LossyChannel(Simulator(seed=1), seed=1)
+        with pytest.raises(ConfigurationError):
+            channel.set_drop("h0", 1.5)
+        with pytest.raises(ConfigurationError):
+            channel.set_duplicate("h0", 1.0)
+        with pytest.raises(ConfigurationError):
+            channel.set_extra_delay("h0", -1.0)
+
+
+# ----------------------------------------------------------------------
+# CommandBus + HostAgent
+# ----------------------------------------------------------------------
+def make_bus(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    channel = LossyChannel(sim, seed=seed)
+    bus = CommandBus(sim, channel, seed=seed, **kwargs)
+    applied = []
+    agent = HostAgent(
+        sim,
+        "h0",
+        channel,
+        base_frequency_ghz=3.4,
+        apply_frequency=lambda freq: applied.append((sim.now, freq)),
+        counters=bus.counters,
+    )
+    bus.attach(agent)
+    return sim, channel, bus, agent, applied
+
+
+class TestCommandBus:
+    def test_clean_delivery_applies_and_acks(self):
+        sim, _, bus, agent, applied = make_bus()
+        acks = []
+        bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1, on_applied=acks.append)
+        sim.run(until=1.0)
+        assert applied == [(0.0, 4.1)]
+        assert agent.frequency_ghz == pytest.approx(4.1)
+        assert len(acks) == 1
+        assert acks[0].frequency_ghz == pytest.approx(4.1)  # piggybacked state
+        assert bus.counters.acks == 1
+        assert bus.in_flight == 0
+
+    def test_unknown_target_fails_fast(self):
+        _, _, bus, _, _ = make_bus()
+        with pytest.raises(ControlError):
+            bus.send(CommandKind.HEARTBEAT, "nope")
+
+    def test_duplicate_attach_rejected(self):
+        sim, channel, bus, agent, _ = make_bus()
+        with pytest.raises(ConfigurationError):
+            bus.attach(agent)
+
+    def test_dedup_applies_once_but_reacks(self):
+        sim, _, bus, agent, applied = make_bus()
+        command = bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+        sim.run(until=1.0)
+        agent.receive(command)  # a duplicated/retried delivery
+        sim.run(until=2.0)
+        assert applied == [(0.0, 4.1)]  # applied exactly once
+        assert bus.counters.dedup_hits == 1
+
+    def test_stale_set_frequency_rejected(self):
+        sim, _, bus, agent, applied = make_bus()
+        from repro.control.bus import Command
+
+        agent.receive(
+            Command(CommandKind.SET_FREQUENCY, "h0", "k5", sequence=5, payload=4.1)
+        )
+        agent.receive(
+            Command(CommandKind.SET_FREQUENCY, "h0", "k3", sequence=3, payload=3.9)
+        )
+        assert agent.frequency_ghz == pytest.approx(4.1)  # old command ignored
+        assert bus.counters.stale_rejects == 1
+        assert [freq for _, freq in applied] == [4.1]
+
+    def test_retries_survive_a_transient_drop_window(self):
+        sim, channel, bus, agent, applied = make_bus(
+            retry_policy=RetryPolicy(max_attempts=5, base_delay_s=2.0)
+        )
+        channel.set_drop("h0", 1.0)
+        sim.after(3.0, lambda: channel.clear_drop("h0"))
+        bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+        sim.run(until=30.0)
+        # The first send fell into the drop window; a retry landed it.
+        # (With no heartbeats in this test, the dead-man lease later
+        # reverts the host to base — by design, not a delivery failure.)
+        assert applied[0] == (pytest.approx(3.0), 4.1)
+        assert bus.counters.retries >= 1
+        assert bus.counters.timeouts >= 1
+        assert bus.counters.failures == 0
+
+    def test_exhausted_retry_budget_reports_failure(self):
+        sim, channel, bus, _, _ = make_bus(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_s=1.0),
+            breaker_threshold=10**6,
+        )
+        channel.partition("h0")  # never heals
+        failures = []
+        bus.send(
+            CommandKind.SET_FREQUENCY,
+            "h0",
+            4.1,
+            on_failed=lambda command, reason: failures.append(reason),
+        )
+        sim.run(until=60.0)
+        assert failures == ["ack-timeout"]
+        assert bus.counters.failures == 1
+        assert bus.in_flight == 0
+
+    def test_heartbeats_are_fire_and_forget(self):
+        sim, channel, bus, _, _ = make_bus(breaker_threshold=10**6)
+        channel.partition("h0")
+        bus.send(CommandKind.HEARTBEAT, "h0")
+        sim.run(until=60.0)
+        assert bus.counters.retries == 0  # one send, no retry budget spent
+        assert bus.counters.failures == 1
+
+    def test_dark_host_opens_the_breaker_and_fast_fails(self):
+        sim, channel, bus, _, _ = make_bus(
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=3,
+            breaker_open_s=30.0,
+        )
+        channel.partition("h0")
+        for _ in range(4):
+            bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+            sim.run(until=sim.now + 5.0)
+        assert bus.open_breakers == ("h0",)
+        assert bus.counters.breaker_opens >= 1
+        assert bus.counters.breaker_fast_fails >= 1
+
+    def test_breaker_recloses_after_heal(self):
+        sim, channel, bus, agent, _ = make_bus(
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=2,
+            breaker_open_s=10.0,
+        )
+        channel.partition("h0", duration_s=15.0)
+        for _ in range(3):
+            bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+            sim.run(until=sim.now + 5.0)
+        assert bus.open_breakers == ("h0",)
+        # Past the heal + cool-down, the next command is the probe that
+        # re-closes the breaker.
+        sim.run(until=40.0)
+        bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+        sim.run(until=45.0)
+        assert bus.open_breakers == ()
+        assert agent.frequency_ghz == pytest.approx(4.1)
+
+
+class TestDeadManLease:
+    def test_partitioned_overclocked_host_reverts_within_the_bound(self):
+        sim, channel, bus, agent, applied = make_bus()
+        expired = []
+        agent.on_lease_expired = expired.append
+        sim.every(3.0, lambda: bus.send(CommandKind.HEARTBEAT, "h0"))
+        sim.after(10.0, lambda: bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1))
+        sim.after(50.0, lambda: channel.partition("h0"))
+        sim.run(until=100.0)
+        assert agent.frequency_ghz == pytest.approx(3.4)  # reverted to base
+        assert agent.lease_expiries == 1
+        assert expired == ["h0"]
+        revert_time = next(t for t, freq in applied if freq == pytest.approx(3.4))
+        # Bound: lease_misses missed heartbeats plus one check tick.
+        assert revert_time <= 50.0 + (agent.lease_misses + 1) * agent.heartbeat_interval_s
+
+    def test_lease_never_fires_at_base_frequency(self):
+        sim, channel, _, agent, _ = make_bus()
+        channel.partition("h0")  # silence from t=0, but never overclocked
+        sim.run(until=100.0)
+        assert agent.lease_expiries == 0
+
+    def test_any_command_renews_the_lease(self):
+        sim, _, bus, agent, _ = make_bus()
+        sim.after(1.0, lambda: bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1))
+        # No heartbeats at all — but a steady drip of other commands.
+        sim.every(5.0, lambda: bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1), start_after=5.0)
+        sim.run(until=60.0)
+        assert agent.lease_expiries == 0
+        assert agent.is_overclocked
+
+    def test_agent_validation(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        with pytest.raises(ConfigurationError):
+            HostAgent(sim, "h0", channel, base_frequency_ghz=0.0)
+        with pytest.raises(ConfigurationError):
+            HostAgent(sim, "h0", channel, base_frequency_ghz=3.4, lease_misses=0)
+        with pytest.raises(ConfigurationError):
+            HostAgent(sim, "h0", channel, base_frequency_ghz=3.4, heartbeat_interval_s=0.0)
+
+    def test_agent_without_vm_hooks_rejects_deploys(self):
+        sim, _, bus, agent, _ = make_bus()
+        from repro.control.bus import Command
+
+        with pytest.raises(ControlError):
+            agent.receive(
+                Command(CommandKind.DEPLOY_VM, "h0", "k1", sequence=1, payload="vm-1")
+            )
+
+
+# ----------------------------------------------------------------------
+# Reconciler
+# ----------------------------------------------------------------------
+def make_link(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    defaults = dict(
+        retry_policy=RetryPolicy(max_attempts=1),  # reconciler does the work
+        heartbeat_interval_s=3.0,
+        lease_misses=10**6,  # isolate reconciliation from the lease
+        reconcile_interval_s=10.0,
+        breaker_threshold=3,
+        breaker_open_s=20.0,
+    )
+    defaults.update(kwargs)
+    link = ActuationLink(sim, seed=seed, **defaults)
+    applied = {}
+    deployed = []
+    for host_id in ("h0", "h1"):
+        link.add_host(
+            host_id,
+            base_frequency_ghz=3.4,
+            apply_frequency=lambda freq, h=host_id: applied.setdefault(h, []).append(
+                (sim.now, freq)
+            ),
+            deploy_vm=lambda token: deployed.append((sim.now, token)),
+        )
+    return sim, link, applied, deployed
+
+
+class TestReconciler:
+    def test_healthy_link_needs_no_repairs(self):
+        sim, link, applied, _ = make_link()
+        sim.every(3.0, link.heartbeat)
+        sim.after(5.0, lambda: link.set_frequency(4.1))
+        sim.run(until=60.0)
+        assert link.counters.reconcile_repairs == 0
+        assert [freq for _, freq in applied["h0"]] == [4.1]
+
+    def test_lost_frequency_command_is_reasserted_after_heal(self):
+        sim, link, applied, _ = make_link()
+        sim.every(3.0, link.heartbeat)
+        link.channel.partition("h0", duration_s=40.0)
+        sim.after(5.0, lambda: link.set_frequency(4.1, hosts=("h0",)))
+        sim.run(until=120.0)
+        # The single fire-and-forget send died in the partition; only the
+        # reconciliation loop can have landed the frequency.
+        assert link.agent("h0").frequency_ghz == pytest.approx(4.1)
+        assert link.counters.reconcile_repairs >= 1
+
+    def test_lost_deploy_is_reissued_until_confirmed(self):
+        sim, link, _, deployed = make_link()
+        sim.every(3.0, link.heartbeat)
+        link.channel.partition("h1", duration_s=30.0)
+        sim.after(5.0, lambda: link.deploy_vm("vm-a", "h1"))
+        sim.run(until=120.0)
+        assert [token for _, token in deployed] == ["vm-a"]  # exactly once
+        assert link.reconciler.pending_deploys == ()
+
+    def test_retired_deploys_are_not_repaired(self):
+        sim, link, _, deployed = make_link()
+        sim.every(3.0, link.heartbeat)
+        link.channel.partition("h1", duration_s=30.0)
+        sim.after(5.0, lambda: link.deploy_vm("vm-a", "h1"))
+        sim.after(10.0, lambda: link.retire_vm("vm-a", "h1"))
+        sim.run(until=120.0)
+        assert deployed == []  # wanted-set emptied before the link healed
+        assert link.reconciler.pending_deploys == ()
+
+    def test_open_breaker_defers_repairs(self):
+        sim, link, _, _ = make_link()
+        sim.every(3.0, link.heartbeat)
+        link.channel.partition("h0")  # never heals
+        sim.after(5.0, lambda: link.set_frequency(4.1, hosts=("h0",)))
+        sim.run(until=25.0)
+        assert link.bus.breaker_for("h0").is_open
+        repairs_while_open = link.counters.reconcile_repairs
+        sim.run(until=28.0)  # one more tick inside the cool-down window
+        assert link.counters.reconcile_repairs == repairs_while_open
+
+    def test_validation(self):
+        sim = Simulator(seed=1)
+        channel = LossyChannel(sim, seed=1)
+        bus = CommandBus(sim, channel)
+        with pytest.raises(ConfigurationError):
+            Reconciler(sim, bus, interval_s=0.0)
+
+
+class TestActuationLink:
+    def test_set_frequency_fans_out_to_all_hosts(self):
+        sim, link, applied, _ = make_link()
+        link.set_frequency(4.1)
+        sim.run(until=5.0)
+        assert [freq for _, freq in applied["h0"]] == [4.1]
+        assert [freq for _, freq in applied["h1"]] == [4.1]
+        assert link.hosts == ("h0", "h1")
+
+    def test_unknown_host_rejected(self):
+        _, link, _, _ = make_link()
+        with pytest.raises(ConfigurationError):
+            link.agent("h9")
+        with pytest.raises(ConfigurationError):
+            link.set_frequency(4.1, hosts=("h9",))
+
+    def test_shared_counters_and_lease_rollup(self):
+        sim, link, _, _ = make_link(lease_misses=3)
+        sim.every(3.0, link.heartbeat)
+        link.set_frequency(4.1)
+        sim.after(5.0, lambda: link.channel.partition("h0"))
+        sim.run(until=60.0)
+        assert link.lease_expiries == link.agent("h0").lease_expiries == 1
+        assert isinstance(link.counters, ControlPlaneCounters)
+        assert link.counters.lease_expiries == 1
+
+    def test_counters_describe_merges(self):
+        first = ControlPlaneCounters(commands_sent=2, acks=1)
+        second = ControlPlaneCounters(commands_sent=3, retries=4)
+        first.merge(second)
+        assert first.commands_sent == 5
+        assert first.retries == 4
+        assert "commands-sent=5" in first.describe()
+        assert ControlPlaneCounters().describe() == "(no control-plane activity)"

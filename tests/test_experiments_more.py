@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
 from repro.experiments.environment import FC_LOOP, HFE_LOOP, HOT_CLIMATE, run_wue
 from repro.experiments.packing_churn import replay_trace, run_packing_churn
 from repro.experiments.highperf_vms import format_fig9, format_fig10, format_fig11

@@ -13,7 +13,6 @@ from repro.thermal import (
     ClimateProfile,
     CondenserLoop,
     DryCooler,
-    ImmersedLoad,
     annual_vapor_budget,
     annual_water_use_liters,
     escaped_vapor_grams,

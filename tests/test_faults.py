@@ -368,6 +368,7 @@ class TestScenarios:
             "thermal-excursion",
             "power-trip",
             "degraded-telemetry",
+            "partition",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

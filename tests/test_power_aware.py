@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.autoscale import FrequencyGrant, FrequencyRequest, PowerBudgetCoordinator
+from repro.autoscale import FrequencyRequest, PowerBudgetCoordinator
 from repro.errors import ConfigurationError, PowerBudgetExceeded
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import (
     Host,
     PowerCapGovernor,
-    PowerDeliveryTree,
     PowerNode,
     VMInstance,
     VMSpec,

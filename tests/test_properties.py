@@ -5,7 +5,6 @@ conservation laws and monotonicities the models must obey regardless of
 parameters.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.silicon import B1, B2, B3, B4, OC1, OC2, OC3
+from repro.silicon import B1, B2, B3, B4, OC1, OC3
 from repro.silicon.gpu import GPU_BASE, OCG1, OCG2, OCG3
 from repro.workloads import stream, vgg
 

@@ -19,7 +19,6 @@ from repro.thermal import (
     TWO_PHASE_IMMERSION,
     BECPlacement,
     ImmersedLoad,
-    ImmersionTank,
     JunctionModel,
     ThermalChamber,
     air_junction_model,
