@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety test-control lint bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control test-emergency lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -35,6 +35,18 @@ test-control:
 	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_control.py \
 		tests/test_partition_recovery.py -q
+
+# Emergency suite: the facility fault models, the degradation ladder,
+# and the heat-wave ride-through acceptance contract (naive trips
+# Tjmax, laddered rides through with zero violations and a bounded
+# overclock restore; signatures bit-identical) over the
+# REPRO_CHAOS_SEEDS matrix, under the same faulthandler watchdog as
+# test-chaos.
+test-emergency:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_emergency.py \
+		tests/test_heatwave_ride_through.py -q
 
 lint:
 	ruff check src tests benchmarks

@@ -96,6 +96,9 @@ class AutoScalerResult:
     telemetry_degraded_ticks: int = 0
     #: Times the safety supervisor tripped and forced a de-rate.
     telemetry_derates: int = 0
+    #: Control ticks spent under a declared facility emergency (no
+    #: scale-up, no overclock, no recovery boosts).
+    facility_emergency_ticks: int = 0
     #: Actuation commands that exhausted every retry without an ack.
     actuation_failures: int = 0
     #: Command re-sends after ack timeouts or breaker fast-fails.
@@ -150,6 +153,7 @@ class AutoScaler:
         self.safety = safety
         self.telemetry_degraded_ticks = 0
         self.telemetry_derates = 0
+        self.facility_emergency_ticks = 0
         #: Unreliable actuation path (None = perfect, instantaneous).
         #: While attached, ``_frequency_ghz`` is the controller's
         #: *desired* frequency; serving VMs change speed only when the
@@ -457,10 +461,17 @@ class AutoScaler:
         #    base frequency and suspend scale-in (capacity may only grow)
         #    until the supervisor re-arms on clean samples.
         degraded = False
+        facility_emergency = False
         if self.safety is not None:
             if self.safety.fusion is not None:
                 self.safety.poll(now)
             degraded = self.safety.degraded
+            facility_emergency = getattr(self.safety, "facility_emergency", False)
+        if facility_emergency:
+            # A cooling-plant emergency: adding load is the one thing the
+            # facility cannot absorb right now, so scale-out stops too
+            # (degraded-mode rules below already stop boosts/overclock).
+            self.facility_emergency_ticks += 1
         if degraded:
             self.telemetry_degraded_ticks += 1
             if self._frequency_ghz > self.policy.min_frequency_ghz:
@@ -469,7 +480,11 @@ class AutoScaler:
 
         # 3. Scale-out/in on the slow signal.
         if self.policy.enable_scale_out:
-            self._scale_out_in(long_util, allow_scale_in=not degraded)
+            self._scale_out_in(
+                long_util,
+                allow_scale_in=not degraded,
+                allow_scale_out=not facility_emergency,
+            )
 
         # 4. Frequency control (suppressed entirely while degraded).
         if degraded:
@@ -487,9 +502,15 @@ class AutoScaler:
             else:
                 self._apply_frequency(self.policy.min_frequency_ghz)
 
-    def _scale_out_in(self, long_util: float, allow_scale_in: bool = True) -> None:
+    def _scale_out_in(
+        self,
+        long_util: float,
+        allow_scale_in: bool = True,
+        allow_scale_out: bool = True,
+    ) -> None:
         if (
-            long_util > self.policy.scale_out_threshold
+            allow_scale_out
+            and long_util > self.policy.scale_out_threshold
             and not self._scale_out_in_flight
             and self.provisioned_vm_count < self.policy.max_vms
             and self._sim.now - self._last_scale_out_at >= self.policy.scale_out_cooldown_s
@@ -592,6 +613,7 @@ class AutoScaler:
             recovery_boosts=self.recovery_boosts,
             telemetry_degraded_ticks=self.telemetry_degraded_ticks,
             telemetry_derates=self.telemetry_derates,
+            facility_emergency_ticks=self.facility_emergency_ticks,
             actuation_failures=(
                 self.actuation.counters.failures if self.actuation is not None else 0
             ),

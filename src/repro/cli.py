@@ -14,11 +14,14 @@ Usage::
     python -m repro sweep autoscaler --workers 3 --no-cache
 
     python -m repro faults              # list the fault scenarios
+    python -m repro faults --list       # every fault kind and scenario
     python -m repro faults host-failure --seed 7
     python -m repro faults all
 
     python -m repro partition --seed 7  # naive vs robust actuation under
                                         # a seeded network partition
+    python -m repro heatwave --seed 7   # facility emergency: naive trip-out
+                                        # vs the staged degradation ladder
 
 Modelling errors (:class:`~repro.errors.ReproError`) exit with status 2
 and a one-line message; pass ``--debug`` to get the full traceback.
@@ -37,6 +40,7 @@ from .experiments import (
     degraded_telemetry,
     environment,
     failure_recovery,
+    heatwave_ride_through,
     highperf_vms,
     oversubscription,
     packing_churn,
@@ -71,6 +75,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "recovery": ("Failure recovery: BASELINE vs OC p95 (DES, ~1 min)", failure_recovery.format_failure_recovery, True),
     "degraded-telemetry": ("Guard behaviour under sensor faults: naive vs fail-safe (DES)", degraded_telemetry.format_degraded_telemetry, True),
     "partition": ("Actuation under a network partition: naive vs robust (DES, --seed)", partition_recovery.format_partition_recovery, True),
+    "heatwave": ("Facility emergency ride-through: naive vs laddered (DES, --seed)", heatwave_ride_through.format_heatwave_ride_through, True),
 }
 
 
@@ -166,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
         help="for 'faults': master seed for the fault plan (default 1)",
     )
     parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_faults",
+        help="for 'faults': list every fault kind and scenario, then exit",
+    )
+    parser.add_argument(
         "--run",
         default=None,
         metavar="ID",
@@ -211,8 +222,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiments and args.experiments[0] == "faults":
             # Imported lazily: scenarios pull in the experiment modules
             # on top of the fault substrate.
-            from .faults.scenarios import run_scenarios
+            from .faults.scenarios import list_fault_catalog, run_scenarios
 
+            if args.list_faults:
+                print(list_fault_catalog())
+                return 0
             return run_scenarios(args.experiments[1:], seed=seed)
         if args.experiments == ["partition"]:
             # Special-cased (like 'faults') so --seed reaches the plan:
@@ -221,6 +235,14 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 partition_recovery.format_partition_recovery(
                     partition_recovery.run_partition_recovery(seed=seed)
+                )
+            )
+            return 0
+        if args.experiments == ["heatwave"]:
+            # Special-cased for the same reason as 'partition'.
+            print(
+                heatwave_ride_through.format_heatwave_ride_through(
+                    heatwave_ride_through.run_heatwave_ride_through(seed=seed)
                 )
             )
             return 0

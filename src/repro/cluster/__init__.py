@@ -6,7 +6,13 @@ hosting with an interference model, multi-dimensional bin packing,
 RAPL-style power capping, and fleet-level buffer/capacity management.
 """
 
-from .fleet import CapacityGapPlan, FailoverOutcome, Fleet, bridge_capacity_gap
+from .fleet import (
+    CapacityGapPlan,
+    FailoverOutcome,
+    Fleet,
+    bridge_capacity_gap,
+    hottest_first,
+)
 from .host import Host
 from .hypervisor import (
     DEFAULT_DISK_CAPACITY,
@@ -21,6 +27,7 @@ from .migration import (
     MigrationPlan,
     MigrationRecord,
     StopgapOutcome,
+    evacuate_host,
     overclock_stopgap_plan,
     plan_migration,
 )
@@ -54,6 +61,7 @@ __all__ = [
     "StopgapOutcome",
     "overclock_stopgap_plan",
     "plan_migration",
+    "evacuate_host",
     "PowerNode",
     "PowerDeliveryTree",
     "BreachReport",
@@ -83,6 +91,7 @@ __all__ = [
     "FailoverOutcome",
     "CapacityGapPlan",
     "bridge_capacity_gap",
+    "hottest_first",
     "VMLifecycleManager",
     "PAPER_SCALE_OUT_LATENCY_S",
 ]

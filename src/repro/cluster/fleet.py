@@ -14,7 +14,7 @@ Two Section V use-cases live at fleet scope:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..errors import ConfigurationError, PlacementError
 from ..silicon.configs import FrequencyConfig, OC1
@@ -159,6 +159,25 @@ class Fleet:
         )
 
 
+def hottest_first(
+    hosts: Sequence[Host], tj_by_host: Mapping[str, float]
+) -> list[Host]:
+    """Deterministic triage order for emergency actions: hottest first.
+
+    Live hosts sorted by descending junction temperature, then by
+    ``host_id`` so equal-temperature hosts (and hosts missing from the
+    temperature map, ranked coldest) always come out in the same order —
+    evacuation and shutdown decisions must not depend on dict iteration.
+    """
+    return sorted(
+        (host for host in hosts if not host.failed),
+        key=lambda host: (
+            -tj_by_host.get(host.host_id, float("-inf")),
+            host.host_id,
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class CapacityGapPlan:
     """How a supply shortfall is bridged (Figure 7)."""
@@ -213,4 +232,10 @@ def bridge_capacity_gap(
     )
 
 
-__all__ = ["Fleet", "FailoverOutcome", "CapacityGapPlan", "bridge_capacity_gap"]
+__all__ = [
+    "Fleet",
+    "FailoverOutcome",
+    "CapacityGapPlan",
+    "bridge_capacity_gap",
+    "hottest_first",
+]

@@ -38,6 +38,7 @@ class Host:
         self.power_model = power_model if power_model is not None else ServerPowerModel(spec)
         self._vms: dict[str, VMInstance] = {}
         self._failed = False
+        self._shut_down = False
         self._validate_config(config)
 
     # ------------------------------------------------------------------
@@ -97,11 +98,33 @@ class Host:
             vm.mark_failed(time)
         return lost
 
+    @property
+    def shut_down(self) -> bool:
+        """True while the host is down by controlled shutdown (not a crash)."""
+        return self._shut_down
+
+    def controlled_shutdown(self, time: float = 0.0) -> tuple[VMInstance, ...]:
+        """Graceful emergency power-off — the ladder's last rung.
+
+        Unlike :meth:`fail` this is the *coordinator's* choice: the host
+        stops dissipating heat before its junction reaches Tjmax. Any VM
+        still resident is lost exactly as in a crash (returned so a
+        recovery layer can redeploy), which is why evacuation runs one
+        ladder stage earlier. :meth:`restore` brings the host back and
+        clears the flag.
+        """
+        if self._failed:
+            raise ConfigurationError(f"host {self.host_id} is already down")
+        lost = self.fail(time)
+        self._shut_down = True
+        return lost
+
     def restore(self) -> None:
         """Bring a failed host back (post-repair); its old VMs stay FAILED."""
         if not self._failed:
             raise ConfigurationError(f"host {self.host_id} has not failed")
         self._failed = False
+        self._shut_down = False
 
     # ------------------------------------------------------------------
     # VM admission

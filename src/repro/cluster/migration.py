@@ -16,7 +16,7 @@ nominal frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..errors import CapacityError, ConfigurationError
 from ..silicon.configs import B2, FrequencyConfig, OC1
@@ -137,6 +137,37 @@ class MigrationManager:
         return record
 
 
+def evacuate_host(
+    manager: MigrationManager,
+    source: Host,
+    destinations: Sequence[Host],
+    on_complete: Callable[[MigrationRecord], None] | None = None,
+) -> list[MigrationRecord]:
+    """Drain every active VM off ``source`` — the emergency ladder's
+    evacuation stage.
+
+    VMs leave in sorted ``vm_id`` order (deterministic under any dict
+    iteration order); each goes to the first destination, in the given
+    order, that can hold it right now. VMs that fit nowhere stay put —
+    the caller decides whether a controlled shutdown may still sacrifice
+    them. Returns the started migration records.
+    """
+    records: list[MigrationRecord] = []
+    active = sorted(
+        (vm for vm in source.vms if vm.is_active), key=lambda vm: vm.vm_id
+    )
+    for vm in active:
+        for destination in destinations:
+            if destination is source or destination.failed:
+                continue
+            if destination.fits(vm.spec):
+                records.append(
+                    manager.migrate(vm, source, destination, on_complete=on_complete)
+                )
+                break
+    return records
+
+
 @dataclass(frozen=True)
 class StopgapOutcome:
     """Result of the overclock-until-migrated maneuver."""
@@ -186,6 +217,7 @@ __all__ = [
     "StopgapOutcome",
     "plan_migration",
     "overclock_stopgap_plan",
+    "evacuate_host",
     "DEFAULT_BANDWIDTH_GB_S",
     "DIRTY_PAGE_FACTOR",
     "MIGRATION_CPU_TAX_CORES",

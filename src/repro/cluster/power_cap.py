@@ -83,6 +83,25 @@ class PowerCapGovernor:
                 )
             current = _downbinned(current, next_core)
 
+    def enforce_fleet(
+        self,
+        hosts: Sequence[Host],
+        cap_watts_per_host: float,
+        utilization: float = 1.0,
+    ) -> list[CapResult]:
+        """Uniform emergency cap: every live host to the same per-host cap.
+
+        The degradation ladder's stage-2 action: when the *facility* is
+        the constraint, priority games are pointless — every watt heats
+        the same shared pool, so every host caps alike. Failed (or shut
+        down) hosts draw nothing and are skipped.
+        """
+        return [
+            self.enforce(host, cap_watts_per_host, utilization)
+            for host in hosts
+            if not host.failed
+        ]
+
     def enforce_priority_aware(
         self,
         hosts: Sequence[tuple[Host, int]],

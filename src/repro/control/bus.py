@@ -103,6 +103,7 @@ class _Pending:
     on_applied: Callable[[Ack], None] | None
     on_failed: Callable[[Command, str], None] | None
     timeout_event: object | None = None
+    emergency: bool = False
 
 
 class HostAgent:
@@ -362,12 +363,20 @@ class CommandBus:
         on_applied: Callable[[Ack], None] | None = None,
         on_failed: Callable[[Command, str], None] | None = None,
         retry: bool | None = None,
+        emergency: bool = False,
     ) -> Command:
         """Issue one logical command; retries and dedup are automatic.
 
         Heartbeats default to fire-and-forget (``retry=False``): the
         next tick sends a fresh one anyway, and a missed ack still
         feeds the breaker, which is the signal that matters.
+
+        ``emergency`` commands bypass open circuit breakers: a breaker
+        exists to protect the *retry budget*, but a facility emergency
+        must reach even a host the controller has written off — the
+        attempt goes out on every retry regardless of breaker state
+        (the channel may still eat it; the dead-man lease remains the
+        backstop of last resort).
         """
         self.agent_for(target)  # fail fast on unknown targets
         if retry is None:
@@ -388,6 +397,7 @@ class CommandBus:
             retry=retry,
             on_applied=on_applied,
             on_failed=on_failed,
+            emergency=emergency,
         )
         self._attempt(command.idempotency_key)
         return command
@@ -403,9 +413,11 @@ class CommandBus:
         now = self._sim.now
         breaker = self.breaker_for(command.target)
         if not breaker.allow(now):
-            self.counters.breaker_fast_fails += 1
-            self._retry_or_fail(key, reason="breaker-open")
-            return
+            if not pending.emergency:
+                self.counters.breaker_fast_fails += 1
+                self._retry_or_fail(key, reason="breaker-open")
+                return
+            self.counters.emergency_bypasses += 1
         self.counters.attempts += 1
         agent = self.agent_for(command.target)
         self.channel.deliver(

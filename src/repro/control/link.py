@@ -151,14 +151,24 @@ class ActuationLink:
     # Controller verbs
     # ------------------------------------------------------------------
     def set_frequency(
-        self, frequency_ghz: float, hosts: tuple[str, ...] | None = None
+        self,
+        frequency_ghz: float,
+        hosts: tuple[str, ...] | None = None,
+        emergency: bool = False,
     ) -> None:
-        """Fan the desired frequency out to ``hosts`` (default: all)."""
+        """Fan the desired frequency out to ``hosts`` (default: all).
+
+        ``emergency=True`` marks the commands as emergency priority:
+        they bypass open circuit breakers so a facility-wide revoke
+        reaches even hosts the bus has written off as dark.
+        """
         for host_id in hosts if hosts is not None else self.hosts:
             self.agent(host_id)  # fail fast on typos
             if self.reconciler is not None:
                 self.reconciler.set_desired_frequency(host_id, frequency_ghz)
-            self.bus.send(CommandKind.SET_FREQUENCY, host_id, frequency_ghz)
+            self.bus.send(
+                CommandKind.SET_FREQUENCY, host_id, frequency_ghz, emergency=emergency
+            )
 
     def deploy_vm(
         self,

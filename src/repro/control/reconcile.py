@@ -35,9 +35,14 @@ from .bus import Ack, Command, CommandBus, CommandKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..faults.timeline import FaultTimeline
+    from ..reliability.safety import SafetySupervisor
 
 #: Timeline kind recorded for every repair command the loop issues.
 RECONCILE_REPAIR = "reconcile-repair"
+
+#: Timeline kind recorded when a host's open breaker has starved its
+#: repairs for ``starvation_threshold`` consecutive ticks.
+RECONCILE_STARVED = "reconcile-starved"
 
 
 class Reconciler:
@@ -51,12 +56,16 @@ class Reconciler:
         counters: ControlPlaneCounters | None = None,
         timeline: "FaultTimeline | None" = None,
         name: str = "reconciler",
+        starvation_threshold: int = 3,
     ) -> None:
         if interval_s <= 0:
             raise ConfigurationError("reconcile interval_s must be positive")
+        if starvation_threshold < 1:
+            raise ConfigurationError("starvation_threshold must be at least 1")
         self._sim = simulator
         self.bus = bus
         self.interval_s = interval_s
+        self.starvation_threshold = starvation_threshold
         self.counters = counters if counters is not None else bus.counters
         self.timeline = timeline
         self.name = name
@@ -67,10 +76,25 @@ class Reconciler:
         self._confirmed_vms: set[str] = set()
         #: Repairs currently in flight (suppresses duplicate issues).
         self._in_flight: set[str] = set()
+        #: Consecutive ticks each host's repairs were breaker-skipped.
+        self._breaker_skip_streak: dict[str, int] = {}
+        self._safety: "SafetySupervisor | None" = None
         self.repairs = 0
         self.ticks = 0
         bus.on_ack = self.observe_ack
         self._sim.every(interval_s, self.tick, name=f"{name}:tick")
+
+    def attach_safety(self, supervisor: "SafetySupervisor") -> None:
+        """Surface starvation through a safety supervisor.
+
+        Once attached, every tick reports the number of hosts whose
+        repairs have been breaker-skipped for ``starvation_threshold``
+        consecutive cycles via ``observe_actuation`` — a starved host is
+        drifted *and* unreachable, exactly the blindness the supervisor
+        exists to degrade on. A clean tick (zero starved hosts) drives
+        its re-arm hysteresis.
+        """
+        self._safety = supervisor
 
     # ------------------------------------------------------------------
     # Desired state (written by the controller)
@@ -128,9 +152,13 @@ class Reconciler:
     def tick(self) -> None:
         """Diff desired vs reported and issue repairs for the drift."""
         self.ticks += 1
+        breaker_skipped: set[str] = set()
         for host in self.divergent_hosts():
-            if self._skip(host, f"freq:{host}"):
+            if f"freq:{host}" in self._in_flight:
                 continue
+            if self.bus.breaker_for(host).is_open:
+                breaker_skipped.add(host)
+                continue  # unreachable by definition; retry after re-close
             if self.bus.has_pending(host, CommandKind.SET_FREQUENCY):
                 continue  # don't race a command already in flight
             desired = self._desired_freq[host]
@@ -143,7 +171,10 @@ class Reconciler:
             )
         for token in self.pending_deploys:
             host = self._wanted_vms[token]
-            if self._skip(host, f"vm:{token}"):
+            if f"vm:{token}" in self._in_flight:
+                continue
+            if self.bus.breaker_for(host).is_open:
+                breaker_skipped.add(host)
                 continue
             if self.bus.has_pending(host, CommandKind.DEPLOY_VM, payload=token):
                 continue  # the original send is still retrying
@@ -154,13 +185,43 @@ class Reconciler:
                 token,
                 detail=f"re-issue deploy {token}",
             )
+        self._account_starvation(breaker_skipped)
 
-    def _skip(self, host: str, repair_key: str) -> bool:
-        if repair_key in self._in_flight:
-            return True
-        if self.bus.breaker_for(host).is_open:
-            return True  # unreachable by definition; retry after re-close
-        return False
+    def _account_starvation(self, breaker_skipped: set[str]) -> None:
+        """Detect hosts silently starved by a persistently-open breaker.
+
+        Skipping an unreachable host is correct once; skipping it every
+        cycle with no signal is the starvation bug — drift accumulates
+        invisibly. Each host's consecutive-skip streak is tracked, and
+        crossing ``starvation_threshold`` bumps ``reconcile_starved``
+        and records a timeline event; an attached safety supervisor is
+        then told how many hosts are currently starved (zero on clean
+        ticks, which drives its re-arm).
+        """
+        for host in sorted(breaker_skipped):
+            streak = self._breaker_skip_streak.get(host, 0) + 1
+            self._breaker_skip_streak[host] = streak
+            if streak == self.starvation_threshold:
+                self.counters.reconcile_starved += 1
+                if self.timeline is not None:
+                    self.timeline.record(
+                        self._sim.now,
+                        RECONCILE_STARVED,
+                        host,
+                        f"breaker open for {streak} consecutive reconcile tick(s)",
+                    )
+        for host in list(self._breaker_skip_streak):
+            if host not in breaker_skipped:
+                # Either the repair got through or the host converged on
+                # its own (e.g. a dead-man revert) — no longer starving.
+                del self._breaker_skip_streak[host]
+        starved = sum(
+            1
+            for streak in self._breaker_skip_streak.values()
+            if streak >= self.starvation_threshold
+        )
+        if self._safety is not None:
+            self._safety.observe_actuation(self._sim.now, starved)
 
     def _repair(
         self,
@@ -187,4 +248,4 @@ class Reconciler:
         self.bus.send(kind, host, payload, on_applied=applied, on_failed=failed)
 
 
-__all__ = ["Reconciler", "RECONCILE_REPAIR"]
+__all__ = ["Reconciler", "RECONCILE_REPAIR", "RECONCILE_STARVED"]

@@ -1,0 +1,268 @@
+"""Staged emergency degradation ladder for facility cooling loss.
+
+When the *facility* fails — condenser pumps lost, facility water cut, a
+heat wave collapsing the condenser's approach temperature — every host
+in the tank heats together, and per-host protections (RAPL, Tjmax trip)
+fire too late and too hard: they either do nothing until the fluid is
+already superheated or they crash-stop hosts and take the VMs with them.
+
+:class:`EmergencyCoordinator` is the middle path. It watches the fleet's
+worst thermal margin (``Tjmax - Tj`` of the hottest host) and walks a
+four-rung ladder, cheapest mitigation first:
+
+1. **REVOKE_OVERCLOCK** — drop every overclock grant back to base
+   frequency (issued at *emergency* priority so an open circuit breaker
+   cannot veto the revoke).
+2. **POWER_CAP** — fleet-wide per-host power cap; every watt saved is
+   heat the crippled condenser no longer has to move.
+3. **EVACUATE** — live-migrate VMs off the hottest hosts to reserve
+   capacity while they can still run.
+4. **SHUTDOWN** — controlled power-off of the (now empty) hottest hosts
+   before any junction reaches Tjmax.
+
+Escalation is immediate — a fast transient can cross several rungs in
+one control tick and every crossed rung's action fires. Relaxation is
+deliberate: the margin must clear the current rung's threshold by
+``hysteresis_c`` for ``relax_clean_ticks`` consecutive ticks, and the
+ladder steps down one rung at a time, so a margin oscillating around a
+threshold cannot flap actions. The coordinator mirrors its state into
+:class:`~repro.reliability.safety.SafetySupervisor` (facility emergency
+is a first-class degraded state: no overclock grants, no recovery
+boosts, no scale-in) and counts everything in
+:class:`~repro.telemetry.counters.EmergencyCounters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from ..errors import ConfigurationError
+from ..telemetry.counters import EmergencyCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.timeline import FaultTimeline
+    from ..reliability.safety import SafetySupervisor
+
+#: Timeline kind recorded when the ladder steps up one rung.
+EMERGENCY_ESCALATE = "emergency-escalate"
+
+#: Timeline kind recorded when the ladder steps down one rung.
+EMERGENCY_RELAX = "emergency-relax"
+
+
+class EmergencyStage(IntEnum):
+    """Ladder rungs, ordered by severity (and cost to the customer)."""
+
+    NORMAL = 0
+    REVOKE_OVERCLOCK = 1
+    POWER_CAP = 2
+    EVACUATE = 3
+    SHUTDOWN = 4
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """Thermal-margin thresholds and hysteresis of the ladder.
+
+    Margins are ``Tjmax - Tj`` of the fleet's hottest junction, in °C.
+    A stage engages when the margin falls to its threshold or below;
+    thresholds must therefore be strictly decreasing down the ladder.
+    """
+
+    #: Margin at or below which overclock grants are revoked.
+    revoke_margin_c: float = 25.0
+    #: Margin at or below which the fleet-wide power cap engages.
+    cap_margin_c: float = 20.0
+    #: Margin at or below which VMs evacuate the hottest hosts.
+    evacuate_margin_c: float = 15.0
+    #: Margin at or below which the hottest hosts shut down.
+    shutdown_margin_c: float = 10.0
+    #: Extra margin (beyond the current rung's threshold) required
+    #: before a tick counts as clean for relaxation.
+    hysteresis_c: float = 3.0
+    #: Consecutive clean ticks before the ladder steps down one rung.
+    relax_clean_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        rungs = (
+            self.revoke_margin_c,
+            self.cap_margin_c,
+            self.evacuate_margin_c,
+            self.shutdown_margin_c,
+        )
+        if any(lower >= upper for upper, lower in zip(rungs, rungs[1:])):
+            raise ConfigurationError(
+                "ladder margins must be strictly decreasing "
+                "(revoke > cap > evacuate > shutdown)"
+            )
+        if self.hysteresis_c <= 0:
+            raise ConfigurationError("hysteresis must be positive")
+        if self.relax_clean_ticks < 1:
+            raise ConfigurationError("relax_clean_ticks must be at least 1")
+
+    def margin_for(self, stage: EmergencyStage) -> float:
+        """The engage threshold of ``stage`` (not defined for NORMAL)."""
+        if stage is EmergencyStage.NORMAL:
+            raise ConfigurationError("NORMAL has no engage threshold")
+        return {
+            EmergencyStage.REVOKE_OVERCLOCK: self.revoke_margin_c,
+            EmergencyStage.POWER_CAP: self.cap_margin_c,
+            EmergencyStage.EVACUATE: self.evacuate_margin_c,
+            EmergencyStage.SHUTDOWN: self.shutdown_margin_c,
+        }[stage]
+
+
+@dataclass(frozen=True)
+class StageActions:
+    """What to do when a rung engages, and how to undo it on the way up.
+
+    Both callables return a short deterministic description that lands
+    in the fault timeline (and therefore in the run signature) — no
+    object ids, no wall-clock times.
+    """
+
+    engage: Callable[[], str]
+    release: Callable[[], str] | None = None
+
+
+#: Per-stage counter attribute on :class:`EmergencyCounters`.
+_STAGE_COUNTER = {
+    EmergencyStage.REVOKE_OVERCLOCK: "overclock_revokes",
+    EmergencyStage.POWER_CAP: "power_caps",
+    EmergencyStage.EVACUATE: "evacuations",
+    EmergencyStage.SHUTDOWN: "shutdowns",
+}
+
+
+def worst_margin_c(tj_by_host: Mapping[str, float], tjmax_c: float) -> float:
+    """The fleet's thinnest thermal margin: ``min(Tjmax - Tj)``.
+
+    An empty map means no host is dissipating — margin is unbounded.
+    """
+    if not tj_by_host:
+        return float("inf")
+    return min(tjmax_c - tj for tj in tj_by_host.values())
+
+
+class EmergencyCoordinator:
+    """Walks the degradation ladder against the fleet's worst margin.
+
+    Wire stage actions with :meth:`register`, then call :meth:`observe`
+    once per control tick with the current worst margin. Escalation
+    fires every crossed rung's ``engage`` immediately; relaxation
+    releases one rung at a time after the hysteresis clears.
+    """
+
+    def __init__(
+        self,
+        config: LadderConfig | None = None,
+        safety: "SafetySupervisor | None" = None,
+        timeline: "FaultTimeline | None" = None,
+        counters: EmergencyCounters | None = None,
+    ) -> None:
+        self.config = config if config is not None else LadderConfig()
+        self.safety = safety
+        self.timeline = timeline
+        self.counters = counters if counters is not None else EmergencyCounters()
+        self.stage = EmergencyStage.NORMAL
+        self._clean_streak = 0
+        self._actions: dict[EmergencyStage, StageActions] = {}
+
+    @property
+    def emergency(self) -> bool:
+        """True while any rung of the ladder is engaged."""
+        return self.stage is not EmergencyStage.NORMAL
+
+    def register(
+        self,
+        stage: EmergencyStage,
+        engage: Callable[[], str],
+        release: Callable[[], str] | None = None,
+    ) -> None:
+        """Attach the engage (and optional release) action of one rung."""
+        if stage is EmergencyStage.NORMAL:
+            raise ConfigurationError("NORMAL is not an actionable stage")
+        self._actions[stage] = StageActions(engage=engage, release=release)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def observe(self, time_s: float, margin_c: float) -> EmergencyStage:
+        """Fold one control tick's worst thermal margin into the ladder."""
+        escalated = False
+        while self.stage is not EmergencyStage.SHUTDOWN:
+            nxt = EmergencyStage(self.stage + 1)
+            if margin_c > self.config.margin_for(nxt):
+                break
+            self._escalate(time_s, nxt, margin_c)
+            escalated = True
+        if self.emergency and not escalated:
+            clear = self.config.margin_for(self.stage) + self.config.hysteresis_c
+            if margin_c >= clear:
+                self._clean_streak += 1
+                if self._clean_streak >= self.config.relax_clean_ticks:
+                    self._relax(time_s, margin_c)
+                    self._clean_streak = 0
+            else:
+                self._clean_streak = 0
+        if self.emergency:
+            self.counters.emergency_ticks += 1
+        if self.safety is not None:
+            self.safety.observe_facility(
+                time_s,
+                self.emergency,
+                detail=f"ladder stage {self.stage.name} margin={margin_c:.1f}C",
+            )
+        return self.stage
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def _escalate(
+        self, time_s: float, stage: EmergencyStage, margin_c: float
+    ) -> None:
+        self.stage = stage
+        self._clean_streak = 0
+        self.counters.escalations += 1
+        counter = _STAGE_COUNTER[stage]
+        setattr(self.counters, counter, getattr(self.counters, counter) + 1)
+        actions = self._actions.get(stage)
+        outcome = actions.engage() if actions is not None else "no action wired"
+        if self.timeline is not None:
+            self.timeline.record(
+                time_s,
+                EMERGENCY_ESCALATE,
+                stage.name.lower(),
+                f"margin={margin_c:.1f}C {outcome}",
+            )
+
+    def _relax(self, time_s: float, margin_c: float) -> None:
+        released = self.stage
+        actions = self._actions.get(released)
+        outcome = "released"
+        if actions is not None and actions.release is not None:
+            outcome = actions.release()
+        self.stage = EmergencyStage(released - 1)
+        self.counters.relaxations += 1
+        if self.stage is EmergencyStage.NORMAL:
+            self.counters.rearms += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                time_s,
+                EMERGENCY_RELAX,
+                released.name.lower(),
+                f"margin={margin_c:.1f}C {outcome}",
+            )
+
+
+__all__ = [
+    "EMERGENCY_ESCALATE",
+    "EMERGENCY_RELAX",
+    "EmergencyStage",
+    "LadderConfig",
+    "StageActions",
+    "EmergencyCoordinator",
+    "worst_margin_c",
+]

@@ -34,6 +34,7 @@ from . import (
     degraded_telemetry,
     environment,
     failure_recovery,
+    heatwave_ride_through,
     highperf_vms,
     oversubscription,
     packing_churn,
@@ -48,6 +49,7 @@ __all__ = [
     "degraded_telemetry",
     "environment",
     "failure_recovery",
+    "heatwave_ride_through",
     "packing_churn",
     "partition_recovery",
     "characterization",

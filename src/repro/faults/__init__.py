@@ -24,6 +24,7 @@ from .injectors import (
     RECOVERED,
     TJ_ALARM,
     ChannelFaultInjector,
+    FacilityFaultInjector,
     FaultCampaign,
     FaultInjector,
     HostFailureInjector,
@@ -32,10 +33,12 @@ from .injectors import (
     ThermalExcursionInjector,
     VMCrashInjector,
     register_channel_injectors,
+    register_facility_injectors,
     register_sensor_injectors,
 )
 from .plan import (
     CHANNEL_FAULT_KINDS,
+    FACILITY_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -46,10 +49,13 @@ from .timeline import FaultEvent, FaultTimeline
 __all__ = [
     "SENSOR_FAULT_KINDS",
     "CHANNEL_FAULT_KINDS",
+    "FACILITY_FAULT_KINDS",
     "SensorFaultInjector",
     "ChannelFaultInjector",
+    "FacilityFaultInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
+    "register_facility_injectors",
     "FaultKind",
     "FaultSpec",
     "FaultPlan",

@@ -28,9 +28,11 @@ from ..reliability.stability import DEFAULT_ERRORS_PER_CRASH, StabilityModel
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
 from ..telemetry.sensors import FaultySensor, SensorFault, SensorFaultMode
+from ..thermal.facility import FacilityState
 from ..thermal.junction import JunctionModel
 from .plan import (
     CHANNEL_FAULT_KINDS,
+    FACILITY_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -526,6 +528,125 @@ class ChannelFaultInjector(FaultInjector):
         campaign.simulator.after(delay, fire, name=f"fault:cmd:{spec.target}")
 
 
+#: FaultKind → the :class:`~repro.thermal.facility.FacilityState` field
+#: the fault derates (heat waves are additive and handled separately).
+_FACILITY_FIELD_BY_KIND: dict[FaultKind, str] = {
+    FaultKind.FACILITY_CONDENSER: "pump_fraction",
+    FaultKind.FACILITY_WATER: "water_fraction",
+    FaultKind.FACILITY_BROWNOUT: "power_fraction",
+}
+
+
+class FacilityFaultInjector(FaultInjector):
+    """Breaks the cooling plant itself — the shared-fate fault class.
+
+    One injector instance handles one ``facility-*``
+    :class:`~repro.faults.plan.FaultKind` (use
+    :func:`register_facility_injectors` to cover all four at once). The
+    target names a :class:`~repro.thermal.facility.FacilityState`; at
+    fire time the matching term derates — pump, water, or utility-power
+    fraction for condenser/water/brownout faults (``magnitude`` is the
+    fraction lost, up to 1.0 = total loss), or an additive ambient rise
+    in °C for heat waves — and ``duration_s > 0`` schedules the inverse.
+    Unlike every other kind, one facility fault threatens *all* hosts
+    sharing the tank at once.
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        facilities: Mapping[str, FacilityState],
+        on_fault: Callable[[str, FaultSpec], None] | None = None,
+        on_clear: Callable[[str], None] | None = None,
+    ) -> None:
+        if kind not in FACILITY_FAULT_KINDS:
+            raise InjectionError(f"{kind.value} is not a facility fault kind")
+        self.kind = kind
+        self.facilities = dict(facilities)
+        self.on_fault = on_fault
+        self.on_clear = on_clear
+
+    def _validate(self, spec: FaultSpec) -> None:
+        if self.kind is FaultKind.FACILITY_HEATWAVE:
+            if spec.magnitude <= 0.0:
+                raise InjectionError(
+                    "facility-heatwave magnitude is a positive ambient rise in °C"
+                )
+        elif not 0.0 < spec.magnitude <= 1.0:
+            raise InjectionError(
+                f"{self.kind.value} magnitude is the fraction of capacity "
+                f"lost; need 0 < m <= 1, got {spec.magnitude}"
+            )
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        self._validate(spec)
+        _lookup(self.facilities, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            state = _lookup(self.facilities, spec.target, self.kind)
+            now = campaign.simulator.now
+            if self.kind is FaultKind.FACILITY_HEATWAVE:
+                state.ambient_extra_c += spec.magnitude
+
+                def undo() -> None:
+                    state.ambient_extra_c -= spec.magnitude
+
+                detail = (
+                    f"+{spec.magnitude:g}C ambient={state.ambient_c:.1f}C "
+                    f"cond={state.condenser_fraction():.3f}"
+                )
+            else:
+                field = _FACILITY_FIELD_BY_KIND[self.kind]
+                lost = getattr(state, field) * spec.magnitude
+                setattr(state, field, getattr(state, field) - lost)
+
+                def undo() -> None:
+                    setattr(state, field, getattr(state, field) + lost)
+
+                detail = (
+                    f"-{spec.magnitude:g} {field}={getattr(state, field):.3f} "
+                    f"cond={state.condenser_fraction():.3f}"
+                )
+            campaign.timeline.record(now, spec.kind.value, spec.target, detail)
+            if self.on_fault is not None:
+                self.on_fault(spec.target, spec)
+            if spec.duration_s > 0:
+
+                def clear() -> None:
+                    undo()
+                    campaign.timeline.record(
+                        campaign.simulator.now,
+                        RECOVERED,
+                        spec.target,
+                        f"{self.kind.value} cond={state.condenser_fraction():.3f}",
+                    )
+                    if self.on_clear is not None:
+                        self.on_clear(spec.target)
+
+                campaign.simulator.after(
+                    spec.duration_s, clear, name=f"fault:facility-clear:{spec.target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:facility:{spec.target}")
+
+
+def register_facility_injectors(
+    campaign: FaultCampaign,
+    facilities: Mapping[str, FacilityState],
+    on_fault: Callable[[str, FaultSpec], None] | None = None,
+    on_clear: Callable[[str], None] | None = None,
+) -> FaultCampaign:
+    """Register one :class:`FacilityFaultInjector` per facility kind."""
+    for kind in sorted(FACILITY_FAULT_KINDS, key=lambda k: k.value):
+        campaign.register(
+            FacilityFaultInjector(kind, facilities, on_fault=on_fault, on_clear=on_clear)
+        )
+    return campaign
+
+
 def register_channel_injectors(
     campaign: FaultCampaign,
     channels: Mapping[str, LossyChannel],
@@ -563,8 +684,10 @@ __all__ = [
     "PowerTripInjector",
     "SensorFaultInjector",
     "ChannelFaultInjector",
+    "FacilityFaultInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
+    "register_facility_injectors",
     "TJ_ALARM",
     "BREAKER_BREACH",
     "RECOVERED",

@@ -55,6 +55,18 @@ class FaultKind(Enum):
     #: ``duration_s`` (0 = until explicitly healed); in-flight messages
     #: and acks die with it.
     CMD_PARTITION = "cmd-partition"
+    #: Condenser pump failure/derate: the facility named by ``target``
+    #: loses fraction ``magnitude`` of its pumping for ``duration_s``.
+    FACILITY_CONDENSER = "facility-condenser"
+    #: Facility-water supply loss: fraction ``magnitude`` of the
+    #: condenser's cold-water feed disappears for ``duration_s``.
+    FACILITY_WATER = "facility-water"
+    #: Ambient heat wave: outdoor temperature rises by ``magnitude`` °C,
+    #: derating the dry cooler's approach for ``duration_s``.
+    FACILITY_HEATWAVE = "facility-heatwave"
+    #: Utility brownout: fraction ``magnitude`` of the facility's pump
+    #: and fan power disappears for ``duration_s``.
+    FACILITY_BROWNOUT = "facility-brownout"
 
 
 #: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
@@ -77,6 +89,17 @@ CHANNEL_FAULT_KINDS: frozenset[FaultKind] = frozenset(
         FaultKind.CMD_DELAY,
         FaultKind.CMD_DUPLICATE,
         FaultKind.CMD_PARTITION,
+    }
+)
+
+#: The facility subset of :class:`FaultKind` (cooling-plant and utility
+#: failures that threaten every host sharing the tank at once).
+FACILITY_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.FACILITY_CONDENSER,
+        FaultKind.FACILITY_WATER,
+        FaultKind.FACILITY_HEATWAVE,
+        FaultKind.FACILITY_BROWNOUT,
     }
 )
 
@@ -162,4 +185,5 @@ __all__ = [
     "FaultPlan",
     "SENSOR_FAULT_KINDS",
     "CHANNEL_FAULT_KINDS",
+    "FACILITY_FAULT_KINDS",
 ]

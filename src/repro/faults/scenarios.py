@@ -238,6 +238,18 @@ def _partition(seed: int) -> str:
     return format_partition_recovery(run_partition_recovery(seed=seed))
 
 
+def _heatwave(seed: int) -> str:
+    """Facility condenser loss + heat wave: naive fleet vs the staged
+    emergency ladder (see :mod:`repro.experiments.heatwave_ride_through`)."""
+    # Imported lazily, mirroring _host_failure.
+    from ..experiments.heatwave_ride_through import (
+        format_heatwave_ride_through,
+        run_heatwave_ride_through,
+    )
+
+    return format_heatwave_ride_through(run_heatwave_ride_through(seed=seed))
+
+
 def _degraded_telemetry(seed: int) -> str:
     """Sensor faults masking a coolant excursion: naive vs fail-safe
     control (see :mod:`repro.experiments.degraded_telemetry`)."""
@@ -292,6 +304,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "Severed command link: naive vs robust actuation (lease, reconcile)",
             _partition,
         ),
+        ScenarioSpec(
+            "heatwave",
+            "Condenser loss + heat wave: naive trip-out vs the emergency ladder",
+            _heatwave,
+        ),
     )
 }
 
@@ -301,6 +318,23 @@ def list_scenarios() -> str:
     for name, spec in SCENARIOS.items():
         lines.append(f"  {name:20s} {spec.description}")
     lines.append("  all                  every scenario above")
+    return "\n".join(lines)
+
+
+def list_fault_catalog() -> str:
+    """Stable, sorted listing of every fault kind and scenario.
+
+    This is the ``python -m repro faults --list`` contract: the output
+    is sorted (not registration-ordered) so docs and scripts can diff it
+    across versions without spurious churn.
+    """
+    lines = ["Fault kinds:"]
+    for kind in sorted(FaultKind, key=lambda kind: kind.value):
+        lines.append(f"  {kind.value}")
+    lines.append("")
+    lines.append("Fault scenarios:")
+    for name in sorted(SCENARIOS):
+        lines.append(f"  {name:20s} {SCENARIOS[name].description}")
     return "\n".join(lines)
 
 
@@ -325,4 +359,10 @@ def run_scenarios(
     return 0
 
 
-__all__ = ["ScenarioSpec", "SCENARIOS", "list_scenarios", "run_scenarios"]
+__all__ = [
+    "ScenarioSpec",
+    "SCENARIOS",
+    "list_scenarios",
+    "list_fault_catalog",
+    "run_scenarios",
+]

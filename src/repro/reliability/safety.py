@@ -93,18 +93,31 @@ class SafetySupervisor:
         self._actuation_clean = 0
         self._actuation_degraded = False
         self.actuation_degrade_events = 0
+        # Facility health (fed by observe_facility): a cooling-plant
+        # emergency is declared and cleared by the emergency coordinator,
+        # which runs its own staged hysteresis — no extra streaks here.
+        self._facility_emergency = False
+        self.facility_emergency_events = 0
 
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
     @property
     def degraded(self) -> bool:
-        """True when either telemetry or actuation health has tripped."""
-        return self.state is SafetyState.DEGRADED or self._actuation_degraded
+        """True when telemetry, actuation, or facility health has tripped."""
+        return (
+            self.state is SafetyState.DEGRADED
+            or self._actuation_degraded
+            or self._facility_emergency
+        )
 
     @property
     def actuation_degraded(self) -> bool:
         return self._actuation_degraded
+
+    @property
+    def facility_emergency(self) -> bool:
+        return self._facility_emergency
 
     def observe(self, reading: FusedReading) -> SafetyState:
         """Fold one control tick's fused reading into the state machine."""
@@ -180,6 +193,33 @@ class SafetySupervisor:
                     if self.state is SafetyState.ARMED:
                         self.last_condition = None
         return self._actuation_degraded
+
+    def observe_facility(self, time_s: float, emergency: bool, detail: str = "") -> bool:
+        """Fold facility (cooling-plant) health into the fail-safe decision.
+
+        A facility emergency is a first-class degraded state: while the
+        flag is raised, :attr:`degraded` is True regardless of telemetry
+        and actuation health, so overclock grants, recovery boosts, and
+        scale-in all stop. Unlike the other two paths the caller — an
+        :class:`~repro.emergency.EmergencyCoordinator` — applies its own
+        staged hysteresis, so the flag follows ``emergency`` directly.
+        Returns the facility-emergency flag.
+        """
+        if emergency and not self._facility_emergency:
+            self._facility_emergency = True
+            self.facility_emergency_events += 1
+            self.degrade_events += 1
+            self.last_condition = TelemetryDegraded(
+                f"facility emergency at t={time_s:.1f}s"
+                + (f" ({detail})" if detail else "")
+                + "; overclocking suspended until the coordinator stands down"
+            )
+        elif not emergency and self._facility_emergency:
+            self._facility_emergency = False
+            self.rearm_events += 1
+            if self.state is SafetyState.ARMED and not self._actuation_degraded:
+                self.last_condition = None
+        return self._facility_emergency
 
     def poll(self, time_s: float) -> FusedReading:
         """Sample the attached fusion and observe the result."""

@@ -5,8 +5,20 @@ depends on — per-core Aperf/Pperf counters, windowed utilization
 averages, latency percentiles, and time-weighted power statistics.
 """
 
-from .counters import CoreCounters, CounterDelta, CounterSnapshot
-from .export import write_json, write_records_csv, write_timeseries_csv
+from .counters import (
+    ControlPlaneCounters,
+    CoreCounters,
+    CounterDelta,
+    CounterSnapshot,
+    EmergencyCounters,
+)
+from .export import (
+    counters_payload,
+    write_counters_json,
+    write_json,
+    write_records_csv,
+    write_timeseries_csv,
+)
 from .histogram import LogHistogram
 from .metrics import Sample, StateIntegrator, Stopwatch, TimeSeries
 from .percentiles import LatencyRecorder, percentile
@@ -39,9 +51,13 @@ __all__ = [
     "write_records_csv",
     "write_timeseries_csv",
     "write_json",
+    "counters_payload",
+    "write_counters_json",
     "CoreCounters",
     "CounterDelta",
     "CounterSnapshot",
+    "ControlPlaneCounters",
+    "EmergencyCounters",
     "Sample",
     "StateIntegrator",
     "Stopwatch",

@@ -149,6 +149,11 @@ class ControlPlaneCounters:
     lease_expiries: int = 0
     #: Drift repairs issued by the reconciliation loop.
     reconcile_repairs: int = 0
+    #: Hosts whose repairs a persistently-open breaker starved for
+    #: ``starvation_threshold`` consecutive reconcile ticks.
+    reconcile_starved: int = 0
+    #: Emergency-priority attempts that went out past an open breaker.
+    emergency_bypasses: int = 0
 
     def merge(self, other: "ControlPlaneCounters") -> None:
         """Fold another counter set into this one (field-wise sum)."""
@@ -167,9 +172,54 @@ class ControlPlaneCounters:
         return ", ".join(parts) or "(no control-plane activity)"
 
 
+@dataclass
+class EmergencyCounters:
+    """Degradation-ladder health counters (the emergency path's story).
+
+    One instance is owned by an
+    :class:`~repro.emergency.EmergencyCoordinator`; read together with
+    :class:`ControlPlaneCounters` it answers "how bad did the facility
+    event get, and what did riding it out cost".
+    """
+
+    #: Ladder steps taken toward SHUTDOWN (one per stage crossed).
+    escalations: int = 0
+    #: Ladder steps walked back toward NORMAL as headroom returned.
+    relaxations: int = 0
+    #: Stage-1 engagements: fleet-wide overclock revokes issued.
+    overclock_revokes: int = 0
+    #: Stage-2 engagements: fleet-wide power caps applied.
+    power_caps: int = 0
+    #: Stage-3 engagements: VM evacuations off the hottest hosts.
+    evacuations: int = 0
+    #: Stage-4 engagements: controlled host shutdowns before Tjmax.
+    shutdowns: int = 0
+    #: Coordinator ticks spent above NORMAL (any stage engaged).
+    emergency_ticks: int = 0
+    #: Full recoveries: the ladder walked all the way back to NORMAL.
+    rearms: int = 0
+
+    def merge(self, other: "EmergencyCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no emergency activity)"
+
+
 __all__ = [
     "CoreCounters",
     "CounterSnapshot",
     "CounterDelta",
     "ControlPlaneCounters",
+    "EmergencyCounters",
 ]

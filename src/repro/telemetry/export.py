@@ -15,6 +15,7 @@ import pathlib
 from typing import Any, Iterable, Sequence
 
 from ..errors import ConfigurationError
+from .counters import ControlPlaneCounters, EmergencyCounters
 from .metrics import TimeSeries
 
 
@@ -85,4 +86,47 @@ def write_json(path: str | pathlib.Path, payload: Any) -> None:
     target.write_text(json.dumps(payload, indent=2, default=default) + "\n")
 
 
-__all__ = ["write_records_csv", "write_timeseries_csv", "write_json"]
+def counters_payload(
+    control: ControlPlaneCounters | None = None,
+    emergency: EmergencyCounters | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Machine-readable health payload (the ``BENCH_engine.json`` shape).
+
+    Sections are included only when their counters are supplied, so the
+    same helper serves control-plane-only runs and full emergency runs.
+    """
+    if control is None and emergency is None:
+        raise ConfigurationError("need at least one counter set to export")
+    payload: dict[str, Any] = {}
+    if control is not None:
+        payload["control_plane"] = dataclasses.asdict(control)
+    if emergency is not None:
+        payload["emergency"] = dataclasses.asdict(emergency)
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_counters_json(
+    path: str | pathlib.Path,
+    control: ControlPlaneCounters | None = None,
+    emergency: EmergencyCounters | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Dump control-plane and emergency-ladder counters as JSON.
+
+    Returns the payload written, for callers that also want it inline.
+    """
+    payload = counters_payload(control=control, emergency=emergency, extra=extra)
+    write_json(path, payload)
+    return payload
+
+
+__all__ = [
+    "write_records_csv",
+    "write_timeseries_csv",
+    "write_json",
+    "counters_payload",
+    "write_counters_json",
+]

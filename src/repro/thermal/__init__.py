@@ -23,6 +23,7 @@ from .cooling import (
 from .facility import (
     CondenserLoop,
     DryCooler,
+    FacilityState,
     ClimateProfile,
     TEMPERATE_CLIMATE,
     EVAPORATIVE_WUE_L_PER_KWH,
@@ -47,6 +48,7 @@ from .junction import (
 )
 from .tank import ImmersedLoad, ImmersionTank, large_tank, small_tank_1, small_tank_2
 from .transient import (
+    TankFluidRC,
     TemperaturePoint,
     ThermalCycle,
     ThermalRC,
@@ -56,12 +58,14 @@ from .transient import (
 
 __all__ = [
     "ThermalRC",
+    "TankFluidRC",
     "TemperaturePoint",
     "ThermalCycle",
     "count_cycles",
     "cycling_damage",
     "CondenserLoop",
     "DryCooler",
+    "FacilityState",
     "ClimateProfile",
     "TEMPERATE_CLIMATE",
     "EVAPORATIVE_WUE_L_PER_KWH",

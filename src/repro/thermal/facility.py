@@ -195,6 +195,62 @@ def wue_l_per_kwh(
     return liters / it_kwh
 
 
+@dataclass
+class FacilityState:
+    """Mutable health of one facility's heat-rejection chain.
+
+    This is the surface the ``facility-*`` fault injectors mutate: each
+    fault derates one multiplicative term, and the product — clamped to
+    [0, 1] — scales the nominal condenser capacity. A heat wave derates
+    through the dry cooler's shrinking approach margin instead: every
+    degree of ambient rise above nominal eats ``1/ambient_collapse_c``
+    of the rejection capacity, reaching zero when the outdoor air is as
+    hot as the loop itself.
+    """
+
+    #: Design-point outdoor temperature the dry cooler was sized for.
+    nominal_ambient_c: float = 22.0
+    #: Fraction of condenser pumping still running (pump failures).
+    pump_fraction: float = 1.0
+    #: Fraction of the facility-water feed still flowing (supply loss).
+    water_fraction: float = 1.0
+    #: Fraction of utility power still feeding pumps/fans (brownouts).
+    power_fraction: float = 1.0
+    #: Ambient rise above nominal, °C (heat waves, additive).
+    ambient_extra_c: float = 0.0
+    #: Ambient rise at which dry-cooler rejection collapses to zero.
+    ambient_collapse_c: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.ambient_collapse_c <= 0:
+            raise ConfigurationError("ambient collapse span must be positive")
+        for name in ("pump_fraction", "water_fraction", "power_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+    @property
+    def ambient_c(self) -> float:
+        return self.nominal_ambient_c + self.ambient_extra_c
+
+    def condenser_fraction(self) -> float:
+        """Fraction of nominal condenser capacity currently available."""
+        ambient_derate = max(0.0, 1.0 - self.ambient_extra_c / self.ambient_collapse_c)
+        fraction = (
+            self.pump_fraction
+            * self.water_fraction
+            * self.power_fraction
+            * ambient_derate
+        )
+        return min(1.0, max(0.0, fraction))
+
+    def effective_capacity_watts(self, nominal_watts: float) -> float:
+        """Heat the derated chain can actually reject."""
+        if nominal_watts < 0:
+            raise ConfigurationError("nominal capacity must be non-negative")
+        return nominal_watts * self.condenser_fraction()
+
+
 @dataclass(frozen=True)
 class VaporTrap:
     """One stage of vapor capture (mechanical at tank, chemical at facility)."""
@@ -261,6 +317,7 @@ def annual_vapor_budget(
 __all__ = [
     "CondenserLoop",
     "DryCooler",
+    "FacilityState",
     "ClimateProfile",
     "TEMPERATE_CLIMATE",
     "annual_water_use_liters",

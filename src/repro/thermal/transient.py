@@ -24,6 +24,7 @@ from typing import Sequence
 
 from ..errors import ConfigurationError
 from ..reliability.failure_modes import ThermalCycling
+from .fluids import DielectricFluid
 from .junction import JunctionModel
 
 #: Typical junction+package thermal time constant, seconds. Silicon die
@@ -54,6 +55,7 @@ class ThermalRC:
         self.tau_s = tau_s
         self._temp_c = junction.junction_temp_c(initial_power_watts)
         self._power_watts = initial_power_watts
+        self._reference_offset_c = 0.0
         self._last_time = 0.0
         self._trace: list[TemperaturePoint] = [TemperaturePoint(0.0, self._temp_c)]
 
@@ -74,6 +76,19 @@ class ThermalRC:
         self._advance(time)
         self._power_watts = power_watts
 
+    def set_reference_offset(self, time: float, offset_c: float) -> None:
+        """Shift the steady-state target by ``offset_c`` from ``time`` on.
+
+        This is the shared-tank coupling hook: the junction model's
+        reference is the fluid's *nominal* saturation temperature, and a
+        facility event that heats (or superheats) the pool moves every
+        immersed junction's steady-state target by the same offset.
+        """
+        if time < self._last_time:
+            raise ConfigurationError("reference steps must be applied in time order")
+        self._advance(time)
+        self._reference_offset_c = offset_c
+
     def sample(self, time: float) -> float:
         """Advance to ``time`` and return the junction temperature."""
         self._advance(time)
@@ -85,11 +100,137 @@ class ThermalRC:
             raise ConfigurationError("cannot integrate backwards")
         if span == 0:
             return
-        steady = self.junction.junction_temp_c(self._power_watts)
+        steady = self.junction.junction_temp_c(self._power_watts) + self._reference_offset_c
         decay = math.exp(-span / self.tau_s)
         self._temp_c = steady + (self._temp_c - steady) * decay
         self._last_time = time
         self._trace.append(TemperaturePoint(time, self._temp_c))
+
+
+class TankFluidRC:
+    """Lumped energy balance for a shared two-phase immersion pool.
+
+    The steady-state tank model assumes the condenser always wins; this
+    class integrates what happens when it cannot — a facility event
+    (pump loss, heat wave, brownout) cuts removal capacity below the
+    dissipated heat and the deficit goes into the pool's thermal mass.
+
+    The state is one unbounded "virtual temperature" ``V`` (joules
+    stored, expressed in °C of sensible heat). Two views decompose it
+    physically:
+
+    * ``fluid_temp_c = min(V, saturation)`` — the liquid can never read
+      above its boiling point at 1 atm; once it saturates, further
+      energy goes into vapor, not liquid temperature.
+    * ``superheat_c = max(0, V - saturation)`` — vapor pressure building
+      in the sealed tank, which raises every immersed junction's
+      effective reference exactly like a hotter pool would.
+
+    When cooling exceeds heat, ``V`` relaxes toward the equilibrium
+    subcool the condenser can hold (``saturation - nominal_subcool_c``
+    at full capacity, proportionally less when derated) and never rises
+    during a cooling step — which makes the pool temperature provably
+    monotone non-increasing in condenser capacity for a fixed heat
+    profile (a property test pins this down).
+    """
+
+    def __init__(
+        self,
+        fluid: DielectricFluid,
+        fluid_mass_grams: float,
+        nominal_capacity_watts: float,
+        specific_heat_j_per_g_k: float = 1.1,
+        nominal_subcool_c: float = 4.0,
+    ) -> None:
+        if fluid_mass_grams <= 0:
+            raise ConfigurationError("fluid mass must be positive")
+        if nominal_capacity_watts <= 0:
+            raise ConfigurationError("nominal condenser capacity must be positive")
+        if specific_heat_j_per_g_k <= 0:
+            raise ConfigurationError("specific heat must be positive")
+        if nominal_subcool_c < 0:
+            raise ConfigurationError("nominal subcool cannot be negative")
+        self.fluid = fluid
+        self.fluid_mass_grams = fluid_mass_grams
+        self.nominal_capacity_watts = nominal_capacity_watts
+        self.specific_heat_j_per_g_k = specific_heat_j_per_g_k
+        self.nominal_subcool_c = nominal_subcool_c
+        self._virtual_c = fluid.boiling_point_c - nominal_subcool_c
+        self._heat_watts = 0.0
+        self._capacity_watts = nominal_capacity_watts
+        self._last_time = 0.0
+
+    @property
+    def saturation_c(self) -> float:
+        """Boiling point at 1 atm — the liquid's hard ceiling."""
+        return self.fluid.boiling_point_c
+
+    @property
+    def fluid_temp_c(self) -> float:
+        return min(self._virtual_c, self.saturation_c)
+
+    @property
+    def superheat_c(self) -> float:
+        """Vapor-side excess once the liquid has saturated."""
+        return max(0.0, self._virtual_c - self.saturation_c)
+
+    @property
+    def reference_offset_c(self) -> float:
+        """Offset to feed every immersed :class:`ThermalRC`.
+
+        Junction models reference the fluid's *boiling point*; a healthy
+        subcooled pool sits below it (negative offset) and a superheated
+        sealed tank sits above it.
+        """
+        return self._virtual_c - self.saturation_c
+
+    @property
+    def heat_watts(self) -> float:
+        return self._heat_watts
+
+    @property
+    def capacity_watts(self) -> float:
+        return self._capacity_watts
+
+    def set_heat(self, time: float, watts: float) -> None:
+        """Step the dissipated heat at ``time``."""
+        if watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        self._advance(time)
+        self._heat_watts = watts
+
+    def set_capacity(self, time: float, watts: float) -> None:
+        """Step the effective condenser capacity at ``time``."""
+        if watts < 0:
+            raise ConfigurationError("capacity must be non-negative")
+        self._advance(time)
+        self._capacity_watts = watts
+
+    def sample(self, time: float) -> float:
+        """Advance to ``time`` and return the liquid temperature."""
+        self._advance(time)
+        return self.fluid_temp_c
+
+    def _advance(self, time: float) -> None:
+        span = time - self._last_time
+        if span < 0:
+            raise ConfigurationError("cannot integrate backwards")
+        if span == 0:
+            return
+        self._last_time = time
+        net_watts = self._heat_watts - self._capacity_watts
+        cp_mass = self.fluid_mass_grams * self.specific_heat_j_per_g_k
+        if net_watts >= 0:
+            # Deficit: the pool's thermal mass absorbs the difference.
+            self._virtual_c += net_watts * span / cp_mass
+            return
+        # Surplus: relax toward the subcool this capacity can hold, and
+        # never *raise* the pool during a cooling interval.
+        drop_c = (-net_watts) * span / cp_mass
+        derate = min(1.0, self._capacity_watts / self.nominal_capacity_watts)
+        equilibrium_c = self.saturation_c - self.nominal_subcool_c * derate
+        if self._virtual_c > equilibrium_c:
+            self._virtual_c = max(equilibrium_c, self._virtual_c - drop_c)
 
 
 @dataclass(frozen=True)
@@ -155,6 +296,7 @@ def cycling_damage(
 
 __all__ = [
     "ThermalRC",
+    "TankFluidRC",
     "TemperaturePoint",
     "ThermalCycle",
     "count_cycles",

@@ -369,6 +369,7 @@ class TestScenarios:
             "power-trip",
             "degraded-telemetry",
             "partition",
+            "heatwave",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

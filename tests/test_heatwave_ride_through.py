@@ -1,0 +1,115 @@
+"""Chaos acceptance for the facility-emergency ride-through.
+
+The contract under test (ISSUE acceptance criteria):
+
+* the naive fleet trips Tjmax and loses hosts + VMs;
+* the laddered fleet rides the same emergency out with **zero** Tjmax
+  violations, escalating all the way to controlled shutdown and back;
+* the emergency revoke bypasses open circuit breakers (the dropped
+  host's dead-man lease + starved reconciler are exercised en route);
+* full overclock is restored within a bounded number of control ticks
+  after the facility event clears;
+* the whole story is bit-identical per seed (timeline signature).
+
+Seeds come from ``REPRO_CHAOS_SEEDS`` (space-separated), mirroring the
+other chaos suites, so CI can widen the matrix without code changes.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.emergency import EmergencyStage
+from repro.experiments.heatwave_ride_through import (
+    EVENT_CLEAR_S,
+    TJMAX_C,
+    run_heatwave_mode,
+    run_heatwave_ride_through,
+)
+
+SEEDS = tuple(int(t) for t in os.environ.get("REPRO_CHAOS_SEEDS", "1 2 7").split())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_naive_trips_tjmax_while_laddered_rides_through(seed):
+    comparison = run_heatwave_ride_through(seed=seed)
+    naive, laddered = comparison.naive, comparison.laddered
+
+    # The naive fleet keeps overclocking into the cooling deficit and
+    # pays for it: at least one host crosses Tjmax and crash-stops.
+    assert naive.tjmax_violations >= 1
+    assert naive.hosts_tripped >= 1
+    assert naive.vms_lost >= 1
+    assert naive.peak_tj_c > TJMAX_C
+    assert naive.max_stage == int(EmergencyStage.NORMAL)
+
+    # The laddered fleet trades performance away instead of hosts.
+    assert laddered.tjmax_violations == 0
+    assert laddered.hosts_tripped == 0
+    assert laddered.vms_lost == 0
+    assert laddered.peak_tj_c < TJMAX_C
+    assert laddered.max_stage == int(EmergencyStage.SHUTDOWN)
+    assert laddered.vms_evacuated >= 1
+    assert laddered.hosts_shut_down >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_overclock_restored_within_bound_after_event_clears(seed):
+    comparison = run_heatwave_ride_through(seed=seed)
+    laddered = comparison.laddered
+    assert laddered.rearms >= 1
+    assert laddered.oc_restored_at_s is not None
+    assert laddered.oc_restored_at_s > EVENT_CLEAR_S
+    assert laddered.oc_restored_at_s - EVENT_CLEAR_S <= comparison.restore_bound_s
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_emergency_revoke_bypasses_the_open_breaker(seed):
+    laddered = run_heatwave_mode(True, seed=seed)
+    # The command drop opens a-0's breaker and expires its lease before
+    # the revoke lands; only emergency priority gets through, and the
+    # reconciler flags the host as starved rather than skipping quietly.
+    assert laddered.lease_reverts >= 1
+    assert laddered.emergency_bypasses >= 1
+    assert laddered.reconcile_starved >= 1
+
+    naive = run_heatwave_mode(False, seed=seed)
+    assert naive.emergency_bypasses == 0
+    assert naive.reconcile_starved == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_timeline_signature_is_bit_identical_across_reruns(seed):
+    first = run_heatwave_mode(True, seed=seed)
+    again = run_heatwave_mode(True, seed=seed)
+    assert first.timeline_signature == again.timeline_signature
+    assert first.timeline == again.timeline
+
+    naive = run_heatwave_mode(False, seed=seed)
+    assert naive.timeline_signature != first.timeline_signature
+
+
+def test_ladder_walks_every_rung_down_and_back_up():
+    laddered = run_heatwave_mode(True, seed=1)
+    escalations = [
+        event.target for event in laddered.timeline if event.kind == "emergency-escalate"
+    ]
+    relaxations = [
+        event.target for event in laddered.timeline if event.kind == "emergency-relax"
+    ]
+    assert escalations == ["revoke_overclock", "power_cap", "evacuate", "shutdown"]
+    assert relaxations == ["shutdown", "evacuate", "power_cap", "revoke_overclock"]
+
+
+def test_cli_heatwave_output_is_reproducible(capsys):
+    assert cli_main(["heatwave", "--seed", "3"]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["heatwave", "--seed", "3"]) == 0
+    again = capsys.readouterr().out
+    assert first == again
+    assert "Heat-wave ride-through" in first
+
+    assert cli_main(["heatwave", "--seed", "4"]) == 0
+    other = capsys.readouterr().out
+    assert other != first

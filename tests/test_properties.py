@@ -194,3 +194,66 @@ def test_junction_temperature_monotone_in_power(power, extra):
         hotter = junction.junction_temp_c(power + extra)
         assert hotter >= cooler - 1e-9
         assert cooler >= junction.reference_temp_c - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Tank pool: monotone in condenser capacity, bounded by saturation
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=3000.0),  # dissipated watts
+            st.floats(min_value=1.0, max_value=300.0),  # step span, s
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=50.0, max_value=1400.0),  # weaker condenser, W
+    st.floats(min_value=0.0, max_value=1350.0),  # extra capacity, W
+)
+def test_tank_fluid_monotone_non_increasing_in_condenser_capacity(
+    heat_steps, capacity, extra
+):
+    """For any fixed heat profile, a stronger condenser can never leave
+    the pool hotter — the emergency ladder's thresholds rely on this."""
+    from repro.thermal import FC_3284, TankFluidRC
+
+    weaker = TankFluidRC(FC_3284, 8_000.0, 1400.0)
+    stronger = TankFluidRC(FC_3284, 8_000.0, 1400.0)
+    weaker.set_capacity(0.0, capacity)
+    stronger.set_capacity(0.0, capacity + extra)
+    now = 0.0
+    for watts, span in heat_steps:
+        weaker.set_heat(now, watts)
+        stronger.set_heat(now, watts)
+        now += span
+        assert stronger.sample(now) <= weaker.sample(now) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5000.0),  # dissipated watts
+            st.floats(min_value=0.0, max_value=2000.0),  # condenser watts
+            st.floats(min_value=0.0, max_value=600.0),  # step span, s
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_tank_fluid_never_exceeds_saturation_at_one_atm(steps):
+    """The liquid reads at most its boiling point under any schedule;
+    the excess shows up as non-negative superheat instead."""
+    from repro.thermal import FC_3284, TankFluidRC
+
+    pool = TankFluidRC(FC_3284, 5_000.0, 1000.0)
+    now = 0.0
+    for watts, capacity, span in steps:
+        pool.set_heat(now, watts)
+        pool.set_capacity(now, capacity)
+        now += span
+        assert pool.sample(now) <= pool.saturation_c + 1e-9
+        assert pool.superheat_c >= 0.0
+        assert pool.fluid_temp_c == pool.sample(now)
