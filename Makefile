@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety test-control test-emergency lint bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control test-emergency test-power lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -48,17 +48,30 @@ test-emergency:
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_emergency.py \
 		tests/test_heatwave_ride_through.py -q
 
+# Power suite: the delivery tree and breaker curves, the budget
+# arbiter invariants (conservation, monotonicity), the vectorized
+# rollup equivalence, and the oversubscription-crisis acceptance
+# contract (naive trips the row breaker, arbitrated survives with zero
+# trips; signatures bit-identical) over the REPRO_CHAOS_SEEDS matrix.
+test-power:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_power_tree.py \
+		tests/test_power_arbiter.py tests/test_oversubscription_crisis.py -q
+
 lint:
 	ruff check src tests benchmarks
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only
 
-# Sweep-engine perf microbenchmark on a tiny grid: finishes in well
-# under 30 s and still checks serial == parallel == cached output.
+# Perf microbenchmarks that finish in well under 30 s: the sweep
+# engine on a tiny grid (serial == parallel == cached output) and the
+# vectorized power-budget enforcement at 1k/10k/100k hosts (emits
+# BENCH_power.json at the repo root).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		benchmarks/test_perf_engine.py -q -m perf
+		benchmarks/test_perf_engine.py benchmarks/test_perf_power.py -q -m perf
 
 clean-cache:
 	rm -rf .repro_cache

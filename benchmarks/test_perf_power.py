@@ -1,0 +1,106 @@
+"""Microbenchmark: vectorized power-budget enforcement at fleet scale.
+
+Builds uniform delivery trees at 1k / 10k / 100k hosts, drives the
+:class:`~repro.vector.rollup.VectorizedBudgetRollup` enforcement kernel
+over seeded draw vectors, and records hosts/second per size to
+``BENCH_power.json``. The scalar dict-walking path is also timed at the
+smallest size so the speedup of the struct-of-arrays layout is tracked
+across PRs.
+
+Asserted invariants:
+
+* vectorized enforcement output matches the scalar rollup numerically
+  at the smallest size (the full equivalence suite lives in
+  ``tests/test_power_tree.py``);
+* post-enforcement draws are under budget at every node, at every size;
+* the largest size covers at least 100k hosts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.power import build_uniform_hierarchy
+from repro.vector import VectorizedBudgetRollup
+
+#: (label, kwargs) per fleet size; 20 hosts/rack × 25 racks/row = 500
+#: hosts per row throughout.
+SIZES = (
+    ("1k", dict(hosts_per_rack=20, racks_per_row=25, rows_per_ups=2, ups_count=1)),
+    ("10k", dict(hosts_per_rack=20, racks_per_row=25, rows_per_ups=10, ups_count=2)),
+    ("100k", dict(hosts_per_rack=20, racks_per_row=25, rows_per_ups=10, ups_count=20)),
+)
+#: Enforcement passes timed per size (one pass = one control tick).
+ITERATIONS = 20
+SEED = 11
+
+
+def seeded_draws(count: int) -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    # Spread around the 400 W host rating so a realistic minority of
+    # subtrees is over budget and enforcement has real work to do.
+    return rng.uniform(100.0, 520.0, size=count)
+
+
+@pytest.mark.perf
+def test_perf_power_enforcement(emit, emit_json):
+    records = {}
+    lines = ["Vectorized power-budget enforcement (hosts/second)"]
+    for label, kwargs in SIZES:
+        tree = build_uniform_hierarchy(**kwargs)
+        built = time.perf_counter()
+        vector = VectorizedBudgetRollup(tree)
+        build_seconds = time.perf_counter() - built
+        draws = seeded_draws(len(vector.hosts))
+
+        started = time.perf_counter()
+        for _ in range(ITERATIONS):
+            factors = vector.enforce(draws)
+        enforce_seconds = (time.perf_counter() - started) / ITERATIONS
+
+        assert vector.over_budget(draws * factors) == []
+        hosts_per_second = len(vector.hosts) / enforce_seconds
+        records[label] = {
+            "hosts": len(vector.hosts),
+            "build_seconds": round(build_seconds, 6),
+            "enforce_seconds_per_tick": round(enforce_seconds, 6),
+            "hosts_per_second": round(hosts_per_second),
+        }
+        lines.append(
+            f"{label:>5s}: {len(vector.hosts):>7,} hosts  "
+            f"enforce {enforce_seconds * 1e3:8.3f} ms/tick  "
+            f"({hosts_per_second:,.0f} hosts/s)"
+        )
+
+    # Scalar-path comparison at the smallest size: same numbers, and
+    # the measured speedup is recorded for posterity.
+    small_tree = build_uniform_hierarchy(**SIZES[0][1])
+    small_vector = VectorizedBudgetRollup(small_tree)
+    draw_map = dict(zip(small_vector.hosts, seeded_draws(len(small_vector.hosts))))
+    started = time.perf_counter()
+    scalar_rolled = small_tree.rollup(draw_map)
+    scalar_seconds = time.perf_counter() - started
+    vector_rolled = small_vector.rollup(small_vector.draw_vector(draw_map))
+    for index, name in enumerate(small_vector.interior):
+        assert vector_rolled[index] == pytest.approx(scalar_rolled[name], rel=1e-12)
+
+    biggest = max(record["hosts"] for record in records.values())
+    assert biggest >= 100_000
+
+    lines.append(
+        f"scalar rollup @ {SIZES[0][0]}: {scalar_seconds * 1e3:.3f} ms/tick"
+    )
+    emit("perf_power", "\n".join(lines))
+    emit_json(
+        "power",
+        {
+            "sizes": records,
+            "max_hosts": biggest,
+            "iterations": ITERATIONS,
+            "seed": SEED,
+            "scalar_rollup_seconds_at_1k": round(scalar_seconds, 6),
+        },
+    )

@@ -22,6 +22,9 @@ Usage::
                                         # a seeded network partition
     python -m repro heatwave --seed 7   # facility emergency: naive trip-out
                                         # vs the staged degradation ladder
+    python -m repro oversubscribe --seed 7
+                                        # power-oversubscription crisis:
+                                        # naive breaker trips vs the arbiter
 
 Modelling errors (:class:`~repro.errors.ReproError`) exit with status 2
 and a one-line message; pass ``--debug`` to get the full traceback.
@@ -43,6 +46,7 @@ from .experiments import (
     heatwave_ride_through,
     highperf_vms,
     oversubscription,
+    oversubscription_crisis,
     packing_churn,
     partition_recovery,
     tco_experiments,
@@ -76,6 +80,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "degraded-telemetry": ("Guard behaviour under sensor faults: naive vs fail-safe (DES)", degraded_telemetry.format_degraded_telemetry, True),
     "partition": ("Actuation under a network partition: naive vs robust (DES, --seed)", partition_recovery.format_partition_recovery, True),
     "heatwave": ("Facility emergency ride-through: naive vs laddered (DES, --seed)", heatwave_ride_through.format_heatwave_ride_through, True),
+    "oversubscribe": ("Power-oversubscription crisis: naive vs arbitrated (DES, --seed)", oversubscription_crisis.format_oversubscription_crisis, True),
 }
 
 
@@ -243,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 heatwave_ride_through.format_heatwave_ride_through(
                     heatwave_ride_through.run_heatwave_ride_through(seed=seed)
+                )
+            )
+            return 0
+        if args.experiments == ["oversubscribe"]:
+            # Special-cased for the same reason as 'partition'.
+            print(
+                oversubscription_crisis.format_oversubscription_crisis(
+                    oversubscription_crisis.run_oversubscription_crisis(seed=seed)
                 )
             )
             return 0

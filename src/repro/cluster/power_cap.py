@@ -75,12 +75,20 @@ class PowerCapGovernor:
                     final_core_ghz=current.core_ghz,
                     final_watts=watts,
                 )
-            next_core = round(current.core_ghz - self.bin_ghz, 3)
-            if next_core < self.min_core_ghz:
+            if current.core_ghz <= self.min_core_ghz:
+                # The draw above was evaluated *at* the floor frequency,
+                # so the shortfall is the true unclosable gap.
                 raise PowerBudgetExceeded(
-                    f"host {host.host_id}: cannot satisfy cap {cap_watts:.0f} W even "
-                    f"at {self.min_core_ghz} GHz (draw {watts:.0f} W)"
+                    f"host {host.host_id}: cannot satisfy cap {cap_watts:.0f} W "
+                    f"even at {current.core_ghz:g} GHz (draw {watts:.0f} W, "
+                    f"shortfall {watts - cap_watts:.0f} W)"
                 )
+            # Clamp the last step to the floor instead of skipping past
+            # it: a cap satisfiable only at exactly min_core_ghz must be
+            # satisfied, not raised on.
+            next_core = max(
+                round(current.core_ghz - self.bin_ghz, 3), self.min_core_ghz
+            )
             current = _downbinned(current, next_core)
 
     def enforce_fleet(
@@ -94,8 +102,11 @@ class PowerCapGovernor:
         The degradation ladder's stage-2 action: when the *facility* is
         the constraint, priority games are pointless — every watt heats
         the same shared pool, so every host caps alike. Failed (or shut
-        down) hosts draw nothing and are skipped.
+        down) hosts draw nothing and are skipped; an empty fleet is a
+        no-op, not an error.
         """
+        if not hosts:
+            return []
         return [
             self.enforce(host, cap_watts_per_host, utilization)
             for host in hosts
@@ -139,12 +150,13 @@ class PowerCapGovernor:
                 result = self.enforce(host, max(target, 1.0), utilization)
             except PowerBudgetExceeded:
                 # Floor reached: take what we can get at minimum frequency.
+                original_core_ghz = host.config.core_ghz
                 floor_config = _downbinned(host.config, self.min_core_ghz)
                 host.set_config(floor_config)
                 result = CapResult(
                     host_id=host.host_id,
                     capped=True,
-                    original_core_ghz=host.config.core_ghz,
+                    original_core_ghz=original_core_ghz,
                     final_core_ghz=self.min_core_ghz,
                     final_watts=host.power_watts(utilization),
                 )

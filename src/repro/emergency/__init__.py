@@ -14,6 +14,7 @@ from .ladder import (
     EmergencyStage,
     LadderConfig,
     StageActions,
+    StagedLadder,
     worst_margin_c,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "EmergencyStage",
     "LadderConfig",
     "StageActions",
+    "StagedLadder",
     "worst_margin_c",
 ]

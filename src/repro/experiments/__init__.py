@@ -37,6 +37,7 @@ from . import (
     heatwave_ride_through,
     highperf_vms,
     oversubscription,
+    oversubscription_crisis,
     packing_churn,
     partition_recovery,
     tco_experiments,
@@ -55,6 +56,7 @@ __all__ = [
     "characterization",
     "highperf_vms",
     "oversubscription",
+    "oversubscription_crisis",
     "tco_experiments",
     "usecases",
     "render_table",

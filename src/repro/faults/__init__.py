@@ -28,17 +28,21 @@ from .injectors import (
     FaultCampaign,
     FaultInjector,
     HostFailureInjector,
+    PowerPredictionFaultInjector,
+    PowerSurgeInjector,
     PowerTripInjector,
     SensorFaultInjector,
     ThermalExcursionInjector,
     VMCrashInjector,
     register_channel_injectors,
     register_facility_injectors,
+    register_power_injectors,
     register_sensor_injectors,
 )
 from .plan import (
     CHANNEL_FAULT_KINDS,
     FACILITY_FAULT_KINDS,
+    POWER_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -50,12 +54,16 @@ __all__ = [
     "SENSOR_FAULT_KINDS",
     "CHANNEL_FAULT_KINDS",
     "FACILITY_FAULT_KINDS",
+    "POWER_FAULT_KINDS",
     "SensorFaultInjector",
     "ChannelFaultInjector",
     "FacilityFaultInjector",
+    "PowerPredictionFaultInjector",
+    "PowerSurgeInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",
+    "register_power_injectors",
     "FaultKind",
     "FaultSpec",
     "FaultPlan",

@@ -24,6 +24,7 @@ from typing import Callable, Mapping
 from ..cluster.power_delivery import PowerNode
 from ..control.channel import LossyChannel
 from ..errors import FaultError, InjectionError
+from ..power.predictor import PeakPowerPredictor
 from ..reliability.stability import DEFAULT_ERRORS_PER_CRASH, StabilityModel
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
@@ -633,6 +634,147 @@ class FacilityFaultInjector(FaultInjector):
         campaign.simulator.after(delay, fire, name=f"fault:facility:{spec.target}")
 
 
+class PowerPredictionFaultInjector(FaultInjector):
+    """Biases the peak-power predictor instead of breaking hardware.
+
+    ``magnitude`` is the under-prediction fraction (0 < m < 1): every
+    prediction scales down by it, so admission control keeps clearing
+    VMs against watts that will not be there at peak. The target names a
+    :class:`~repro.power.predictor.PeakPowerPredictor`;
+    ``duration_s > 0`` schedules the bias clear. This is the quiet fault
+    of the family — nothing trips at injection time; the damage surfaces
+    only when real draws exceed the optimistic grants.
+    """
+
+    kind = FaultKind.POWER_UNDERPREDICTION
+
+    def __init__(
+        self,
+        predictors: Mapping[str, PeakPowerPredictor],
+        on_fault: Callable[[str, FaultSpec], None] | None = None,
+        on_clear: Callable[[str], None] | None = None,
+    ) -> None:
+        self.predictors = dict(predictors)
+        self.on_fault = on_fault
+        self.on_clear = on_clear
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        if not 0.0 < spec.magnitude < 1.0:
+            raise InjectionError(
+                "power-underprediction magnitude is the fraction predictions "
+                f"shrink by; need 0 < m < 1, got {spec.magnitude}"
+            )
+        _lookup(self.predictors, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            predictor = _lookup(self.predictors, spec.target, self.kind)
+            predictor.inject_bias(spec.magnitude)
+            campaign.timeline.record(
+                campaign.simulator.now,
+                spec.kind.value,
+                spec.target,
+                f"bias={spec.magnitude:g}",
+            )
+            if self.on_fault is not None:
+                self.on_fault(spec.target, spec)
+            if spec.duration_s > 0:
+
+                def clear() -> None:
+                    predictor.clear_bias()
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, spec.target,
+                        "prediction bias cleared",
+                    )
+                    if self.on_clear is not None:
+                        self.on_clear(spec.target)
+
+                campaign.simulator.after(
+                    spec.duration_s,
+                    clear,
+                    name=f"fault:power-predict-clear:{spec.target}",
+                )
+
+        campaign.simulator.after(
+            delay, fire, name=f"fault:power-predict:{spec.target}"
+        )
+
+
+class PowerSurgeInjector(FaultInjector):
+    """Synchronized demand peaks: the diversity bet lost all at once.
+
+    ``magnitude`` is the fractional draw increase (0.3 = every host in
+    the target subtree pulls 30% above its metered baseline) — the
+    correlated-peak event oversubscription bets against. The injector
+    acts through callbacks so the same campaign drives a bare draw model
+    in unit tests and the full crisis experiment: ``on_surge(target,
+    fraction)`` at fire time, ``on_end(target)`` after ``duration_s``.
+    """
+
+    kind = FaultKind.POWER_SURGE
+
+    def __init__(
+        self,
+        on_surge: Callable[[str, float], None],
+        on_end: Callable[[str], None] | None = None,
+        targets: Mapping[str, object] | None = None,
+    ) -> None:
+        self.on_surge = on_surge
+        self.on_end = on_end
+        self.targets = dict(targets) if targets is not None else None
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        if spec.magnitude <= 0.0:
+            raise InjectionError(
+                "power-surge magnitude is a positive fractional draw increase"
+            )
+        if self.targets is not None:
+            _lookup(self.targets, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            self.on_surge(spec.target, spec.magnitude)
+            campaign.timeline.record(
+                campaign.simulator.now,
+                spec.kind.value,
+                spec.target,
+                f"+{spec.magnitude:g}x draw",
+            )
+            if spec.duration_s > 0:
+
+                def end() -> None:
+                    campaign.timeline.record(
+                        campaign.simulator.now, RECOVERED, spec.target, "surge ended"
+                    )
+                    if self.on_end is not None:
+                        self.on_end(spec.target)
+
+                campaign.simulator.after(
+                    spec.duration_s, end, name=f"fault:power-surge-end:{spec.target}"
+                )
+
+        campaign.simulator.after(delay, fire, name=f"fault:power-surge:{spec.target}")
+
+
+def register_power_injectors(
+    campaign: FaultCampaign,
+    predictors: Mapping[str, PeakPowerPredictor],
+    on_surge: Callable[[str, float], None],
+    on_surge_end: Callable[[str], None] | None = None,
+    surge_targets: Mapping[str, object] | None = None,
+) -> FaultCampaign:
+    """Register both ``power-*`` injectors against one campaign."""
+    campaign.register(PowerPredictionFaultInjector(predictors))
+    campaign.register(
+        PowerSurgeInjector(on_surge, on_end=on_surge_end, targets=surge_targets)
+    )
+    return campaign
+
+
 def register_facility_injectors(
     campaign: FaultCampaign,
     facilities: Mapping[str, FacilityState],
@@ -685,9 +827,12 @@ __all__ = [
     "SensorFaultInjector",
     "ChannelFaultInjector",
     "FacilityFaultInjector",
+    "PowerPredictionFaultInjector",
+    "PowerSurgeInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",
+    "register_power_injectors",
     "TJ_ALARM",
     "BREAKER_BREACH",
     "RECOVERED",

@@ -67,6 +67,14 @@ class FaultKind(Enum):
     #: Utility brownout: fraction ``magnitude`` of the facility's pump
     #: and fan power disappears for ``duration_s``.
     FACILITY_BROWNOUT = "facility-brownout"
+    #: Power-prediction bias: the peak-power predictor under-predicts by
+    #: fraction ``magnitude`` for ``duration_s`` — oversubscription's
+    #: core failure mode (admissions clear against optimistic numbers).
+    POWER_UNDERPREDICTION = "power-underprediction"
+    #: Power surge: every host in the target subtree draws an extra
+    #: fraction ``magnitude`` above its metered baseline for
+    #: ``duration_s`` (synchronized peak — the diversity bet lost).
+    POWER_SURGE = "power-surge"
 
 
 #: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
@@ -100,6 +108,16 @@ FACILITY_FAULT_KINDS: frozenset[FaultKind] = frozenset(
         FaultKind.FACILITY_WATER,
         FaultKind.FACILITY_HEATWAVE,
         FaultKind.FACILITY_BROWNOUT,
+    }
+)
+
+
+#: The power-delivery subset of :class:`FaultKind` (the oversubscription
+#: bet going wrong: optimistic predictions or synchronized peaks).
+POWER_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.POWER_UNDERPREDICTION,
+        FaultKind.POWER_SURGE,
     }
 )
 
@@ -186,4 +204,5 @@ __all__ = [
     "SENSOR_FAULT_KINDS",
     "CHANNEL_FAULT_KINDS",
     "FACILITY_FAULT_KINDS",
+    "POWER_FAULT_KINDS",
 ]

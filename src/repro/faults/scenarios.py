@@ -250,6 +250,18 @@ def _heatwave(seed: int) -> str:
     return format_heatwave_ride_through(run_heatwave_ride_through(seed=seed))
 
 
+def _oversubscribe(seed: int) -> str:
+    """Predictor bias + synchronized surge: naive fleet vs the power
+    arbiter (see :mod:`repro.experiments.oversubscription_crisis`)."""
+    # Imported lazily, mirroring _host_failure.
+    from ..experiments.oversubscription_crisis import (
+        format_oversubscription_crisis,
+        run_oversubscription_crisis,
+    )
+
+    return format_oversubscription_crisis(run_oversubscription_crisis(seed=seed))
+
+
 def _degraded_telemetry(seed: int) -> str:
     """Sensor faults masking a coolant excursion: naive vs fail-safe
     control (see :mod:`repro.experiments.degraded_telemetry`)."""
@@ -308,6 +320,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "heatwave",
             "Condenser loss + heat wave: naive trip-out vs the emergency ladder",
             _heatwave,
+        ),
+        ScenarioSpec(
+            "oversubscribe",
+            "Predictor bias + synchronized surge: naive trips vs the arbiter",
+            _oversubscribe,
         ),
     )
 }

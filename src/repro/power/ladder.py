@@ -1,0 +1,196 @@
+"""The power-emergency ladder: staged ride-through of a budget breach.
+
+When metered draw eats into the safety margin of *any* node in the
+delivery tree — because the predictor under-predicted, or a surge piled
+real draw on top of honest predictions — breakers start accumulating
+heat and the fleet is minutes from losing a whole subtree. The
+:class:`PowerEmergencyCoordinator` walks the same hysteretic
+:class:`~repro.emergency.StagedLadder` the thermal coordinator uses,
+but over an *electrical* margin: the worst headroom fraction
+``min (rated − draw) / rated`` across the tree.
+
+The rungs, cheapest first:
+
+1. **CAP_LOW_PRIORITY** — power-cap the low-priority hosts (their SLA
+   tolerates the frequency loss; every watt saved cools breakers).
+2. **REVOKE_OVERCLOCK** — revoke every overclock grant fleet-wide,
+   issued at *emergency* priority so an open circuit breaker on the
+   command path cannot veto the revoke.
+3. **SHED_LOAD** — suspend the lowest-priority VMs; their granted watts
+   return to every level of the tree at once.
+4. **ISOLATE** — controlled power-off of the subtree feeding the
+   overloaded node, trading those hosts for the rest of the row.
+
+Escalation is immediate (a surge can cross several rungs in one tick);
+relaxation requires the headroom fraction to clear the current rung's
+threshold plus hysteresis for consecutive clean ticks, and the ladder
+re-arms (overclocks may be granted again) only after walking all the
+way back to NORMAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING
+
+from ..emergency import StagedLadder
+from ..errors import ConfigurationError
+from ..telemetry.counters import PowerEmergencyCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.timeline import FaultTimeline
+    from ..reliability.safety import SafetySupervisor
+
+#: Timeline kind recorded when the power ladder steps up one rung.
+POWER_ESCALATE = "power-escalate"
+
+#: Timeline kind recorded when the power ladder steps down one rung.
+POWER_RELAX = "power-relax"
+
+
+class PowerEmergencyStage(IntEnum):
+    """Power ladder rungs, ordered by severity (and customer cost)."""
+
+    NORMAL = 0
+    CAP_LOW_PRIORITY = 1
+    REVOKE_OVERCLOCK = 2
+    SHED_LOAD = 3
+    ISOLATE = 4
+
+
+@dataclass(frozen=True)
+class PowerLadderConfig:
+    """Headroom-fraction thresholds and hysteresis of the power ladder.
+
+    Margins are the tree's worst headroom fraction,
+    ``min (rated − draw) / rated`` over every node — dimensionless, so
+    the same config covers a 2-rack testbed and a 100k-host region. A
+    stage engages when the fraction falls to its threshold or below;
+    thresholds must therefore be strictly decreasing down the ladder.
+    """
+
+    #: Headroom fraction at or below which low-priority hosts are capped.
+    cap_fraction: float = 0.12
+    #: Headroom fraction at or below which overclocks are revoked.
+    revoke_fraction: float = 0.08
+    #: Headroom fraction at or below which load shedding begins.
+    shed_fraction: float = 0.04
+    #: Headroom fraction at or below which the subtree is isolated.
+    isolate_fraction: float = 0.015
+    #: Extra fraction (beyond the current rung's threshold) required
+    #: before a tick counts as clean for relaxation.
+    hysteresis_fraction: float = 0.03
+    #: Consecutive clean ticks before the ladder steps down one rung.
+    relax_clean_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        rungs = (
+            self.cap_fraction,
+            self.revoke_fraction,
+            self.shed_fraction,
+            self.isolate_fraction,
+        )
+        if any(lower >= upper for upper, lower in zip(rungs, rungs[1:])):
+            raise ConfigurationError(
+                "power ladder fractions must be strictly decreasing "
+                "(cap > revoke > shed > isolate)"
+            )
+        if self.hysteresis_fraction <= 0:
+            raise ConfigurationError("hysteresis must be positive")
+        if self.relax_clean_ticks < 1:
+            raise ConfigurationError("relax_clean_ticks must be at least 1")
+
+    def fraction_for(self, stage: PowerEmergencyStage) -> float:
+        """The engage threshold of ``stage`` (not defined for NORMAL)."""
+        if stage is PowerEmergencyStage.NORMAL:
+            raise ConfigurationError("NORMAL has no engage threshold")
+        return {
+            PowerEmergencyStage.CAP_LOW_PRIORITY: self.cap_fraction,
+            PowerEmergencyStage.REVOKE_OVERCLOCK: self.revoke_fraction,
+            PowerEmergencyStage.SHED_LOAD: self.shed_fraction,
+            PowerEmergencyStage.ISOLATE: self.isolate_fraction,
+        }[stage]
+
+
+#: Per-stage counter attribute on :class:`PowerEmergencyCounters`.
+_STAGE_COUNTER = {
+    PowerEmergencyStage.CAP_LOW_PRIORITY: "low_priority_caps",
+    PowerEmergencyStage.REVOKE_OVERCLOCK: "overclock_revokes",
+    PowerEmergencyStage.SHED_LOAD: "load_sheds",
+    PowerEmergencyStage.ISOLATE: "isolations",
+}
+
+
+class PowerEmergencyCoordinator(StagedLadder):
+    """Walks the power degradation ladder against the worst headroom.
+
+    Wire stage actions with :meth:`register`, then call :meth:`observe`
+    once per control tick with the tree's current worst headroom
+    fraction (:meth:`~repro.power.tree.PowerDeliveryHierarchy.worst_headroom_fraction`).
+    Mirrors its engaged/relaxed state into the
+    :class:`~repro.reliability.safety.SafetySupervisor` so overclock
+    grants, recovery boosts, and scale-in stop while any rung holds.
+    """
+
+    def __init__(
+        self,
+        config: PowerLadderConfig | None = None,
+        safety: "SafetySupervisor | None" = None,
+        timeline: "FaultTimeline | None" = None,
+        counters: PowerEmergencyCounters | None = None,
+    ) -> None:
+        self.config = config if config is not None else PowerLadderConfig()
+        super().__init__(
+            stages=PowerEmergencyStage,
+            thresholds={
+                stage: self.config.fraction_for(stage)
+                for stage in PowerEmergencyStage
+                if stage is not PowerEmergencyStage.NORMAL
+            },
+            hysteresis=self.config.hysteresis_fraction,
+            relax_clean_ticks=self.config.relax_clean_ticks,
+            timeline=timeline,
+            escalate_kind=POWER_ESCALATE,
+            relax_kind=POWER_RELAX,
+            margin_format=lambda margin: f"headroom={margin:.3f}",
+        )
+        self.safety = safety
+        self.counters = counters if counters is not None else PowerEmergencyCounters()
+
+    def observe(self, time_s: float, headroom_fraction: float) -> PowerEmergencyStage:
+        """Fold one control tick's worst headroom fraction into the ladder."""
+        stage = super().observe(time_s, headroom_fraction)
+        if self.safety is not None:
+            self.safety.observe_facility(
+                time_s,
+                self.emergency,
+                detail=(
+                    f"power ladder stage {self.stage.name} "
+                    f"headroom={headroom_fraction:.3f}"
+                ),
+            )
+        return stage
+
+    def _on_escalate(self, stage: IntEnum) -> None:
+        self.counters.escalations += 1
+        counter = _STAGE_COUNTER[PowerEmergencyStage(stage)]
+        setattr(self.counters, counter, getattr(self.counters, counter) + 1)
+
+    def _on_relax(self, released: IntEnum) -> None:
+        self.counters.relaxations += 1
+        if self.stage is PowerEmergencyStage.NORMAL:
+            self.counters.rearms += 1
+
+    def _on_tick(self) -> None:
+        if self.emergency:
+            self.counters.emergency_ticks += 1
+
+
+__all__ = [
+    "POWER_ESCALATE",
+    "POWER_RELAX",
+    "PowerEmergencyStage",
+    "PowerLadderConfig",
+    "PowerEmergencyCoordinator",
+]

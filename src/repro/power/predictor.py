@@ -1,0 +1,148 @@
+"""Per-VM peak-power prediction: class priors + online percentiles.
+
+Prediction-based oversubscription (Kumbhare et al.) admits VMs against a
+*predicted* peak rather than the nameplate worst case. The predictor
+here mirrors that design at simulation scale:
+
+* **Workload-class priors** — every VM arrives tagged with a workload
+  class (the Table IX catalog names double as classes); each class
+  carries a prior peak draw per vcore, the cold-start estimate.
+* **Online percentile estimation** — metered per-vcore draws observed
+  from telemetry (the same counters the auto-scaler reads) accumulate
+  in a bounded per-class window; once enough samples exist the
+  prediction switches from the prior to the window's P99 (via
+  :func:`repro.telemetry.percentiles.percentile`, so the estimate is
+  numerically identical to the paper's reporting path).
+* **Injectable under-prediction** — the ``power-underprediction``
+  :class:`~repro.faults.plan.FaultKind` scales predictions down by a
+  fraction, the exact failure mode that makes oversubscription
+  dangerous: every consumer (naive admission and the arbiter alike)
+  sees optimistic numbers, and only metered enforcement can save the
+  breakers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..telemetry.percentiles import percentile
+
+
+@dataclass(frozen=True)
+class WorkloadClassPrior:
+    """Cold-start peak-draw estimate for one workload class."""
+
+    name: str
+    peak_watts_per_vcore: float
+
+    def __post_init__(self) -> None:
+        if self.peak_watts_per_vcore <= 0:
+            raise ConfigurationError(
+                f"{self.name}: prior peak watts per vcore must be positive"
+            )
+
+
+#: Default priors, loosely following the Table IX bottleneck profiles:
+#: core-bound classes pull the most power per vcore, IO-bound the least.
+DEFAULT_PRIORS: dict[str, WorkloadClassPrior] = {
+    prior.name: prior
+    for prior in (
+        WorkloadClassPrior("sql", 7.5),
+        WorkloadClassPrior("training", 9.0),
+        WorkloadClassPrior("key-value", 6.5),
+        WorkloadClassPrior("web", 5.5),
+        WorkloadClassPrior("batch", 8.0),
+    )
+}
+
+
+class PeakPowerPredictor:
+    """Predicts a VM's peak draw from its class and metered history."""
+
+    def __init__(
+        self,
+        priors: Mapping[str, WorkloadClassPrior] | None = None,
+        quantile: float = 99.0,
+        window: int = 512,
+        min_samples: int = 16,
+    ) -> None:
+        if not 0.0 < quantile <= 100.0:
+            raise ConfigurationError("quantile must be in (0, 100]")
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        if min_samples < 1:
+            raise ConfigurationError("min_samples must be at least 1")
+        self.priors = dict(priors if priors is not None else DEFAULT_PRIORS)
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self._windows: dict[str, deque[float]] = {
+            name: deque(maxlen=window) for name in self.priors
+        }
+        #: Injected under-prediction: predictions scale by (1 − bias).
+        self._bias_fraction = 0.0
+
+    # ------------------------------------------------------------------
+    # Telemetry ingestion
+    # ------------------------------------------------------------------
+    def observe(self, workload_class: str, watts_per_vcore: float) -> None:
+        """Feed one metered per-vcore draw sample from telemetry."""
+        if watts_per_vcore < 0:
+            raise ConfigurationError("metered draw cannot be negative")
+        window = self._windows.get(workload_class)
+        if window is None:
+            raise ConfigurationError(
+                f"unknown workload class {workload_class!r} "
+                f"(knows: {', '.join(sorted(self.priors))})"
+            )
+        window.append(watts_per_vcore)
+
+    def samples(self, workload_class: str) -> int:
+        return len(self._windows[workload_class])
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def peak_watts_per_vcore(self, workload_class: str) -> float:
+        """The current estimate: window P-quantile once warm, else prior."""
+        prior = self.priors.get(workload_class)
+        if prior is None:
+            raise ConfigurationError(
+                f"unknown workload class {workload_class!r} "
+                f"(knows: {', '.join(sorted(self.priors))})"
+            )
+        window = self._windows[workload_class]
+        if len(window) >= self.min_samples:
+            estimate = percentile(tuple(window), self.quantile)
+        else:
+            estimate = prior.peak_watts_per_vcore
+        return estimate * (1.0 - self._bias_fraction)
+
+    def predict_vm_peak_watts(self, workload_class: str, vcores: int) -> float:
+        """Predicted peak draw of one VM of the given shape."""
+        if vcores < 1:
+            raise ConfigurationError("a VM needs at least one vcore")
+        return self.peak_watts_per_vcore(workload_class) * vcores
+
+    # ------------------------------------------------------------------
+    # Fault injection (the power-underprediction kind)
+    # ------------------------------------------------------------------
+    @property
+    def bias_fraction(self) -> float:
+        return self._bias_fraction
+
+    def inject_bias(self, fraction: float) -> None:
+        """Scale every prediction down by ``fraction`` (0 < f < 1)."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(
+                f"under-prediction bias must be in (0, 1), got {fraction}"
+            )
+        self._bias_fraction = fraction
+
+    def clear_bias(self) -> None:
+        self._bias_fraction = 0.0
+
+
+__all__ = ["WorkloadClassPrior", "DEFAULT_PRIORS", "PeakPowerPredictor"]

@@ -216,10 +216,60 @@ class EmergencyCounters:
         return ", ".join(parts) or "(no emergency activity)"
 
 
+@dataclass
+class PowerEmergencyCounters:
+    """Power-delivery ladder health counters (the oversubscription story).
+
+    One instance is owned by a
+    :class:`~repro.power.ladder.PowerEmergencyCoordinator`; read together
+    with :class:`EmergencyCounters` it answers "how close did the fleet
+    come to tripping a breaker, and what did staying under the limit
+    cost".
+    """
+
+    #: Ladder steps taken toward ISOLATE (one per stage crossed).
+    escalations: int = 0
+    #: Ladder steps walked back toward NORMAL as headroom returned.
+    relaxations: int = 0
+    #: Stage-1 engagements: low-priority hosts power-capped.
+    low_priority_caps: int = 0
+    #: Stage-2 engagements: fleet-wide overclock revokes issued.
+    overclock_revokes: int = 0
+    #: Stage-3 engagements: load sheds (lowest-priority VMs suspended).
+    load_sheds: int = 0
+    #: Stage-4 engagements: subtree isolations (controlled power-off).
+    isolations: int = 0
+    #: Coordinator ticks spent above NORMAL (any stage engaged).
+    emergency_ticks: int = 0
+    #: Full recoveries: the ladder walked all the way back to NORMAL.
+    rearms: int = 0
+    #: VM admissions denied by the budget arbiter for want of headroom.
+    admissions_denied: int = 0
+    #: Overclock grants denied by the budget arbiter.
+    overclocks_denied: int = 0
+
+    def merge(self, other: "PowerEmergencyCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no power-emergency activity)"
+
+
 __all__ = [
     "CoreCounters",
     "CounterSnapshot",
     "CounterDelta",
     "ControlPlaneCounters",
     "EmergencyCounters",
+    "PowerEmergencyCounters",
 ]

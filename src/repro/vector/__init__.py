@@ -1,0 +1,14 @@
+"""Vectorized fleet-scale kernels over the simulation's object models.
+
+The object-graph models (`repro.power.tree`, `repro.cluster`) are built
+for legibility at experiment scale — tens of hosts, one Python object
+per node. Region-scale questions ("would this budget policy hold at
+100k hosts?") need the same math as flat array programs. This package
+holds those kernels; each one is constructed *from* the corresponding
+object model so the two paths cannot drift apart structurally, and each
+carries an equivalence test pinning its numerics to the scalar path.
+"""
+
+from .rollup import VectorizedBudgetRollup
+
+__all__ = ["VectorizedBudgetRollup"]

@@ -29,6 +29,7 @@ from repro.emergency import (
 from repro.errors import ConfigurationError, TelemetryDegraded
 from repro.faults import (
     FACILITY_FAULT_KINDS,
+    POWER_FAULT_KINDS,
     FaultCampaign,
     FaultKind,
     FaultPlan,
@@ -499,10 +500,12 @@ def test_cli_faults_list_is_sorted_and_complete(capsys):
     kinds = [line.strip() for line in lines[1:blank]]
     assert kinds == sorted(kinds)
     assert {kind.value for kind in FACILITY_FAULT_KINDS} <= set(kinds)
+    assert {kind.value for kind in POWER_FAULT_KINDS} <= set(kinds)
     assert lines[blank + 1] == "Fault scenarios:"
     scenarios = [line.split()[0] for line in lines[blank + 2 :] if line.strip()]
     assert scenarios == sorted(scenarios)
     assert "heatwave" in scenarios
+    assert "oversubscribe" in scenarios
 
     # Stable across invocations (the docs-diffability contract).
     assert cli_main(["faults", "--list"]) == 0

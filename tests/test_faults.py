@@ -370,6 +370,7 @@ class TestScenarios:
             "degraded-telemetry",
             "partition",
             "heatwave",
+            "oversubscribe",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

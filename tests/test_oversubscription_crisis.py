@@ -1,0 +1,97 @@
+"""The oversubscription crisis experiment: acceptance contract.
+
+Per seed: the naive fleet (trusting the biased predictor) trips at
+least the row breaker and loses hosts and VMs; the arbitrated fleet
+rides the identical fault schedule out with zero trips, a bounded
+staged response, and overclocks re-granted after the surge — and both
+timelines reproduce bit-for-bit from the seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.oversubscription_crisis import (
+    LOW_PRIORITY_RACK,
+    SURGE_TARGET,
+    build_crisis_hierarchy,
+    format_oversubscription_crisis,
+    run_oversubscription_crisis,
+    run_oversubscription_mode,
+)
+from repro.power import DeliveryLevel, PowerEmergencyStage
+
+SEEDS = [int(token) for token in os.environ.get("REPRO_CHAOS_SEEDS", "1 2").split()]
+
+
+class TestCrisisOutcomes:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_naive_trips_row_breaker_and_loses_vms(self, seed):
+        naive = run_oversubscription_mode(False, seed=seed)
+        assert naive.row_breaker_trips >= 1
+        assert naive.hosts_lost > 0
+        assert naive.vms_lost > 0
+        # No ladder: the naive fleet never escalates anything.
+        assert naive.max_stage == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_arbitrated_rides_through_with_zero_trips(self, seed):
+        arbitrated = run_oversubscription_mode(True, seed=seed)
+        assert arbitrated.breaker_trips == ()
+        assert arbitrated.hosts_lost == 0
+        assert arbitrated.vms_lost == 0
+        # Bounded performance loss, not a blackout: the ladder reached
+        # at least the overclock-revoke rung, shed some low-priority
+        # VMs at worst, and re-granted overclocks after the surge.
+        assert arbitrated.max_stage >= int(PowerEmergencyStage.REVOKE_OVERCLOCK)
+        assert arbitrated.oc_regranted_at_s is not None
+        assert arbitrated.rearms >= 1
+        # The arbiter denied the admissions the naive fleet waved in.
+        assert arbitrated.admissions_denied > 0
+        assert arbitrated.vms_admitted < arbitrated.vms_requested
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_reproduces_timeline_bit_for_bit(self, seed):
+        first = run_oversubscription_crisis(seed=seed)
+        second = run_oversubscription_crisis(seed=seed)
+        assert (
+            first.naive.timeline_signature == second.naive.timeline_signature
+        )
+        assert (
+            first.arbitrated.timeline_signature
+            == second.arbitrated.timeline_signature
+        )
+        assert first.naive.timeline == second.naive.timeline
+        assert first.arbitrated.timeline == second.arbitrated.timeline
+
+    def test_different_seeds_differ(self):
+        a = run_oversubscription_mode(True, seed=SEEDS[0])
+        b = run_oversubscription_mode(True, seed=SEEDS[0] + 1000)
+        assert a.timeline_signature != b.timeline_signature
+
+
+class TestCrisisTopology:
+    def test_surge_target_is_the_row(self):
+        tree = build_crisis_hierarchy()
+        assert tree.nodes[SURGE_TARGET].level is DeliveryLevel.ROW
+        assert LOW_PRIORITY_RACK in tree.nodes
+        # Both racks hang off the surged row: the whole experiment's
+        # blast radius flows through one feed.
+        assert set(tree.subtree_hosts(SURGE_TARGET)) == set(tree.hosts)
+
+    def test_formatting_contains_both_configs(self):
+        text = format_oversubscription_crisis(run_oversubscription_crisis(seed=1))
+        assert "naive" in text and "arbitrated" in text
+        assert "breaker-trip" in text
+        assert "power-escalate" in text
+
+
+def test_cli_oversubscribe_seed_round_trip(capsys):
+    assert cli_main(["oversubscribe", "--seed", "5"]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["oversubscribe", "--seed", "5"]) == 0
+    assert capsys.readouterr().out == first
+    assert "arbitrated" in first

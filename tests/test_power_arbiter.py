@@ -1,0 +1,307 @@
+"""Peak-power predictor, budget arbiter invariants, power ladder, and
+the PowerCapGovernor edge cases.
+
+The two arbiter property tests pin the invariants the oversubscription
+design leans on:
+
+* **conservation** — after any interleaving of admits / releases /
+  overclock grants / revokes, the watts charged under every node never
+  exceed that node's oversubscribed budget;
+* **monotonicity** — replaying the same request sequence against a tree
+  with *more* budget at one node never grants less.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.host import Host
+from repro.cluster.power_cap import PowerCapGovernor
+from repro.errors import ConfigurationError, PowerBudgetExceeded
+from repro.faults import FaultCampaign, FaultKind, FaultPlan, FaultSpec
+from repro.faults.injectors import register_power_injectors
+from repro.power import (
+    DEFAULT_PRIORS,
+    DeliveryLevel,
+    DeliveryNode,
+    PeakPowerPredictor,
+    PowerBudgetArbiter,
+    PowerDeliveryHierarchy,
+    PowerEmergencyCoordinator,
+    PowerEmergencyStage,
+    PowerLadderConfig,
+)
+from repro.sim.kernel import Simulator
+from repro.telemetry.counters import PowerEmergencyCounters
+
+
+def build_tree(row_oversubscription: float = 1.2) -> PowerDeliveryHierarchy:
+    nodes = [
+        DeliveryNode("substation", DeliveryLevel.SUBSTATION, 5000.0, 1.2),
+        DeliveryNode("ups-0", DeliveryLevel.UPS, 4000.0, 1.2, parent="substation"),
+        DeliveryNode(
+            "row-0", DeliveryLevel.ROW, 1500.0, row_oversubscription, parent="ups-0"
+        ),
+    ]
+    for rack in range(2):
+        rack_name = f"rack-{rack}"
+        nodes.append(
+            DeliveryNode(rack_name, DeliveryLevel.RACK_PDU, 900.0, 1.2, parent="row-0")
+        )
+        for host in range(2):
+            nodes.append(
+                DeliveryNode(
+                    f"{rack_name}/h{host}", DeliveryLevel.HOST, 450.0, parent=rack_name
+                )
+            )
+    return PowerDeliveryHierarchy(nodes)
+
+
+class TestPredictor:
+    def test_prior_until_enough_samples(self):
+        predictor = PeakPowerPredictor(min_samples=4)
+        assert predictor.peak_watts_per_vcore("sql") == pytest.approx(
+            DEFAULT_PRIORS["sql"].peak_watts_per_vcore
+        )
+        for watts in (10.0, 11.0, 12.0, 13.0):
+            predictor.observe("sql", watts)
+        # Online percentile over the window replaces the prior.
+        assert predictor.peak_watts_per_vcore("sql") > DEFAULT_PRIORS[
+            "sql"
+        ].peak_watts_per_vcore
+
+    def test_bias_injection_scales_predictions(self):
+        predictor = PeakPowerPredictor()
+        honest = predictor.predict_vm_peak_watts("web", 8)
+        predictor.inject_bias(0.25)
+        assert predictor.predict_vm_peak_watts("web", 8) == pytest.approx(
+            honest * 0.75
+        )
+        predictor.clear_bias()
+        assert predictor.predict_vm_peak_watts("web", 8) == pytest.approx(honest)
+
+    def test_bias_fault_injector_round_trip(self):
+        simulator = Simulator(seed=3)
+        predictor = PeakPowerPredictor()
+        plan = FaultPlan(
+            seed=3,
+            scenario="bias",
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.POWER_UNDERPREDICTION,
+                    target="predictor",
+                    at_s=10.0,
+                    magnitude=0.4,
+                    duration_s=20.0,
+                ),
+            ),
+        )
+        campaign = FaultCampaign(simulator, plan)
+        register_power_injectors(campaign, {"predictor": predictor}, lambda t, m: None)
+        campaign.arm()
+        simulator.run(until=15.0)
+        assert predictor.bias_fraction == pytest.approx(0.4)
+        simulator.run(until=40.0)
+        assert predictor.bias_fraction == 0.0
+        kinds = [event.kind for event in campaign.timeline]
+        assert "power-underprediction" in kinds and "recovered" in kinds
+
+
+def random_requests(seed: int, count: int = 120):
+    """A seeded stream of (kind, args) arbiter requests."""
+    rng = np.random.default_rng(seed)
+    tree = build_tree()
+    hosts = tree.hosts
+    classes = sorted(DEFAULT_PRIORS)
+    requests = []
+    for index in range(count):
+        roll = rng.uniform()
+        host = hosts[int(rng.integers(len(hosts)))]
+        if roll < 0.5:
+            requests.append(
+                (
+                    "admit",
+                    f"vm-{index}",
+                    host,
+                    classes[int(rng.integers(len(classes)))],
+                    int(rng.integers(1, 16)),
+                )
+            )
+        elif roll < 0.65:
+            requests.append(("release", f"vm-{int(rng.integers(index + 1))}"))
+        elif roll < 0.9:
+            requests.append(("overclock", host, float(rng.uniform(20.0, 90.0))))
+        else:
+            requests.append(("revoke", host))
+    return requests
+
+
+def replay(arbiter: PowerBudgetArbiter, requests) -> list[str]:
+    """Run a request stream; returns the granted request identities."""
+    granted = []
+    for request in requests:
+        if request[0] == "admit":
+            _, vm_id, host, workload_class, vcores = request
+            if arbiter.admit_vm(vm_id, host, workload_class, vcores).granted:
+                granted.append(f"admit:{vm_id}")
+        elif request[0] == "release":
+            if request[1] in arbiter.admitted_vms:
+                arbiter.release_vm(request[1])
+        elif request[0] == "overclock":
+            _, host, watts = request
+            if host not in arbiter.overclocked_hosts:
+                if arbiter.grant_overclock(host, watts).granted:
+                    granted.append(f"oc:{host}")
+        else:
+            if request[1] in arbiter.overclocked_hosts:
+                arbiter.revoke_overclock(request[1])
+    return granted
+
+
+class TestArbiterInvariants:
+    @pytest.mark.parametrize("seed", [1, 2, 7, 13, 42])
+    def test_conservation_under_random_interleavings(self, seed):
+        tree = build_tree()
+        arbiter = PowerBudgetArbiter(tree, idle_watts_per_host=60.0)
+        replay(arbiter, random_requests(seed))
+        arbiter.verify_conservation()
+        # Belt and braces: recompute every node's charge bottom-up.
+        for name, node in tree.nodes.items():
+            charged = sum(
+                arbiter.charged_watts(host)
+                for host in tree.subtree_hosts(name)
+            )
+            assert charged <= node.budget_watts + 1e-9
+
+    @pytest.mark.parametrize("seed", [1, 2, 7, 13, 42])
+    def test_raising_a_budget_never_reduces_grants(self, seed):
+        requests = random_requests(seed)
+        base = replay(
+            PowerBudgetArbiter(build_tree(1.2), idle_watts_per_host=60.0), requests
+        )
+        raised = replay(
+            PowerBudgetArbiter(build_tree(1.5), idle_watts_per_host=60.0), requests
+        )
+        assert set(base) <= set(raised)
+
+    def test_denial_names_limiting_node_and_shortfall(self):
+        tree = build_tree()
+        arbiter = PowerBudgetArbiter(tree, idle_watts_per_host=500.0)
+        decision = arbiter.admit_vm("vm-0", "rack-0/h0", "training", 8)
+        assert not decision.granted
+        assert decision.limiting_node == "rack-0/h0"
+        assert decision.shortfall_watts > 0
+
+    def test_release_refunds_the_full_chain(self):
+        tree = build_tree()
+        arbiter = PowerBudgetArbiter(tree, idle_watts_per_host=60.0)
+        before = [arbiter.headroom_watts(name) for name in sorted(tree.nodes)]
+        assert arbiter.admit_vm("vm-0", "rack-0/h0", "sql", 8).granted
+        arbiter.release_vm("vm-0")
+        assert arbiter.grant_overclock("rack-1/h1", 50.0).granted
+        arbiter.revoke_overclock("rack-1/h1")
+        after = [arbiter.headroom_watts(name) for name in sorted(tree.nodes)]
+        assert after == pytest.approx(before)
+
+    def test_double_overclock_grant_rejected(self):
+        arbiter = PowerBudgetArbiter(build_tree())
+        assert arbiter.grant_overclock("rack-0/h0", 40.0).granted
+        with pytest.raises(ConfigurationError):
+            arbiter.grant_overclock("rack-0/h0", 40.0)
+
+
+class TestPowerLadder:
+    def test_config_requires_decreasing_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            PowerLadderConfig(cap_fraction=0.05, revoke_fraction=0.08)
+
+    def test_full_escalation_and_rearm(self):
+        counters = PowerEmergencyCounters()
+        ladder = PowerEmergencyCoordinator(counters=counters)
+        engaged = []
+        for stage in list(PowerEmergencyStage)[1:]:
+            ladder.register(
+                stage,
+                lambda stage=stage: engaged.append(stage.name) or "engaged",
+                lambda stage=stage: "released",
+            )
+        ladder.observe(0.0, 0.5)
+        assert ladder.stage is PowerEmergencyStage.NORMAL
+        ladder.observe(5.0, 0.001)  # through every threshold at once
+        assert ladder.stage is PowerEmergencyStage.ISOLATE
+        assert engaged == [
+            "CAP_LOW_PRIORITY",
+            "REVOKE_OVERCLOCK",
+            "SHED_LOAD",
+            "ISOLATE",
+        ]
+        # Healthy margin: one rung per clean streak, back to NORMAL.
+        time_s = 10.0
+        for _ in range(4 * PowerLadderConfig().relax_clean_ticks):
+            ladder.observe(time_s, 0.5)
+            time_s += 5.0
+        assert ladder.stage is PowerEmergencyStage.NORMAL
+        assert counters.rearms == 1
+        assert counters.escalations == 4
+        assert counters.low_priority_caps == 1
+        assert counters.isolations == 1
+
+
+class TestPowerCapGovernorEdges:
+    def test_unsatisfiable_cap_reports_shortfall(self):
+        host = Host("h0")
+        from repro.cluster.vm import VMInstance, VMSpec
+
+        host.place(
+            VMInstance(
+                vm_id="vm", spec=VMSpec(vcores=host.spec.pcores, memory_gb=32.0)
+            )
+        )
+        governor = PowerCapGovernor()
+        floor_watts = host.power_model.watts(
+            host.config.__class__(
+                name="floor",
+                core_ghz=governor.min_core_ghz,
+                voltage_offset_mv=0.0,
+                turbo_enabled=host.config.turbo_enabled,
+                llc_ghz=host.config.llc_ghz,
+                memory_ghz=host.config.memory_ghz,
+            ),
+            float(host.spec.pcores),
+        )
+        cap = floor_watts - 25.0
+        with pytest.raises(PowerBudgetExceeded) as excinfo:
+            governor.enforce(host, cap)
+        message = str(excinfo.value)
+        assert "shortfall" in message
+        assert f"{floor_watts - cap:.0f} W" in message
+
+    def test_cap_satisfiable_exactly_at_floor_is_satisfied(self):
+        host = Host("h0")
+        from repro.cluster.vm import VMInstance, VMSpec
+
+        host.place(
+            VMInstance(
+                vm_id="vm", spec=VMSpec(vcores=host.spec.pcores, memory_gb=32.0)
+            )
+        )
+        governor = PowerCapGovernor()
+        floor_watts = host.power_model.watts(
+            host.config.__class__(
+                name="floor",
+                core_ghz=governor.min_core_ghz,
+                voltage_offset_mv=0.0,
+                turbo_enabled=host.config.turbo_enabled,
+                llc_ghz=host.config.llc_ghz,
+                memory_ghz=host.config.memory_ghz,
+            ),
+            float(host.spec.pcores),
+        )
+        result = governor.enforce(host, floor_watts + 0.5)
+        assert result.capped
+        assert result.final_core_ghz == pytest.approx(governor.min_core_ghz)
+        assert result.final_watts <= floor_watts + 0.5
+
+    def test_enforce_fleet_empty_is_noop(self):
+        assert PowerCapGovernor().enforce_fleet([], 100.0) == []
