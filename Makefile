@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety test-control test-emergency test-power lint bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control test-emergency test-power test-service lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -58,6 +58,20 @@ test-power:
 		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) \
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_power_tree.py \
 		tests/test_power_arbiter.py tests/test_oversubscription_crisis.py -q
+
+# Live-service suite: the overload-control stack unit tests, the
+# service WAL SIGKILL/resume chaos test, the in-process HTTP load test
+# (>= 1k requests against a ticking server), and the overload-storm
+# acceptance contract (naive goodput collapses, robust holds the p99
+# SLO with a bounded queue; signatures bit-identical) over the
+# REPRO_CHAOS_SEEDS matrix, under the same faulthandler watchdog as
+# test-chaos.
+test-service:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) CHAOS_TIMEOUT=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_service.py \
+		tests/test_service_chaos.py tests/test_service_http.py \
+		tests/test_overload_storm.py -q
 
 lint:
 	ruff check src tests benchmarks

@@ -29,7 +29,7 @@ import time
 
 import pytest
 
-from repro.engine import ResultCache, SweepEngine
+from repro.engine import AUTO_SERIAL_THRESHOLD_S, ResultCache, SweepEngine
 from repro.reliability import air_condition, compare_conditions, immersion_condition
 from repro.thermal import FC_3284, HFE_7000
 
@@ -79,7 +79,14 @@ def test_perf_engine(tmp_path, emit, emit_json):
     serial_seconds = time.perf_counter() - started
 
     cache = ResultCache(tmp_path / "cache")
-    parallel = SweepEngine(max_workers=PARALLEL_WORKERS, cache=cache)
+    # The auto-serial probe is on here: with the full grid each task
+    # costs ~0.1 s and the sweep stays parallel; under bench-smoke the
+    # tiny tasks demote to serial, and the decision lands in the JSON.
+    parallel = SweepEngine(
+        max_workers=PARALLEL_WORKERS,
+        cache=cache,
+        auto_serial_threshold_s=AUTO_SERIAL_THRESHOLD_S,
+    )
     started = time.perf_counter()
     parallel_results = run_sweep(parallel)
     parallel_seconds = time.perf_counter() - started
@@ -99,9 +106,16 @@ def test_perf_engine(tmp_path, emit, emit_json):
         ), f"parallel result differs from serial for {label!r}"
     assert warm_results == parallel_results
 
-    # Cold run executed everything in parallel; warm run executed nothing.
+    # Cold run executed everything; warm run executed nothing. The
+    # probe runs the first task in-process either way; whether the rest
+    # fanned out is the auto-serial decision itself.
     assert cold.executed == len(conditions)
-    assert cold.parallel_tasks == len(conditions)
+    if cold.auto_serial:
+        assert cold.parallel_tasks == 0
+        assert cold.serial_tasks == len(conditions)
+    else:
+        assert cold.parallel_tasks == len(conditions) - 1
+        assert cold.serial_tasks == 1
     assert warm.executed == 0
     assert warm.cache_hits == len(conditions)
 
@@ -149,6 +163,11 @@ def test_perf_engine(tmp_path, emit, emit_json):
             else None,
             "tasks_per_second_parallel": round(len(conditions) / parallel_seconds, 4)
             if parallel_seconds > 0
+            else None,
+            "auto_serial_threshold_s": AUTO_SERIAL_THRESHOLD_S,
+            "auto_serial": cold.auto_serial,
+            "probe_seconds": round(cold.probe_seconds, 6)
+            if cold.probe_seconds is not None
             else None,
             "cold_cache_hits": cold.cache_hits,
             "cold_cache_misses": cold.cache_misses,

@@ -25,6 +25,12 @@ Usage::
     python -m repro oversubscribe --seed 7
                                         # power-oversubscription crisis:
                                         # naive breaker trips vs the arbiter
+    python -m repro overload --seed 7   # live-service overload storm:
+                                        # naive goodput collapse vs the
+                                        # admission/brownout/emergency stack
+    python -m repro serve --seed 7 --port 8642
+                                        # run the live service: tick loop +
+                                        # HTTP telemetry/ops endpoints
 
 Modelling errors (:class:`~repro.errors.ReproError`) exit with status 2
 and a one-line message; pass ``--debug`` to get the full traceback.
@@ -47,6 +53,7 @@ from .experiments import (
     highperf_vms,
     oversubscription,
     oversubscription_crisis,
+    overload_storm,
     packing_churn,
     partition_recovery,
     tco_experiments,
@@ -81,6 +88,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "partition": ("Actuation under a network partition: naive vs robust (DES, --seed)", partition_recovery.format_partition_recovery, True),
     "heatwave": ("Facility emergency ride-through: naive vs laddered (DES, --seed)", heatwave_ride_through.format_heatwave_ride_through, True),
     "oversubscribe": ("Power-oversubscription crisis: naive vs arbitrated (DES, --seed)", oversubscription_crisis.format_oversubscription_crisis, True),
+    "overload": ("Live-service overload storm: naive vs robust (DES, --seed)", overload_storm.format_overload_storm, True),
 }
 
 
@@ -200,6 +208,36 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--mode",
+        choices=["robust", "naive"],
+        default="robust",
+        help="for 'serve': overload-control stack on (robust) or off (naive)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="for 'serve': listen address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="for 'serve': listen port (default 8642; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="for 'serve': wall seconds between ticks (default 0.25)",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=0,
+        help="for 'serve': stop after N ticks (default 0 = run until ^C)",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="re-raise modelling errors with full tracebacks",
@@ -259,6 +297,30 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
             return 0
+        if args.experiments == ["overload"]:
+            # Special-cased for the same reason as 'partition'.
+            print(
+                overload_storm.format_overload_storm(
+                    overload_storm.run_overload_storm(seed=seed)
+                )
+            )
+            return 0
+        if args.experiments and args.experiments[0] == "serve":
+            # Imported lazily: the server pulls in asyncio plumbing no
+            # batch experiment needs.
+            from .engine.cache import DEFAULT_CACHE_DIR
+            from .service.server import serve as serve_service
+
+            return serve_service(
+                cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                run_id=args.run or f"serve-{seed}",
+                seed=seed,
+                mode=args.mode,
+                host=args.host,
+                port=args.port,
+                tick_interval_s=args.tick_interval,
+                max_ticks=args.ticks or None,
+            )
         return run(args.experiments)
     except ReproError as error:
         if args.debug:

@@ -9,10 +9,17 @@ imported lazily (not here) because it depends on
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, canonicalize, content_key
 from .chaos import make_faulty
-from .core import EngineStats, RunReport, SweepEngine, SweepTask
+from .core import (
+    AUTO_SERIAL_THRESHOLD_S,
+    EngineStats,
+    RunReport,
+    SweepEngine,
+    SweepTask,
+)
 from .journal import RunJournal, journal_path
 
 __all__ = [
+    "AUTO_SERIAL_THRESHOLD_S",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "canonicalize",

@@ -55,6 +55,11 @@ from ..telemetry.metrics import Stopwatch
 from .cache import ResultCache, content_key
 from .journal import RunJournal
 
+#: Recommended ``auto_serial_threshold_s``: below ~20 ms/task the
+#: process pool's dispatch overhead (pickling, IPC, worker warm-up)
+#: rivals the work itself, and serial in-process execution wins.
+AUTO_SERIAL_THRESHOLD_S = 0.02
+
 
 @dataclass(frozen=True)
 class SweepTask:
@@ -104,6 +109,10 @@ class RunReport:
     journal_hits: int = 0
     #: Points durably appended to the journal this run.
     journal_records: int = 0
+    #: True when the dispatch-overhead probe demoted the run to serial.
+    auto_serial: bool = False
+    #: Wall seconds of the probe task (None when no probe ran).
+    probe_seconds: float | None = None
     #: Per-task execution time distribution (seconds).
     task_seconds: LogHistogram = field(
         default_factory=lambda: LogHistogram(min_value=1e-6, max_value=86_400.0)
@@ -129,6 +138,11 @@ class RunReport:
             parts.append(
                 f"{self.journal_hits} journal replay(s) / "
                 f"{self.journal_records} journaled"
+            )
+        if self.auto_serial and self.probe_seconds is not None:
+            parts.append(
+                f"auto-serial (probe {self.probe_seconds * 1e3:.1f} ms "
+                "under threshold)"
             )
         return ", ".join(parts)
 
@@ -217,6 +231,17 @@ class SweepEngine:
     serial_fallback:
         After ``max_pool_failures`` broken pools, finish the remaining
         tasks serially in-process (default) instead of raising.
+    auto_serial_threshold_s:
+        When positive, the engine *probes* dispatch overhead before
+        fanning out: the first parallelizable task runs in-process,
+        and if it finishes faster than this threshold the remaining
+        tasks are demoted to the serial path — a pool whose per-task
+        IPC overhead rivals the work itself only slows the sweep down.
+        ``0`` (default) disables the probe; :data:`AUTO_SERIAL_THRESHOLD_S`
+        is the recommended value. The decision is visible as
+        ``RunReport.auto_serial`` / ``RunReport.probe_seconds``, and
+        results are bit-identical either way (task seeds derive from
+        content, never from scheduling).
     journal:
         An open :class:`~repro.engine.journal.RunJournal`. Every
         completed (cacheable) point is durably appended as it finishes,
@@ -234,6 +259,7 @@ class SweepEngine:
         retry_policy: RetryPolicy | None = None,
         serial_fallback: bool = True,
         journal: RunJournal | None = None,
+        auto_serial_threshold_s: float = 0.0,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -245,6 +271,8 @@ class SweepEngine:
             raise EngineError("max_pool_failures must be at least 1")
         if retry_backoff_s < 0:
             raise EngineError("retry_backoff_s cannot be negative")
+        if auto_serial_threshold_s < 0:
+            raise EngineError("auto_serial_threshold_s cannot be negative")
         if retry_policy is None:
             retry_policy = RetryPolicy(
                 max_attempts=max_pool_failures,
@@ -264,6 +292,7 @@ class SweepEngine:
         self.retry_policy = retry_policy
         self.serial_fallback = serial_fallback
         self.journal = journal
+        self.auto_serial_threshold_s = auto_serial_threshold_s
         self.stats = EngineStats()
         self.last_report: RunReport | None = None
         #: task.key -> content digest of the current run (journal keying).
@@ -373,6 +402,24 @@ class SweepEngine:
                 serial.append((task, params))
 
         with report.stages.time("execute"):
+            if parallel and self.auto_serial_threshold_s > 0:
+                # Probe the dispatch-overhead tradeoff: run the first
+                # parallelizable task in-process and time it. Cheap
+                # tasks (probe under the threshold) would lose more to
+                # pool IPC than they gain from fan-out, so the rest of
+                # the batch is demoted to the serial path.
+                probe_task, probe_params = parallel[0]
+                value, seconds = _invoke(probe_task.fn, probe_params)
+                self._complete(probe_task, value, seconds, results, report)
+                report.probe_seconds = seconds
+                report.serial_tasks += 1
+                rest = parallel[1:]
+                if seconds < self.auto_serial_threshold_s:
+                    report.auto_serial = True
+                    serial = rest + serial
+                    parallel = []
+                else:
+                    parallel = rest
             if parallel:
                 self._run_parallel(parallel, results, report)
             for task, params in serial:
@@ -485,4 +532,10 @@ class SweepEngine:
                 pass
 
 
-__all__ = ["SweepTask", "SweepEngine", "RunReport", "EngineStats"]
+__all__ = [
+    "AUTO_SERIAL_THRESHOLD_S",
+    "SweepTask",
+    "SweepEngine",
+    "RunReport",
+    "EngineStats",
+]

@@ -265,6 +265,67 @@ class PowerEmergencyCounters:
         return ", ".join(parts) or "(no power-emergency activity)"
 
 
+@dataclass
+class ServiceCounters:
+    """Overload-control health counters (the live service's story).
+
+    One instance is owned by a
+    :class:`~repro.service.core.ServiceCore`; it accounts for every
+    offered request exactly once — admitted work ends up completed
+    (on time or late) or shed (with a cause), refused work is split by
+    refusal reason — so goodput arithmetic always balances.
+    """
+
+    #: Requests offered by the arrival trace (pre-admission).
+    offered: int = 0
+    #: Requests admitted past the token buckets.
+    admitted: int = 0
+    #: Refused: the class's token bucket was empty.
+    rejected_throttled: int = 0
+    #: Refused: the brownout ladder's admission gate (REJECT rung).
+    rejected_brownout: int = 0
+    #: Queued low-priority work dropped by the SHED_LOW_PRIORITY rung.
+    shed_low_priority: int = 0
+    #: Queued work dropped because its deadline passed before dispatch.
+    shed_expired: int = 0
+    #: Arrivals refused because the bounded queue was full.
+    shed_overflow: int = 0
+    #: Requests served as cheaper degraded responses (DEGRADED rung).
+    degraded_served: int = 0
+    #: Requests completed within their deadline (the goodput numerator).
+    completed_ok: int = 0
+    #: Requests completed after their deadline (served, but wasted).
+    completed_late: int = 0
+    #: In-flight work destroyed by a host trip (naive fleets only).
+    lost_to_trips: int = 0
+    #: Boost revocations issued (brownout REVOKE_BOOST engagements).
+    boost_revokes: int = 0
+    #: Boost grants issued (initial grant plus post-brownout restores).
+    boost_grants: int = 0
+    #: Brownout-ladder escalations (one per rung crossed).
+    brownout_escalations: int = 0
+    #: Brownout-ladder relaxations (one per rung released).
+    brownout_relaxations: int = 0
+    #: Ticks spent with any brownout rung engaged.
+    brownout_ticks: int = 0
+
+    def merge(self, other: "ServiceCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no service activity)"
+
+
 __all__ = [
     "CoreCounters",
     "CounterSnapshot",
@@ -272,4 +333,5 @@ __all__ = [
     "ControlPlaneCounters",
     "EmergencyCounters",
     "PowerEmergencyCounters",
+    "ServiceCounters",
 ]

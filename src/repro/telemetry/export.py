@@ -74,7 +74,12 @@ def write_timeseries_csv(
 
 
 def write_json(path: str | pathlib.Path, payload: Any) -> None:
-    """Write a JSON snapshot (dataclasses are expanded recursively)."""
+    """Write a JSON snapshot (dataclasses are expanded recursively).
+
+    Keys are sorted, so the on-disk text depends only on the payload's
+    *content* — never on dict insertion order — and successive exports
+    diff cleanly across runs and Python versions.
+    """
 
     def default(obj: Any) -> Any:
         if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -83,7 +88,9 @@ def write_json(path: str | pathlib.Path, payload: Any) -> None:
 
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(payload, indent=2, default=default) + "\n")
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=default) + "\n"
+    )
 
 
 def counters_payload(

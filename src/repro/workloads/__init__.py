@@ -29,6 +29,7 @@ from .catalog import (
     VGG,
     workload_by_name,
 )
+from .diurnal import ArrivalProcess, DiurnalTrace
 from .oltp import (
     BASE_P95_LATENCY_MS,
     DEFAULT_DEMAND_PER_VCORE,
@@ -49,6 +50,8 @@ from . import vgg
 from .vmtrace import VMArrival, VMTraceGenerator, core_hours
 
 __all__ = [
+    "ArrivalProcess",
+    "DiurnalTrace",
     "VMArrival",
     "VMTraceGenerator",
     "core_hours",

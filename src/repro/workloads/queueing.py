@@ -21,7 +21,8 @@ busy-seconds so the auto-scaler can sample real telemetry.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import ConfigurationError, WorkloadError
 from ..sim.kernel import Simulator
@@ -54,6 +55,11 @@ class _Job:
     arrival_time: float
     #: Virtual-clock reading at which this job completes.
     target_virtual_time: float
+    #: Invoked as ``on_complete(completion_time, arrival_time)`` when the
+    #: job finishes — the live service's goodput/deadline accounting hook.
+    on_complete: Callable[[float, float], None] | None = field(
+        default=None, compare=False
+    )
 
 
 class ServerVM:
@@ -185,22 +191,52 @@ class ServerVM:
         self._completed += 1
         if self._latency is not None:
             self._latency.record(self._sim.now, self._sim.now - job.arrival_time)
+        if job.on_complete is not None:
+            job.on_complete(self._sim.now, job.arrival_time)
         self._reschedule()
 
-    def submit(self, arrival_time: float) -> None:
-        """Accept a request from the load balancer."""
+    def submit(
+        self,
+        arrival_time: float,
+        demand_scale: float = 1.0,
+        on_complete: Callable[[float, float], None] | None = None,
+    ) -> None:
+        """Accept a request from the load balancer.
+
+        ``demand_scale`` multiplies the drawn service demand — the
+        brownout ladder's "degraded responses" rung serves a cheaper
+        variant by passing a scale below 1.0. ``on_complete`` fires at
+        completion with ``(completion_time, arrival_time)``; the live
+        service uses it for deadline and goodput accounting.
+        """
+        if demand_scale <= 0:
+            raise WorkloadError("demand_scale must be positive")
         self._advance()
-        demand = self._sim.streams.lognormal(
+        demand = demand_scale * self._sim.streams.lognormal(
             f"service:{self.name}", self._service_mean, self._service_cv
         )
         job = _Job(
             arrival_time=arrival_time,
             target_virtual_time=self._virtual_time + demand,
+            on_complete=on_complete,
         )
         self._job_seq += 1
         heapq.heappush(self._jobs, (job.target_virtual_time, self._job_seq, job))
         self._max_concurrency_seen = max(self._max_concurrency_seen, len(self._jobs))
         self._reschedule()
+
+    def drop_all_jobs(self) -> int:
+        """Destroy every in-flight job (a host trip); returns the count.
+
+        Dropped jobs never complete and never reach the latency
+        recorder or their completion callbacks — exactly what a
+        crash-stop does to the work it was serving.
+        """
+        self._advance()
+        dropped = len(self._jobs)
+        self._jobs.clear()
+        self._reschedule()
+        return dropped
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -268,14 +304,25 @@ class LoadBalancer:
         if self._next >= len(self._vms):
             self._next = 0
 
-    def route(self, arrival_time: float) -> None:
-        """Send one request to the next VM in rotation."""
+    def route(
+        self,
+        arrival_time: float,
+        demand_scale: float = 1.0,
+        on_complete: Callable[[float, float], None] | None = None,
+    ) -> ServerVM | None:
+        """Send one request to the next VM in rotation; returns it."""
         if not self._vms:
             self._dropped += 1
-            return
+            return None
         vm = self._vms[self._next % len(self._vms)]
         self._next = (self._next + 1) % len(self._vms)
-        vm.submit(arrival_time)
+        vm.submit(arrival_time, demand_scale=demand_scale, on_complete=on_complete)
+        return vm
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently in service across every attached VM."""
+        return sum(vm.in_flight for vm in self._vms)
 
 
 __all__ = [

@@ -1,0 +1,74 @@
+"""Subprocess driver for the service SIGKILL chaos test.
+
+Runs a journaled :class:`~repro.service.checkpoint.ServiceSession` with
+deliberately slow wall-clock ticks so the parent test can SIGKILL this
+process *mid-run* — after the operator op and a batch of per-tick
+signature checkpoints have been fsync'd to the service WAL, but before
+the run finishes. The parent then resumes the session in-process and
+asserts the rebuilt core's chained tick signature is bit-identical to
+an uninterrupted reference run.
+
+Invoked as ``python -m tests.servicehelper <cache_dir> <run_id> <seed>``
+with ``PYTHONPATH`` covering both ``src/`` and the repository root.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.service import ServiceSession
+
+#: Run shape shared with the parent test.
+TICKS = 60
+#: Tick boundary the operator op is applied at (must be well before the
+#: parent's kill window so the op record is always durable when killed).
+OP_AT_TICK = 6
+#: The journaled operator action: a demand surge long enough to still be
+#: shaping load at tick 60, so a mis-replayed op shows up in signatures.
+OP = {"op": "demand-surge", "factor": 1.8, "duration_s": 30.0}
+#: Wall sleep per tick in the child (the kill window); 0 in-process.
+SLEEP_S = 0.05
+
+
+def run_service(
+    cache_dir: str,
+    run_id: str,
+    seed: int,
+    ticks: int = TICKS,
+    sleep_s: float = SLEEP_S,
+) -> dict:
+    """Open (or resume) the session and tick it to ``ticks``.
+
+    The op is applied only when the core sits exactly at its recorded
+    boundary; on resume the WAL has already replayed it, and the core
+    is past that boundary, so it is never double-applied.
+    """
+    session = ServiceSession(cache_dir, run_id, seed=seed)
+    core = session.open()
+    try:
+        while core.tick_index < ticks:
+            if core.tick_index == OP_AT_TICK:
+                session.apply_op(OP)
+            session.tick()
+            if sleep_s:
+                time.sleep(sleep_s)
+        return {
+            "tick": core.tick_index,
+            "signature": core.signature,
+            "resumed": session.resumed,
+            "replayed_ticks": session.replayed_ticks,
+        }
+    finally:
+        session.close()
+
+
+def main(argv: list[str]) -> int:
+    cache_dir, run_id, seed = argv[1], argv[2], int(argv[3])
+    run_service(cache_dir, run_id, seed=seed)
+    print("SERVICE-DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -19,6 +19,7 @@ from repro.control.retry import COMMAND_RETRIES, ENGINE_POOL_RETRIES
 from repro.engine import SweepEngine
 from repro.errors import ConfigurationError, ControlError
 from repro.sim import Simulator
+from repro.sim.random import split_seed
 from repro.telemetry.counters import ControlPlaneCounters
 
 
@@ -64,6 +65,34 @@ class TestRetryPolicy:
         assert len(delays) > 1  # different keys decorrelate
         for delay in delays:
             assert 0.75 <= delay <= 1.25
+
+    def test_jitter_varies_with_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.25)
+        schedules = {policy.schedule(seed=seed, key="cmd:a") for seed in range(16)}
+        assert len(schedules) > 1  # different seeds decorrelate
+
+    def test_jitter_is_pinned_to_the_split_seed_derivation(self):
+        """The jittered delay is a pure function of split_seed.
+
+        This pins the exact derivation — ``split_seed(seed,
+        f"retry:{key}:{attempt}")`` scaled to a unit uniform — so a
+        refactor cannot silently re-roll every journaled backoff
+        schedule in replayed campaigns.
+        """
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.25)
+        seed, key, attempt = 11, "cmd:pin", 2
+        unit = split_seed(seed, f"retry:{key}:{attempt}") / float(2**64)
+        expected = policy.backoff_s(attempt) * (1.0 + 0.25 * (2.0 * unit - 1.0))
+        assert policy.jittered_backoff_s(attempt, seed=seed, key=key) == expected
+
+    def test_schedule_order_is_call_order_independent(self):
+        # Computing attempt 3's delay first must not perturb attempt 1's.
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.25)
+        backwards = [
+            policy.jittered_backoff_s(attempt, seed=5, key="cmd:b")
+            for attempt in (3, 2, 1)
+        ]
+        assert tuple(reversed(backwards)) == policy.schedule(seed=5, key="cmd:b")
 
     def test_zero_jitter_returns_nominal(self):
         policy = RetryPolicy(max_attempts=3, base_delay_s=0.5)

@@ -10,6 +10,9 @@ seed matrix for ``make test-chaos``.
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -35,7 +38,7 @@ from repro.faults import (
     ThermalExcursionInjector,
     VMCrashInjector,
 )
-from repro.faults.scenarios import SCENARIOS, run_scenarios
+from repro.faults.scenarios import SCENARIOS, list_fault_catalog, run_scenarios
 from repro.sim.kernel import Simulator
 from repro.thermal.junction import JunctionModel
 
@@ -375,6 +378,41 @@ class TestScenarios:
 
     def test_unknown_scenario_exits_2(self, capsys):
         assert run_scenarios(["bogus"], seed=1) == 2
+
+    def test_fault_catalog_is_sorted(self):
+        text = list_fault_catalog()
+        kinds_block, scenarios_block = text.split("\n\nFault scenarios:\n")
+        kinds = [line.strip() for line in kinds_block.splitlines()[1:]]
+        names = [line.split()[0] for line in scenarios_block.splitlines()]
+        assert kinds == sorted(kinds)
+        assert names == sorted(names)
+        assert len(names) == len(SCENARIOS)
+
+    def test_fault_catalog_is_hash_seed_independent(self):
+        """``faults --list`` must not depend on dict/hash ordering.
+
+        The CLI contract is a diffable listing; running the command
+        under different ``PYTHONHASHSEED`` values is the regression
+        net for anyone reintroducing set/dict iteration into it.
+        """
+        repo_root = Path(__file__).resolve().parent.parent
+        outputs = []
+        for hash_seed in ("0", "42"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(repo_root / "src")
+            env["PYTHONHASHSEED"] = hash_seed
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "faults", "--list"],
+                env=env,
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip() == list_fault_catalog().strip()
 
     @pytest.mark.parametrize("name", ["crash-storm", "thermal-excursion", "power-trip"])
     def test_fast_scenarios_are_deterministic(self, name):

@@ -118,3 +118,27 @@ class TestExport:
         payload = json.loads(path.read_text())
         assert payload["rows"][0]["name"] == "a"
         assert payload["meta"] == 3
+
+    def test_json_golden_text_is_key_sorted(self, tmp_path):
+        """The exact bytes written are pinned: sorted keys, 2-space
+        indent, trailing newline — the diffable-export contract."""
+        path = tmp_path / "golden.json"
+        write_json(path, {"zeta": 1, "alpha": {"b": 2, "a": _Row("r", 0.5)}})
+        assert path.read_text() == (
+            "{\n"
+            '  "alpha": {\n'
+            '    "a": {\n'
+            '      "name": "r",\n'
+            '      "value": 0.5\n'
+            "    },\n"
+            '    "b": 2\n'
+            "  },\n"
+            '  "zeta": 1\n'
+            "}\n"
+        )
+
+    def test_json_text_is_insertion_order_independent(self, tmp_path):
+        one, two = tmp_path / "one.json", tmp_path / "two.json"
+        write_json(one, {"b": 1, "a": 2})
+        write_json(two, {"a": 2, "b": 1})
+        assert one.read_text() == two.read_text()

@@ -1,0 +1,125 @@
+"""The overload storm experiment: determinism, SLO, and collapse contrast.
+
+The acceptance contract: under the identical compound storm (2.6x
+demand surge + condenser derate) the robust overload-control stack
+holds the served-latency SLO with a bounded queue and near-zero losses,
+while the naive fleet — same seed, same storm — trips fleet-wide and
+its goodput collapses to zero for a sustained window. And both runs are
+bit-deterministic per seed: chained tick signature and fault-timeline
+signature reproduce exactly.
+
+Storm runs cost a few seconds each, so results are computed once per
+seed and shared across the test class via a module-level cache. Seeds
+come from ``REPRO_CHAOS_SEEDS`` (space-separated ints).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import overload_storm
+from repro.experiments.overload_storm import (
+    SLO_P99_S,
+    StormComparison,
+    format_overload_storm,
+    run_overload_storm,
+)
+
+SEEDS = [int(token) for token in os.environ.get("REPRO_CHAOS_SEEDS", "1 2").split()]
+
+_CACHE: dict[int, StormComparison] = {}
+
+
+def storm(seed: int) -> StormComparison:
+    if seed not in _CACHE:
+        _CACHE[seed] = run_overload_storm(seed=seed)
+    return _CACHE[seed]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRobustRideThrough:
+    def test_slo_held_through_the_storm(self, seed):
+        robust = storm(seed).robust
+        assert robust.storm_p99_s is not None
+        assert robust.storm_p99_s <= SLO_P99_S
+
+    def test_queue_stays_bounded(self, seed):
+        robust = storm(seed).robust
+        assert robust.queue_max_depth < robust.queue_capacity
+
+    def test_no_fleet_trip_and_negligible_loss(self, seed):
+        robust = storm(seed).robust
+        assert robust.host_trips == 0
+        assert robust.live_hosts_final == 4
+        assert robust.lost_to_trips <= 50
+
+    def test_ladder_actually_engaged(self, seed):
+        # A storm the ladder slept through would prove nothing.
+        robust = storm(seed).robust
+        assert robust.max_brownout_stage >= 1
+        assert robust.boost_revokes >= 1
+        assert (
+            robust.shed_low_priority
+            + robust.rejected_throttled
+            + robust.rejected_brownout
+        ) > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestNaiveCollapse:
+    def test_fleet_trips_and_loses_in_flight_work(self, seed):
+        naive = storm(seed).naive
+        assert naive.host_trips >= 1
+        assert naive.lost_to_trips > 1000
+
+    def test_latency_blows_through_the_slo(self, seed):
+        naive = storm(seed).naive
+        assert naive.storm_p99_s is None or naive.storm_p99_s > 2 * SLO_P99_S
+
+    def test_goodput_collapses_where_robust_holds(self, seed):
+        comparison = storm(seed)
+        assert comparison.naive.worst_window_goodput_rps < 5.0
+        assert comparison.robust.worst_window_goodput_rps > 20.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAccountingAndDeterminism:
+    def test_every_request_is_accounted_for(self, seed):
+        comparison = storm(seed)
+        assert comparison.naive.unaccounted == 0
+        assert comparison.robust.unaccounted == 0
+
+    def test_same_seed_reproduces_bit_identically(self, seed):
+        first = storm(seed)
+        second = run_overload_storm(seed=seed)
+        for mode in ("naive", "robust"):
+            a, b = getattr(first, mode), getattr(second, mode)
+            assert a.chain_signature == b.chain_signature
+            assert a.timeline_signature == b.timeline_signature
+            assert a == b
+
+    def test_distinct_seeds_diverge(self, seed):
+        # A short storm suffices: divergence shows up within ticks.
+        other = run_overload_storm(seed=seed + 1000, storm_ticks=80, warm_ticks=10)
+        short = run_overload_storm(seed=seed, storm_ticks=80, warm_ticks=10)
+        assert other.robust.chain_signature != short.robust.chain_signature
+
+
+class TestFormatting:
+    def test_format_renders_both_modes_and_signatures(self):
+        seed = SEEDS[0]
+        text = format_overload_storm(storm(seed))
+        assert "naive" in text and "robust" in text
+        assert storm(seed).robust.chain_signature[:12] in text
+        assert "op-demand-surge" in text
+        assert "thermal-excursion" in text
+
+    def test_short_storm_with_no_completions_renders(self):
+        # A degenerate run (nothing completes in-window) must format,
+        # not crash on the None p99.
+        result = overload_storm.run_storm_mode(
+            "naive", seed=3, warm_ticks=2, storm_ticks=4
+        )
+        assert result.storm_p99_s is None or result.storm_p99_s >= 0.0

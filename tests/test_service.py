@@ -1,0 +1,321 @@
+"""Unit tests for the live-service overload stack and tick core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, JournalError
+from repro.service import (
+    AdmissionController,
+    BoundedDeadlineQueue,
+    PriorityClass,
+    QueueDelayController,
+    Request,
+    ServiceConfig,
+    ServiceCore,
+    ServiceSession,
+    TokenBucket,
+)
+from repro.service.admission import ClassPolicy
+from repro.service.brownout import BrownoutConfig, BrownoutLadder, BrownoutStage
+from repro.sim.random import RandomStreams
+from repro.workloads.diurnal import ArrivalProcess, DiurnalTrace
+
+
+def _policies(rate=10.0, burst=5, deadline=1.0):
+    return {
+        klass: ClassPolicy(rate_per_s=rate, burst=burst, deadline_s=deadline)
+        for klass in PriorityClass
+    }
+
+
+class TestAdmission:
+    def test_token_bucket_throttles_beyond_burst(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3)
+        taken = sum(1 for _ in range(10) if bucket.take(0.0))
+        assert taken == 3
+        # Refill is continuous: after 2 s, two more tokens exist.
+        assert bucket.take(2.0)
+        assert bucket.take(2.0)
+        assert not bucket.take(2.0)
+
+    def test_priority_floor_gates_lower_classes(self):
+        controller = AdmissionController(_policies())
+        assert controller.admit(0.0, PriorityClass.BATCH) == "admitted"
+        controller.set_priority_floor(PriorityClass.STANDARD)
+        assert controller.admit(0.0, PriorityClass.BATCH) == "gated"
+        assert controller.admit(0.0, PriorityClass.STANDARD) == "admitted"
+        assert controller.admit(0.0, PriorityClass.CRITICAL) == "admitted"
+        controller.set_priority_floor(None)
+        assert controller.admit(0.0, PriorityClass.BATCH) == "admitted"
+
+    def test_admission_counters_account_every_verdict(self):
+        controller = AdmissionController(_policies(rate=1.0, burst=1))
+        verdicts = [controller.admit(0.0, PriorityClass.CRITICAL) for _ in range(4)]
+        assert verdicts.count("admitted") == 1
+        assert verdicts.count("throttled") == 3
+        assert controller.admitted == 1
+        assert controller.throttled == 3
+
+
+class TestBacklog:
+    def _request(self, seq, klass, arrival, deadline):
+        return Request(
+            request_id=seq, klass=klass, arrival_s=arrival, deadline_s=deadline
+        )
+
+    def test_overflow_sheds_at_tail(self):
+        queue = BoundedDeadlineQueue(capacity=2)
+        assert queue.push(self._request(1, PriorityClass.BATCH, 0.0, 9.0))
+        assert queue.push(self._request(2, PriorityClass.BATCH, 0.0, 9.0))
+        assert not queue.push(self._request(3, PriorityClass.CRITICAL, 0.0, 9.0))
+        assert queue.shed_overflow == 1
+        assert len(queue) == 2
+
+    def test_pop_serves_priority_order_and_expires_en_route(self):
+        queue = BoundedDeadlineQueue(capacity=10)
+        queue.push(self._request(1, PriorityClass.BATCH, 0.0, 9.0))
+        queue.push(self._request(2, PriorityClass.CRITICAL, 0.0, 0.5))
+        queue.push(self._request(3, PriorityClass.STANDARD, 0.0, 9.0))
+        # The critical request's deadline has passed: dropped, not served.
+        popped = queue.pop(now_s=1.0)
+        assert popped is not None and popped.klass is PriorityClass.STANDARD
+        assert queue.shed_expired == 1
+
+    def test_dispatch_slack_sheds_unwinnable_work(self):
+        queue = BoundedDeadlineQueue(capacity=10)
+        queue.push(self._request(1, PriorityClass.STANDARD, 0.0, 1.0))
+        # Deadline is 0.05 s away but the slack guard needs 0.1 s.
+        assert queue.pop(now_s=0.95, slack_s=0.1) is None
+        assert queue.shed_expired == 1
+
+    def test_expire_drops_past_deadline_only(self):
+        queue = BoundedDeadlineQueue(capacity=10)
+        queue.push(self._request(1, PriorityClass.BATCH, 0.0, 0.5))
+        queue.push(self._request(2, PriorityClass.BATCH, 0.0, 2.0))
+        assert queue.expire(1.0) == 1
+        assert len(queue) == 1
+
+    def test_head_age_tracks_oldest_request(self):
+        queue = BoundedDeadlineQueue(capacity=10)
+        assert queue.head_age_s(5.0) == 0.0
+        queue.push(self._request(1, PriorityClass.BATCH, 1.0, 99.0))
+        queue.push(self._request(2, PriorityClass.CRITICAL, 3.0, 99.0))
+        assert queue.head_age_s(5.0) == pytest.approx(4.0)
+
+
+class TestDelayController:
+    def test_drained_burst_resets_signal(self):
+        controller = QueueDelayController(target_s=0.05, window_ticks=3)
+        controller.observe([0.5, 0.6], head_age_s=0.0)
+        controller.observe([0.4], head_age_s=0.0)
+        # The burst drains: best dispatch delay near zero, queue empty.
+        controller.observe([0.001], head_age_s=0.0)
+        assert controller.delay_signal_s < 0.05
+        assert not controller.overloaded
+
+    def test_standing_queue_keeps_signal_elevated(self):
+        controller = QueueDelayController(target_s=0.05, window_ticks=3)
+        for _ in range(3):
+            controller.observe([0.2, 0.3], head_age_s=0.25)
+        assert controller.delay_signal_s >= 0.2
+        assert controller.overloaded
+
+    def test_head_age_unmasks_starved_class(self):
+        controller = QueueDelayController(target_s=0.05, window_ticks=2)
+        # Fresh critical work dispatches instantly, but a batch request
+        # has been stuck for 0.4 s — the tick must still read as delay.
+        for _ in range(2):
+            controller.observe([0.0001], head_age_s=0.4)
+        assert controller.delay_signal_s >= 0.4
+
+
+class TestBrownoutLadder:
+    def test_walks_rungs_in_order_under_shrinking_headroom(self):
+        ladder = BrownoutLadder(config=BrownoutConfig())
+        stages = []
+        ladder.register(
+            BrownoutStage.SHED_LOW_PRIORITY,
+            lambda: stages.append("shed") or "shed",
+        )
+        ladder.register(
+            BrownoutStage.REVOKE_BOOST,
+            lambda: stages.append("revoke") or "revoke",
+        )
+        ladder.observe(0.0, ladder.config.shed_headroom_s + 1.0)
+        assert ladder.stage is BrownoutStage.NORMAL
+        ladder.observe(1.0, ladder.config.revoke_headroom_s - 0.01)
+        assert ladder.stage is BrownoutStage.REVOKE_BOOST
+        assert stages == ["shed", "revoke"]
+
+
+class TestDiurnal:
+    def test_trace_endpoints(self):
+        trace = DiurnalTrace(trough_rps=10.0, peak_rps=50.0, period_s=100.0)
+        assert trace.rate_rps(0.0) == pytest.approx(10.0)
+        assert trace.rate_rps(50.0) == pytest.approx(50.0)
+        assert trace.rate_rps(100.0) == pytest.approx(10.0)
+
+    def test_arrivals_deterministic_per_seed(self):
+        first = ArrivalProcess(RandomStreams(master_seed=9), "arrivals:test")
+        second = ArrivalProcess(RandomStreams(master_seed=9), "arrivals:test")
+        assert first.arrivals(0.0, 1.0, 100.0) == second.arrivals(0.0, 1.0, 100.0)
+
+    def test_arrivals_independent_of_tick_split(self):
+        whole = ArrivalProcess(RandomStreams(master_seed=4), "arrivals:test")
+        split = ArrivalProcess(RandomStreams(master_seed=4), "arrivals:test")
+        one_window = whole.arrivals(0.0, 1.0, 80.0)
+        two_windows = split.arrivals(0.0, 0.5, 80.0) + split.arrivals(0.5, 0.5, 80.0)
+        assert one_window == pytest.approx(two_windows)
+
+    def test_zero_rate_yields_no_arrivals(self):
+        process = ArrivalProcess(RandomStreams(master_seed=1), "arrivals:test")
+        assert process.arrivals(0.0, 1.0, 0.0) == []
+
+
+class TestServiceCore:
+    def test_same_seed_same_chain_signature(self):
+        first = ServiceCore(seed=11)
+        second = ServiceCore(seed=11)
+        op = {"op": "demand-surge", "factor": 1.5, "duration_s": 3.0}
+        for core in (first, second):
+            core.run_ticks(10)
+            core.apply_op(dict(op))
+            core.run_ticks(10)
+        assert first.signature == second.signature
+        assert first.timeline.signature() == second.timeline.signature()
+
+    def test_distinct_seeds_diverge(self):
+        first = ServiceCore(seed=11)
+        second = ServiceCore(seed=12)
+        first.run_ticks(10)
+        second.run_ticks(10)
+        assert first.signature != second.signature
+
+    def test_naive_mode_boosts_at_boot_robust_waits_for_gate(self):
+        naive = ServiceCore(seed=1, mode="naive")
+        assert naive.boost_active
+        robust = ServiceCore(seed=1, mode="robust")
+        robust.tick()
+        # The boost gate opens on the first healthy tick.
+        assert robust.boost_active
+
+    def test_operator_cap_disables_boost(self):
+        core = ServiceCore(seed=1)
+        core.run_ticks(2)
+        assert core.boost_active
+        core.apply_op({"op": "power-cap", "watts": 90.0})
+        core.tick()
+        assert not core.boost_active
+        core.apply_op({"op": "power-cap", "watts": None})
+        core.tick()
+        assert core.boost_active
+
+    def test_overclock_op_toggles_boost(self):
+        core = ServiceCore(seed=1)
+        core.run_ticks(2)
+        core.apply_op({"op": "overclock", "enable": False})
+        core.tick()
+        assert not core.boost_active
+
+    def test_vm_crash_op_accounts_lost_work(self):
+        core = ServiceCore(seed=1)
+        core.run_ticks(4)
+        detail = core.apply_op({"op": "vm-crash", "host": "h0"})
+        assert detail.startswith("dropped=")
+        assert core.apply_op({"op": "vm-crash", "host": "h0"}) is not None
+        with pytest.raises(ConfigurationError):
+            core.apply_op({"op": "vm-crash", "host": "h9"})
+
+    def test_unknown_op_rejected(self):
+        core = ServiceCore(seed=1)
+        with pytest.raises(ConfigurationError):
+            core.apply_op({"op": "reboot-the-universe"})
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+
+        core = ServiceCore(seed=2)
+        core.run_ticks(5)
+        snapshot = core.snapshot()
+        json.dumps(snapshot)
+        for key in (
+            "counters",
+            "brownout_stage",
+            "emergency_stage",
+            "queue_depth",
+            "fluid_temp_c",
+            "signature",
+        ):
+            assert key in snapshot
+        assert snapshot["counters"]["offered"] > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceCore(seed=1, mode="heroic")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(tick_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(class_mix=(0.5, 0.5, 0.5))
+
+
+class TestServiceSession:
+    def test_resume_replays_to_identical_signature(self, tmp_path):
+        with ServiceSession(tmp_path, "run", seed=21) as session:
+            for _ in range(12):
+                session.tick()
+            session.apply_op({"op": "demand-surge", "factor": 2.0, "duration_s": 2.0})
+            for _ in range(12):
+                session.tick()
+            final = session.core.signature
+
+        resumed = ServiceSession(tmp_path, "run", seed=21)
+        resumed.open()
+        assert resumed.resumed
+        assert resumed.replayed_ticks == 24
+        assert resumed.core.signature == final
+        resumed.close()
+
+    def test_resumed_continuation_matches_uninterrupted_run(self, tmp_path):
+        with ServiceSession(tmp_path, "run", seed=8) as session:
+            for _ in range(10):
+                session.tick()
+
+        resumed = ServiceSession(tmp_path, "run", seed=8)
+        resumed.open()
+        for _ in range(10):
+            resumed.tick()
+        continued = resumed.core.signature
+        resumed.close()
+
+        reference = ServiceCore(seed=8)
+        reference.run_ticks(20)
+        assert continued == reference.signature
+
+    def test_mismatched_seed_refused(self, tmp_path):
+        with ServiceSession(tmp_path, "run", seed=1) as session:
+            session.tick()
+        with pytest.raises(JournalError):
+            ServiceSession(tmp_path, "run", seed=2).open()
+
+    def test_mismatched_mode_refused(self, tmp_path):
+        with ServiceSession(tmp_path, "run", seed=1, mode="robust") as session:
+            session.tick()
+        with pytest.raises(JournalError):
+            ServiceSession(tmp_path, "run", seed=1, mode="naive").open()
+
+    def test_op_journaled_before_ack_is_replayed(self, tmp_path):
+        with ServiceSession(tmp_path, "run", seed=5) as session:
+            for _ in range(5):
+                session.tick()
+            # Op accepted at the tick-5 boundary but never ticked past:
+            # it must still survive the restart.
+            session.apply_op({"op": "overclock", "enable": False})
+
+        resumed = ServiceSession(tmp_path, "run", seed=5)
+        resumed.open()
+        resumed.tick()
+        assert not resumed.core.boost_active
+        resumed.close()
