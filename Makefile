@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety test-control test-emergency test-power test-service lint bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control test-emergency test-power test-service test-health lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -73,6 +73,19 @@ test-service:
 		tests/test_service_chaos.py tests/test_service_http.py \
 		tests/test_overload_storm.py -q
 
+# Silicon-health suite: the latent part/MCA/detector/screening/audit
+# unit tests, the fleet health ladder (derate → quarantine → screen →
+# reinstate-or-retire, capacity budget, bounded re-arm), and the SDC
+# hunt acceptance contract (naive leaks silent corruptions and
+# reboot-loops crashed hosts, the health pipeline holds zero escapes /
+# zero crashes with bounded capacity loss; run signatures
+# bit-identical) over the REPRO_CHAOS_SEEDS matrix.
+test-health:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_health.py \
+		tests/test_health_ladder.py tests/test_sdc_hunt.py -q
+
 lint:
 	ruff check src tests benchmarks
 
@@ -80,12 +93,14 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-only
 
 # Perf microbenchmarks that finish in well under 30 s: the sweep
-# engine on a tiny grid (serial == parallel == cached output) and the
+# engine on a tiny grid (serial == parallel == cached output), the
 # vectorized power-budget enforcement at 1k/10k/100k hosts (emits
-# BENCH_power.json at the repo root).
+# BENCH_power.json at the repo root), and the health changepoint
+# detectors (CUSUM vs EWMA throughput; emits BENCH_health.json).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		benchmarks/test_perf_engine.py benchmarks/test_perf_power.py -q -m perf
+		benchmarks/test_perf_engine.py benchmarks/test_perf_power.py \
+		benchmarks/test_perf_health.py -q -m perf
 
 clean-cache:
 	rm -rf .repro_cache

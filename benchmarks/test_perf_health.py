@@ -1,0 +1,106 @@
+"""Microbenchmark: changepoint-detector throughput for fleet telemetry.
+
+The health control plane folds one machine-check window per host per
+tick into a per-host detector, so detector `observe` cost bounds how
+many hosts one coordinator can watch. This races the one-sided CUSUM
+(:class:`~repro.health.detector.DriftDetector`) against the EWMA
+baseline (:class:`~repro.health.detector.EwmaRateDetector`) over the
+same seeded window counts and records observations/second per detector
+to ``BENCH_health.json``, plus one end-to-end ``sdc_hunt`` robust-arm
+run as the pipeline-scale anchor.
+
+Asserted invariants:
+
+* both detectors fire at least once on the drifting segment of the
+  seeded trace (the benchmark never times a dead code path);
+* detector state stays finite (no NaN/inf creep at throughput scale);
+* the end-to-end robust run upholds the zero-escape contract.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.sdc_hunt import run_sdc_mode
+from repro.health import DriftDetector, EwmaRateDetector
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Observation windows folded per detector (one window = one host-tick).
+OBSERVATIONS = 20_000 if SMOKE else 200_000
+WINDOW_HOURS = 8.0
+SEED = 11
+
+
+def seeded_windows(count: int) -> np.ndarray:
+    """Window error counts: a quiet floor with a drifting back half."""
+    rng = np.random.default_rng(SEED)
+    quiet = rng.poisson(0.1, size=count // 2)
+    ramp = rng.poisson(np.linspace(0.2, 12.0, count - count // 2))
+    return np.concatenate([quiet, ramp]).astype(float)
+
+
+def _time_detector(detector, counts) -> tuple[float, int]:
+    observe = detector.observe
+    started = time.perf_counter()
+    fires = 0
+    for count in counts:
+        if observe(WINDOW_HOURS, count):
+            fires += 1
+    return time.perf_counter() - started, fires
+
+
+@pytest.mark.perf
+def test_perf_health_detectors(emit, emit_json):
+    counts = seeded_windows(OBSERVATIONS)
+    detectors = {
+        "cusum": DriftDetector(reference_rate_per_hour=0.0127),
+        "ewma": EwmaRateDetector(trip_rate_per_hour=0.5),
+    }
+    records = {}
+    lines = [f"Changepoint-detector throughput ({OBSERVATIONS:,} windows)"]
+    for label, detector in detectors.items():
+        seconds, fires = _time_detector(detector, counts)
+        assert fires >= 1
+        assert math.isfinite(detector.statistic)
+        per_second = OBSERVATIONS / seconds
+        records[label] = {
+            "observations": OBSERVATIONS,
+            "seconds": round(seconds, 6),
+            "observations_per_second": round(per_second),
+            "fires": fires,
+        }
+        lines.append(
+            f"{label:>5s}: {seconds * 1e3:8.3f} ms total  "
+            f"({per_second:,.0f} obs/s, {fires:,} fires)"
+        )
+
+    # End-to-end anchor: one robust sdc_hunt arm (300 control ticks,
+    # 12 hosts, screening + audit) with the contract re-asserted.
+    horizon = 800.0 if SMOKE else 2400.0
+    started = time.perf_counter()
+    robust = run_sdc_mode(True, seed=1, horizon_hours=horizon)
+    e2e_seconds = time.perf_counter() - started
+    assert robust.sdc_escapes == 0
+    assert robust.crashes == 0
+    lines.append(
+        f"sdc_hunt robust arm ({horizon:.0f} h): {e2e_seconds * 1e3:.1f} ms"
+    )
+
+    emit("perf_health", "\n".join(lines))
+    emit_json(
+        "health",
+        {
+            "detectors": records,
+            "window_hours": WINDOW_HOURS,
+            "seed": SEED,
+            "smoke": SMOKE,
+            "sdc_hunt_robust_seconds": round(e2e_seconds, 6),
+            "sdc_hunt_horizon_hours": horizon,
+        },
+    )

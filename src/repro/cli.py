@@ -28,6 +28,9 @@ Usage::
     python -m repro overload --seed 7   # live-service overload storm:
                                         # naive goodput collapse vs the
                                         # admission/brownout/emergency stack
+    python -m repro healthscan --seed 7
+                                        # drifting silicon: naive SDC leaks
+                                        # vs the fleet-health ladder
     python -m repro serve --seed 7 --port 8642
                                         # run the live service: tick loop +
                                         # HTTP telemetry/ops endpoints
@@ -56,6 +59,7 @@ from .experiments import (
     overload_storm,
     packing_churn,
     partition_recovery,
+    sdc_hunt,
     tco_experiments,
     usecases,
 )
@@ -89,6 +93,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "heatwave": ("Facility emergency ride-through: naive vs laddered (DES, --seed)", heatwave_ride_through.format_heatwave_ride_through, True),
     "oversubscribe": ("Power-oversubscription crisis: naive vs arbitrated (DES, --seed)", oversubscription_crisis.format_oversubscription_crisis, True),
     "overload": ("Live-service overload storm: naive vs robust (DES, --seed)", overload_storm.format_overload_storm, True),
+    "healthscan": ("Silicon margin drift + SDC audit: naive vs health ladder (DES, --seed)", sdc_hunt.format_sdc_hunt, True),
 }
 
 
@@ -303,6 +308,12 @@ def main(argv: list[str] | None = None) -> int:
                 overload_storm.format_overload_storm(
                     overload_storm.run_overload_storm(seed=seed)
                 )
+            )
+            return 0
+        if args.experiments == ["healthscan"]:
+            # Special-cased for the same reason as 'partition'.
+            print(
+                sdc_hunt.format_sdc_hunt(sdc_hunt.run_sdc_hunt(seed=seed))
             )
             return 0
         if args.experiments and args.experiments[0] == "serve":

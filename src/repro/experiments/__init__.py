@@ -40,6 +40,7 @@ from . import (
     oversubscription_crisis,
     packing_churn,
     partition_recovery,
+    sdc_hunt,
     tco_experiments,
     usecases,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "highperf_vms",
     "oversubscription",
     "oversubscription_crisis",
+    "sdc_hunt",
     "tco_experiments",
     "usecases",
     "render_table",

@@ -32,16 +32,19 @@ from .injectors import (
     PowerSurgeInjector,
     PowerTripInjector,
     SensorFaultInjector,
+    SiliconHealthInjector,
     ThermalExcursionInjector,
     VMCrashInjector,
     register_channel_injectors,
     register_facility_injectors,
+    register_health_injectors,
     register_power_injectors,
     register_sensor_injectors,
 )
 from .plan import (
     CHANNEL_FAULT_KINDS,
     FACILITY_FAULT_KINDS,
+    HEALTH_FAULT_KINDS,
     POWER_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
@@ -55,14 +58,17 @@ __all__ = [
     "CHANNEL_FAULT_KINDS",
     "FACILITY_FAULT_KINDS",
     "POWER_FAULT_KINDS",
+    "HEALTH_FAULT_KINDS",
     "SensorFaultInjector",
     "ChannelFaultInjector",
     "FacilityFaultInjector",
     "PowerPredictionFaultInjector",
     "PowerSurgeInjector",
+    "SiliconHealthInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",
+    "register_health_injectors",
     "register_power_injectors",
     "FaultKind",
     "FaultSpec",

@@ -34,6 +34,7 @@ from ..thermal.junction import JunctionModel
 from .plan import (
     CHANNEL_FAULT_KINDS,
     FACILITY_FAULT_KINDS,
+    HEALTH_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -760,6 +761,106 @@ class PowerSurgeInjector(FaultInjector):
         campaign.simulator.after(delay, fire, name=f"fault:power-surge:{spec.target}")
 
 
+class SiliconHealthInjector(FaultInjector):
+    """Ages silicon and pollutes machine-check telemetry on demand.
+
+    One injector instance handles one silicon-health
+    :class:`~repro.faults.plan.FaultKind` (use
+    :func:`register_health_injectors` to cover all three at once); like
+    every injector it acts through callbacks so the same campaign
+    drives a bare :class:`~repro.health.part.SiliconPart` map in a unit
+    test and the full health pipeline in ``experiments.sdc_hunt``:
+
+    * ``silicon-margin-drift`` — ``on_drift(host, magnitude)``: the
+      host's stable margin drops by ``magnitude`` ratio units at fire
+      time (accelerated aging; magnitude must be positive).
+    * ``mce-burst`` — ``on_burst(host, count)``: ``magnitude`` (≥ 1,
+      rounded) spurious correctable errors land in the host's next
+      observation window — noise the detector must not over-react to.
+    * ``sdc`` — ``on_sdc(host)``: one forced silent corruption charged
+      to the host's ground-truth record.
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        on_drift: Callable[[str, float], None] | None = None,
+        on_burst: Callable[[str, int], None] | None = None,
+        on_sdc: Callable[[str], None] | None = None,
+        targets: Mapping[str, object] | None = None,
+    ) -> None:
+        if kind not in HEALTH_FAULT_KINDS:
+            raise InjectionError(f"{kind.value} is not a silicon-health fault kind")
+        self.kind = kind
+        self.on_drift = on_drift
+        self.on_burst = on_burst
+        self.on_sdc = on_sdc
+        self.targets = dict(targets) if targets is not None else None
+
+    def _validate(self, spec: FaultSpec) -> None:
+        if self.kind is FaultKind.SILICON_MARGIN_DRIFT:
+            if spec.magnitude <= 0.0:
+                raise InjectionError(
+                    "silicon-margin-drift magnitude is a positive ratio loss"
+                )
+            if self.on_drift is None:
+                raise InjectionError("silicon-margin-drift needs an on_drift callback")
+        elif self.kind is FaultKind.MCE_BURST:
+            if spec.magnitude < 1.0:
+                raise InjectionError("mce-burst magnitude is an error count >= 1")
+            if self.on_burst is None:
+                raise InjectionError("mce-burst needs an on_burst callback")
+        elif self.on_sdc is None:
+            raise InjectionError("sdc needs an on_sdc callback")
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        self._validate(spec)
+        if self.targets is not None:
+            _lookup(self.targets, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            now = campaign.simulator.now
+            if self.kind is FaultKind.SILICON_MARGIN_DRIFT:
+                self.on_drift(spec.target, spec.magnitude)
+                detail = f"-{spec.magnitude:g} stable margin"
+            elif self.kind is FaultKind.MCE_BURST:
+                count = int(round(spec.magnitude))
+                self.on_burst(spec.target, count)
+                detail = f"{count} spurious CEs"
+            else:
+                self.on_sdc(spec.target)
+                detail = "forced silent corruption"
+            campaign.timeline.record(now, spec.kind.value, spec.target, detail)
+
+        campaign.simulator.after(
+            delay, fire, name=f"fault:{self.kind.value}:{spec.target}"
+        )
+
+
+def register_health_injectors(
+    campaign: FaultCampaign,
+    on_drift: Callable[[str, float], None],
+    on_burst: Callable[[str, int], None],
+    on_sdc: Callable[[str], None],
+    targets: Mapping[str, object] | None = None,
+) -> FaultCampaign:
+    """Register one :class:`SiliconHealthInjector` per health kind."""
+    for kind in sorted(HEALTH_FAULT_KINDS, key=lambda k: k.value):
+        campaign.register(
+            SiliconHealthInjector(
+                kind,
+                on_drift=on_drift,
+                on_burst=on_burst,
+                on_sdc=on_sdc,
+                targets=targets,
+            )
+        )
+    return campaign
+
+
 def register_power_injectors(
     campaign: FaultCampaign,
     predictors: Mapping[str, PeakPowerPredictor],
@@ -829,6 +930,8 @@ __all__ = [
     "FacilityFaultInjector",
     "PowerPredictionFaultInjector",
     "PowerSurgeInjector",
+    "SiliconHealthInjector",
+    "register_health_injectors",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",

@@ -75,6 +75,17 @@ class FaultKind(Enum):
     #: fraction ``magnitude`` above its metered baseline for
     #: ``duration_s`` (synchronized peak — the diversity bet lost).
     POWER_SURGE = "power-surge"
+    #: Silicon aging step: the target host's stable margin drops by
+    #: ``magnitude`` ratio units at the injection time (accelerated
+    #: process-induced degradation — the drift the health ladder hunts).
+    SILICON_MARGIN_DRIFT = "silicon-margin-drift"
+    #: Machine-check burst: ``magnitude`` spurious correctable errors
+    #: land in the target host's next MCA observation window (firmware
+    #: quirk, marginal DIMM, particle shower — not a real margin loss).
+    MCE_BURST = "mce-burst"
+    #: Forced silent data corruption on the target host — ground-truth
+    #: SDC the duplicate-execution audit must catch.
+    SDC = "sdc"
 
 
 #: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
@@ -118,6 +129,18 @@ POWER_FAULT_KINDS: frozenset[FaultKind] = frozenset(
     {
         FaultKind.POWER_UNDERPREDICTION,
         FaultKind.POWER_SURGE,
+    }
+)
+
+
+#: The silicon-health subset of :class:`FaultKind` (per-part margin
+#: decay and machine-check noise rather than facility or transport
+#: failure).
+HEALTH_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.SILICON_MARGIN_DRIFT,
+        FaultKind.MCE_BURST,
+        FaultKind.SDC,
     }
 )
 
@@ -205,4 +228,5 @@ __all__ = [
     "CHANNEL_FAULT_KINDS",
     "FACILITY_FAULT_KINDS",
     "POWER_FAULT_KINDS",
+    "HEALTH_FAULT_KINDS",
 ]

@@ -262,6 +262,15 @@ def _oversubscribe(seed: int) -> str:
     return format_oversubscription_crisis(run_oversubscription_crisis(seed=seed))
 
 
+def _silicon_drift(seed: int) -> str:
+    """Margin drift, MCE bursts, and forced SDC: naive static fleet vs
+    the health pipeline (see :mod:`repro.experiments.sdc_hunt`)."""
+    # Imported lazily, mirroring _host_failure.
+    from ..experiments.sdc_hunt import format_sdc_hunt, run_sdc_hunt
+
+    return format_sdc_hunt(run_sdc_hunt(seed=seed))
+
+
 def _degraded_telemetry(seed: int) -> str:
     """Sensor faults masking a coolant excursion: naive vs fail-safe
     control (see :mod:`repro.experiments.degraded_telemetry`)."""
@@ -325,6 +334,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "oversubscribe",
             "Predictor bias + synchronized surge: naive trips vs the arbiter",
             _oversubscribe,
+        ),
+        ScenarioSpec(
+            "silicon-drift",
+            "Margin drift + MCE bursts + SDC: naive fleet vs the health ladder",
+            _silicon_drift,
         ),
     )
 }

@@ -1,0 +1,49 @@
+"""Fleet silicon-health subsystem.
+
+Turns the paper's single-host guardrail ("monitor the rate of change
+in correctable errors and back off", Section IV) into a fleet
+pipeline: latent per-part margins and aging (:mod:`~repro.health.part`)
+→ sampled machine-check telemetry (:mod:`~repro.health.mce`) →
+per-host changepoint detection (:mod:`~repro.health.detector`) →
+a staged derate/quarantine/screen/retire ladder
+(:mod:`~repro.health.coordinator`) → margin re-screening
+(:mod:`~repro.health.screening`) and the duplicate-execution SDC audit
+(:mod:`~repro.health.audit`). See ``docs/health.md``.
+"""
+
+from .audit import HostHealthRecord, SdcAuditor, result_signature
+from .coordinator import (
+    HEALTH_DEFER,
+    HEALTH_ESCALATE,
+    HEALTH_RELAX,
+    HEALTH_VERDICT,
+    FleetHealthCoordinator,
+    HealthLadderConfig,
+    HealthStage,
+)
+from .detector import DriftDetector, EwmaRateDetector
+from .mce import MachineCheckEvent, MachineCheckStream
+from .part import FleetHeterogeneity, SiliconPart, sample_fleet
+from .screening import ScreenReport, ScreeningScheduler
+
+__all__ = [
+    "HEALTH_DEFER",
+    "HEALTH_ESCALATE",
+    "HEALTH_RELAX",
+    "HEALTH_VERDICT",
+    "DriftDetector",
+    "EwmaRateDetector",
+    "FleetHealthCoordinator",
+    "FleetHeterogeneity",
+    "HealthLadderConfig",
+    "HealthStage",
+    "HostHealthRecord",
+    "MachineCheckEvent",
+    "MachineCheckStream",
+    "ScreenReport",
+    "ScreeningScheduler",
+    "SdcAuditor",
+    "SiliconPart",
+    "result_signature",
+    "sample_fleet",
+]

@@ -1,0 +1,483 @@
+"""Fleet-wide health ladder: derate → quarantine → screen → verdict.
+
+One :class:`~repro.emergency.ladder.StagedLadder` per host, driven by
+that host's :class:`~repro.health.detector.DriftDetector` statistic.
+The ladder's scalar margin is the *negated* CUSUM statistic (healthy =
+0, sicker = more negative), so the shared hysteresis/escalation
+machinery from the thermal and power ladders applies unchanged:
+
+* **DERATE** — cut the host's published overclock envelope in place
+  (cheap, reversible, host keeps serving).
+* **QUARANTINE** — drain the host's VMs (via the AutoScaler callback)
+  and take it out of service.
+* **SCREEN** — hand the drained host to the
+  :class:`~repro.health.screening.ScreeningScheduler` for a margin
+  sweep; the ladder holds here until the verdict arrives.
+* **RETIRE** — terminal. Entered when a screen finds no usable
+  headroom or when the host has spent its re-arm budget
+  (``max_rearms`` reinstatements) — a part that keeps coming back
+  sick is not worth a third screening cycle.
+
+A good verdict resets the detector; the margin returns to zero and the
+ladder walks back **one rung per** ``relax_clean_ticks`` ticks —
+screen released, then quarantine released (the host re-enters service
+at its *screened* envelope via the reinstate callback), then derate
+released. Reinstatement is deliberately slower than escalation, like
+every other ladder in the repo.
+
+Capacity loss is bounded: hosts at QUARANTINE or deeper (excluding
+retirees, which are a permanent capacity decision) may not exceed
+``max_out_of_service_fraction`` of the fleet. When the budget is
+spent, further quarantines are *deferred* — the host is clamped at
+DERATE (still serving, at a cut envelope) and counted, so the pressure
+is visible in the counters instead of silently sinking the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from ..emergency.ladder import StagedLadder
+from ..errors import ConfigurationError
+from ..telemetry.counters import HealthCounters
+from .detector import DriftDetector
+from .mce import MachineCheckEvent
+from .screening import ScreeningScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.timeline import FaultTimeline
+
+#: Timeline kind recorded when a host's ladder steps up one rung.
+HEALTH_ESCALATE = "health-escalate"
+
+#: Timeline kind recorded when a host's ladder steps down one rung.
+HEALTH_RELAX = "health-relax"
+
+#: Timeline kind recorded when the capacity budget defers a quarantine.
+HEALTH_DEFER = "health-defer"
+
+#: Timeline kind recorded when a screening verdict lands.
+HEALTH_VERDICT = "health-verdict"
+
+#: Margin that pins a host's ladder at RETIRE forever.
+_RETIRED_MARGIN = -1e9
+
+
+class HealthStage(IntEnum):
+    """Health ladder rungs, ordered by severity (and capacity cost)."""
+
+    HEALTHY = 0
+    DERATE = 1
+    QUARANTINE = 2
+    SCREEN = 3
+    RETIRE = 4
+
+
+@dataclass(frozen=True)
+class HealthLadderConfig:
+    """Thresholds and policy of the per-host health ladder.
+
+    Thresholds are in the detector's units — accumulated correctable
+    errors above expectation — and must be strictly increasing down
+    the ladder (the ladder margin is their negation).
+    """
+
+    #: Excess-error mass at which the envelope is cut in place.
+    derate_excess_errors: float = 2.0
+    #: Excess-error mass at which the host drains out of service.
+    quarantine_excess_errors: float = 6.0
+    #: Excess-error mass at which screening engages (quarantined hosts
+    #: are pushed here automatically once drained).
+    screen_excess_errors: float = 9.0
+    #: Hysteresis band (excess errors) a relaxing host must clear.
+    hysteresis_errors: float = 1.0
+    #: Consecutive clean ticks per relaxation rung.
+    relax_clean_ticks: int = 3
+    #: Ratio cut applied by DERATE relative to the nominal envelope.
+    derate_step: float = 0.06
+    #: Smallest screened envelope worth reinstating; below it, retire.
+    min_reinstate_envelope: float = 1.02
+    #: Reinstatements allowed before the next screen verdict retires
+    #: the host instead (bounded re-arm).
+    max_rearms: int = 2
+    #: Largest fraction of the fleet allowed at QUARANTINE/SCREEN at
+    #: once; beyond it quarantines are deferred to DERATE.
+    max_out_of_service_fraction: float = 0.34
+    #: Detector charge for an ungraceful crash (strong evidence: one
+    #: crash should clear the quarantine threshold on its own).
+    crash_equivalent_errors: float = 8.0
+    #: Detector charge for an audit-confirmed silent corruption.
+    sdc_charge_errors: float = 8.0
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.derate_excess_errors,
+            self.quarantine_excess_errors,
+            self.screen_excess_errors,
+        )
+        if any(hi <= lo for lo, hi in zip(ordered, ordered[1:])):
+            raise ConfigurationError(
+                "excess-error thresholds must be strictly increasing "
+                "(derate < quarantine < screen)"
+            )
+        if self.derate_excess_errors <= 0:
+            raise ConfigurationError("derate threshold must be positive")
+        if self.hysteresis_errors <= 0:
+            raise ConfigurationError("hysteresis must be positive")
+        if self.relax_clean_ticks < 1:
+            raise ConfigurationError("relax_clean_ticks must be at least 1")
+        if self.derate_step <= 0:
+            raise ConfigurationError("derate step must be positive")
+        if self.min_reinstate_envelope < 1.0:
+            raise ConfigurationError("reinstate envelope cannot be below stock")
+        if self.max_rearms < 0:
+            raise ConfigurationError("max_rearms cannot be negative")
+        if not 0.0 < self.max_out_of_service_fraction <= 1.0:
+            raise ConfigurationError("out-of-service fraction must be in (0, 1]")
+        if self.crash_equivalent_errors < 0 or self.sdc_charge_errors < 0:
+            raise ConfigurationError("event charges cannot be negative")
+
+    def thresholds(self) -> dict[HealthStage, float]:
+        """Ladder thresholds (negated excess-error masses)."""
+        return {
+            HealthStage.DERATE: -self.derate_excess_errors,
+            HealthStage.QUARANTINE: -self.quarantine_excess_errors,
+            HealthStage.SCREEN: -self.screen_excess_errors,
+            # RETIRE is never reached by statistic alone; only the
+            # coordinator's verdict/pinning path drives a host this deep.
+            HealthStage.RETIRE: _RETIRED_MARGIN / 10.0,
+        }
+
+
+class FleetHealthCoordinator:
+    """Runs the per-host health ladders against machine-check telemetry.
+
+    Call :meth:`tick` once per observation window with the window's
+    machine-check events; read back per-host envelopes for the guard
+    via :meth:`envelope`, in-service membership via :meth:`in_service`,
+    and the capacity story via :meth:`out_of_service_fraction`.
+
+    Callbacks (all optional, all returning a short deterministic
+    description that lands in the timeline):
+
+    * ``on_derate(host, envelope)`` — publish a cut (or restored)
+      envelope toward the guard.
+    * ``on_quarantine(host)`` — drain the host (AutoScaler hook).
+    * ``on_reinstate(host, envelope)`` — host re-enters service.
+    * ``on_retire(host)`` — permanent removal.
+    """
+
+    def __init__(
+        self,
+        host_ids: Iterable[str],
+        config: HealthLadderConfig | None = None,
+        detectors: Mapping[str, DriftDetector] | None = None,
+        screening: ScreeningScheduler | None = None,
+        nominal_envelope: float = 1.23,
+        timeline: "FaultTimeline | None" = None,
+        counters: HealthCounters | None = None,
+        on_derate: Callable[[str, float], str] | None = None,
+        on_quarantine: Callable[[str], str] | None = None,
+        on_reinstate: Callable[[str, float], str] | None = None,
+        on_retire: Callable[[str], str] | None = None,
+    ) -> None:
+        hosts = sorted(set(host_ids))
+        if not hosts:
+            raise ConfigurationError("the fleet cannot be empty")
+        self.config = config if config is not None else HealthLadderConfig()
+        self.counters = counters if counters is not None else HealthCounters()
+        self.timeline = timeline
+        self.screening = screening
+        self.nominal_envelope = nominal_envelope
+        self._hosts = hosts
+        self._detectors = (
+            dict(detectors)
+            if detectors is not None
+            else {host: DriftDetector() for host in hosts}
+        )
+        missing = [host for host in hosts if host not in self._detectors]
+        if missing:
+            raise ConfigurationError(f"hosts without detectors: {missing}")
+        self._on_derate = on_derate
+        self._on_quarantine = on_quarantine
+        self._on_reinstate = on_reinstate
+        self._on_retire = on_retire
+        self._envelopes: dict[str, float] = {}
+        self._screened: dict[str, float] = {}
+        self._rearms: dict[str, int] = {host: 0 for host in hosts}
+        self._retired: set[str] = set()
+        self._awaiting_verdict: set[str] = set()
+        self._pending_charges: dict[str, float] = {}
+        self._now_hours = 0.0
+        self._ladders: dict[str, StagedLadder] = {}
+        for host in hosts:
+            ladder = StagedLadder(
+                stages=HealthStage,
+                thresholds=self.config.thresholds(),
+                hysteresis=self.config.hysteresis_errors,
+                relax_clean_ticks=self.config.relax_clean_ticks,
+                timeline=None,  # actions record host-tagged events below
+                margin_format=lambda margin: f"excess={-margin:.2f}err",
+            )
+            self._wire(ladder, host)
+            self._ladders[host] = ladder
+
+    # ------------------------------------------------------------------
+    # Rung actions (each records its own host-tagged timeline event)
+    # ------------------------------------------------------------------
+    def _wire(self, ladder: StagedLadder, host: str) -> None:
+        ladder.register(
+            HealthStage.DERATE,
+            engage=lambda: self._engage_derate(host),
+            release=lambda: self._release_derate(host),
+        )
+        ladder.register(
+            HealthStage.QUARANTINE,
+            engage=lambda: self._engage_quarantine(host),
+            release=lambda: self._release_quarantine(host),
+        )
+        ladder.register(
+            HealthStage.SCREEN,
+            engage=lambda: self._engage_screen(host),
+            release=lambda: self._record(HEALTH_RELAX, host, "screen complete"),
+        )
+        ladder.register(
+            HealthStage.RETIRE,
+            engage=lambda: self._engage_retire(host),
+        )
+
+    def _record(self, kind: str, host: str, detail: str) -> str:
+        if self.timeline is not None:
+            self.timeline.record(self._now_hours, kind, host, detail)
+        return detail
+
+    def _engage_derate(self, host: str) -> str:
+        # Cut from the host's *current* published envelope: a screened
+        # (already-lowered) envelope must never be raised by a derate.
+        base = self._screened.get(host, self.nominal_envelope)
+        envelope = max(1.0, base - self.config.derate_step)
+        self._envelopes[host] = envelope
+        self.counters.derates += 1
+        detail = f"derate envelope={envelope:.3f}"
+        if self._on_derate is not None:
+            detail = f"{detail} {self._on_derate(host, envelope)}"
+        return self._record(HEALTH_ESCALATE, host, detail)
+
+    def _release_derate(self, host: str) -> str:
+        screened = self._screened.get(host)
+        if screened is not None:
+            # The screen's verdict outranks the blanket derate cut —
+            # keep the measured envelope rather than restoring nominal.
+            self._envelopes[host] = screened
+            detail = f"screened envelope {screened:.3f} retained"
+        else:
+            self._envelopes.pop(host, None)
+            detail = "nominal envelope restored"
+            if self._on_derate is not None:
+                detail = f"{detail} {self._on_derate(host, self.nominal_envelope)}"
+        return self._record(HEALTH_RELAX, host, detail)
+
+    def _engage_quarantine(self, host: str) -> str:
+        self.counters.quarantines += 1
+        detail = "quarantine drained"
+        if self._on_quarantine is not None:
+            detail = f"quarantine {self._on_quarantine(host)}"
+        return self._record(HEALTH_ESCALATE, host, detail)
+
+    def _release_quarantine(self, host: str) -> str:
+        envelope = self._screened.get(host, self._envelopes.get(host, 1.0))
+        self.counters.reinstates += 1
+        self._rearms[host] += 1
+        detail = f"reinstated envelope={envelope:.3f} rearm={self._rearms[host]}"
+        if self._on_reinstate is not None:
+            detail = f"{detail} {self._on_reinstate(host, envelope)}"
+        return self._record(HEALTH_RELAX, host, detail)
+
+    def _engage_screen(self, host: str) -> str:
+        self.counters.screens += 1
+        self._awaiting_verdict.add(host)
+        if self.screening is not None:
+            self.screening.enqueue(host, self._now_hours)
+            detail = "screen enqueued"
+        else:
+            detail = "no screening rig wired"
+        return self._record(HEALTH_ESCALATE, host, detail)
+
+    def _engage_retire(self, host: str) -> str:
+        self._retired.add(host)
+        self._awaiting_verdict.discard(host)
+        self._envelopes[host] = 1.0
+        self.counters.retires += 1
+        detail = "retired"
+        if self._on_retire is not None:
+            detail = f"retired {self._on_retire(host)}"
+        return self._record(HEALTH_ESCALATE, host, detail)
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def charge_sdc(self, host: str) -> None:
+        """Charge an audit-confirmed silent corruption to ``host``."""
+        if host not in self._ladders:
+            raise ConfigurationError(f"unknown host {host!r}")
+        self._pending_charges[host] = (
+            self._pending_charges.get(host, 0.0) + self.config.sdc_charge_errors
+        )
+
+    def _fold_events(self, events: Iterable[MachineCheckEvent]) -> dict[str, float]:
+        """Reduce a window's events to per-host detector charges."""
+        charges: dict[str, float] = {}
+        for event in events:
+            if event.kind == "ce":
+                self.counters.ce_events += 1
+                self.counters.ce_errors += event.count
+                charges[event.host_id] = charges.get(event.host_id, 0.0) + event.count
+            elif event.kind == "crash":
+                self.counters.crashes += 1
+                charges[event.host_id] = (
+                    charges.get(event.host_id, 0.0)
+                    + self.config.crash_equivalent_errors
+                )
+            elif event.kind == "sdc":
+                # Silent by definition: ground-truth accounting only.
+                # Detectors hear about SDCs solely via charge_sdc()
+                # when the duplicate-execution audit catches one.
+                self.counters.sdc_events += event.count
+        return charges
+
+    # ------------------------------------------------------------------
+    # The control tick
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        time_hours: float,
+        window_hours: float,
+        events: Iterable[MachineCheckEvent],
+    ) -> None:
+        """Fold one observation window into every host's ladder."""
+        if window_hours <= 0:
+            raise ConfigurationError("window must be positive")
+        self._now_hours = time_hours
+        charges = self._fold_events(events)
+        self._poll_screening(time_hours)
+        thresholds = self.config.thresholds()
+        quarantine_margin = thresholds[HealthStage.QUARANTINE]
+        screen_margin = thresholds[HealthStage.SCREEN]
+        for host in self._hosts:
+            ladder = self._ladders[host]
+            if host in self._retired:
+                ladder.observe(time_hours, _RETIRED_MARGIN)
+                continue
+            detector = self._detectors[host]
+            if self.in_service(host):
+                charge = charges.get(host, 0.0) + self._pending_charges.pop(host, 0.0)
+                if detector.observe(window_hours, charge):
+                    self.counters.detector_fires += 1
+            margin = -detector.statistic
+            if ladder.stage >= HealthStage.QUARANTINE and detector.statistic > 0:
+                # Drained and still unexonerated: hold at the screen
+                # rung (engaging it on the first such tick) until the
+                # verdict resets the detector or retires the host.
+                margin = min(margin, screen_margin)
+            elif (
+                ladder.stage < HealthStage.QUARANTINE
+                and margin <= quarantine_margin
+                and self._budget_spent()
+            ):
+                self.counters.quarantines_deferred += 1
+                self._record(
+                    HEALTH_DEFER, host, f"excess={-margin:.2f}err budget spent"
+                )
+                margin = quarantine_margin + 1e-9
+            ladder.observe(time_hours, margin)
+
+    def _poll_screening(self, time_hours: float) -> None:
+        if self.screening is None:
+            return
+        for report in self.screening.poll(time_hours):
+            host = report.host_id
+            if host in self._retired or host not in self._awaiting_verdict:
+                continue
+            self.counters.screens_completed += 1
+            healthy = report.envelope_ratio >= self.config.min_reinstate_envelope
+            rearm_left = self._rearms[host] < self.config.max_rearms
+            if healthy and rearm_left:
+                self._screened[host] = report.envelope_ratio
+                self._detectors[host].reset()
+                self._awaiting_verdict.discard(host)
+                verdict = f"reinstate envelope={report.envelope_ratio:.3f}"
+            elif healthy:
+                verdict = f"retire rearm budget spent ({self._rearms[host]})"
+                self._retire_now(time_hours, host)
+            else:
+                verdict = f"retire envelope={report.envelope_ratio:.3f} too low"
+                self._retire_now(time_hours, host)
+            self._record(
+                HEALTH_VERDICT,
+                host,
+                f"margin={report.estimated_stable_margin:.3f} "
+                f"probes={report.probes} {verdict}",
+            )
+
+    def _retire_now(self, time_hours: float, host: str) -> None:
+        """Pin the ladder at RETIRE immediately (verdict path)."""
+        self._retired.add(host)
+        self._ladders[host].observe(time_hours, _RETIRED_MARGIN)
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def stage(self, host: str) -> HealthStage:
+        return HealthStage(self._ladders[host].stage)
+
+    def in_service(self, host: str) -> bool:
+        """True while the host should be serving traffic."""
+        return self._ladders[host].stage < HealthStage.QUARANTINE
+
+    def serving_hosts(self) -> list[str]:
+        return [host for host in self._hosts if self.in_service(host)]
+
+    def envelope(self, host: str) -> float | None:
+        """The host's published health envelope (None = nominal)."""
+        return self._envelopes.get(host)
+
+    def retired_hosts(self) -> frozenset[str]:
+        return frozenset(self._retired)
+
+    def rearms(self, host: str) -> int:
+        return self._rearms[host]
+
+    def _transient_out_of_service(self) -> int:
+        return sum(
+            1
+            for host in self._hosts
+            if host not in self._retired
+            and self._ladders[host].stage >= HealthStage.QUARANTINE
+        )
+
+    def _budget_spent(self) -> bool:
+        active = len(self._hosts) - len(self._retired)
+        if active == 0:
+            return True
+        budget = self.config.max_out_of_service_fraction * active
+        return (self._transient_out_of_service() + 1) > budget
+
+    def out_of_service_fraction(self) -> float:
+        """Fraction of the non-retired fleet currently drained."""
+        active = len(self._hosts) - len(self._retired)
+        if active == 0:
+            return 0.0
+        return self._transient_out_of_service() / active
+
+
+__all__ = [
+    "HEALTH_DEFER",
+    "HEALTH_ESCALATE",
+    "HEALTH_RELAX",
+    "HEALTH_VERDICT",
+    "FleetHealthCoordinator",
+    "HealthLadderConfig",
+    "HealthStage",
+]

@@ -1,0 +1,111 @@
+"""Per-host changepoint detection on machine-check rates.
+
+A drifting part announces itself as a slow upward creep in its
+correctable-error rate long before it crashes or corrupts work — but a
+single-window threshold either fires on every Poisson fluctuation or
+misses the creep entirely. The standard answer is a one-sided **CUSUM**
+on the observed rate: accumulate only the *excess* over an allowed
+reference (plus a slack that absorbs noise) and fire when the
+accumulated excess-error mass crosses a threshold. The statistic is in
+units of *errors above expectation*, so thresholds read as "fire after
+~K surprising errors" — directly comparable across window sizes.
+
+:class:`EwmaRateDetector` is the cheaper alternative (exponentially
+weighted moving average of the rate with a fixed trip level); the
+benchmark suite races both on throughput, and the fleet coordinator
+takes either via the shared :meth:`observe` protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class DriftDetector:
+    """One-sided CUSUM over per-window correctable-error counts.
+
+    ``reference_rate_per_hour`` is the rate considered healthy (the
+    background floor plus the envelope's expected ramp contribution);
+    ``slack_per_hour`` is the tolerated excess before anything
+    accumulates; ``threshold_errors`` is the accumulated excess-error
+    mass at which the detector fires. The statistic never goes negative
+    (healthy windows drain it to zero, not below), so a long quiet
+    stretch cannot bank credit against a future ramp.
+    """
+
+    reference_rate_per_hour: float = 0.0
+    slack_per_hour: float = 0.25
+    threshold_errors: float = 4.0
+    statistic: float = field(default=0.0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.reference_rate_per_hour < 0:
+            raise ConfigurationError("reference rate cannot be negative")
+        if self.slack_per_hour < 0:
+            raise ConfigurationError("slack cannot be negative")
+        if self.threshold_errors <= 0:
+            raise ConfigurationError("threshold must be positive")
+
+    def observe(self, window_hours: float, error_count: float) -> bool:
+        """Fold one window's error count in; True when the CUSUM fires."""
+        if window_hours <= 0:
+            raise ConfigurationError("window must be positive")
+        if error_count < 0:
+            raise ConfigurationError("error count cannot be negative")
+        allowed = (self.reference_rate_per_hour + self.slack_per_hour) * window_hours
+        self.statistic = max(0.0, self.statistic + (error_count - allowed))
+        if self.statistic > self.threshold_errors:
+            self.fired += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Drain the statistic (after screening clears or retires a host)."""
+        self.statistic = 0.0
+
+
+@dataclass
+class EwmaRateDetector:
+    """EWMA of the per-window error rate with a fixed trip level.
+
+    ``half_life_hours`` sets the smoothing horizon; the detector fires
+    while the smoothed rate exceeds ``trip_rate_per_hour``. Cheaper than
+    CUSUM per observation but slower to catch slow creeps that stay
+    below the trip level — kept as the benchmark baseline.
+    """
+
+    trip_rate_per_hour: float = 1.0
+    half_life_hours: float = 24.0
+    statistic: float = field(default=0.0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.trip_rate_per_hour <= 0:
+            raise ConfigurationError("trip rate must be positive")
+        if self.half_life_hours <= 0:
+            raise ConfigurationError("half life must be positive")
+
+    def observe(self, window_hours: float, error_count: float) -> bool:
+        """Fold one window's error count in; True while above trip level."""
+        if window_hours <= 0:
+            raise ConfigurationError("window must be positive")
+        if error_count < 0:
+            raise ConfigurationError("error count cannot be negative")
+        rate = error_count / window_hours
+        alpha = 1.0 - math.pow(0.5, window_hours / self.half_life_hours)
+        self.statistic += alpha * (rate - self.statistic)
+        if self.statistic > self.trip_rate_per_hour:
+            self.fired += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.statistic = 0.0
+
+
+__all__ = ["DriftDetector", "EwmaRateDetector"]

@@ -6,9 +6,11 @@ object — before granting a frequency it checks, in order:
 
 1. **stability** — the requested ratio must be below the crash margin,
    and the correctable-error monitor must not be alarming;
-2. **lifetime** — the wear-out counter must afford the extra damage (or
+2. **health** — the fleet health pipeline's per-host envelope (a
+   screened margin estimate or a derate) caps the grant;
+3. **lifetime** — the wear-out counter must afford the extra damage (or
    the request stays within the lifetime-neutral green band);
-3. **power** — the host's delivery headroom must cover the extra watts.
+4. **power** — the host's delivery headroom must cover the extra watts.
 
 The guard returns the highest safe ratio at or below the request, so
 callers can ask for the moon and get the envelope.
@@ -36,7 +38,9 @@ class GuardDecision:
 
     requested_ratio: float
     granted_ratio: float
-    limited_by: str  # "none", "stability", "alarm", "lifetime", "power", "telemetry"
+    #: One of "none", "stability", "health", "alarm", "lifetime",
+    #: "power", "telemetry".
+    limited_by: str
 
     @property
     def granted(self) -> bool:
@@ -73,6 +77,7 @@ class OverclockGuard:
         self.extra_watts_per_ratio = extra_watts_per_ratio
         self.step_ratio = step_ratio
         self._alarmed = False
+        self._health_limit_ratio: float | None = None
 
     # ------------------------------------------------------------------
     # Telemetry feed
@@ -112,6 +117,24 @@ class OverclockGuard:
         """Operator acknowledgement after investigating an error spike."""
         self._alarmed = False
 
+    # ------------------------------------------------------------------
+    # Health envelope feed
+    # ------------------------------------------------------------------
+    def set_health_limit(self, ratio: float) -> None:
+        """Cap grants at ``ratio`` (from the fleet health pipeline —
+        a screened per-part margin estimate or a drift derate)."""
+        if ratio < 1.0:
+            raise ConfigurationError("health limit cannot be below stock")
+        self._health_limit_ratio = ratio
+
+    def clear_health_limit(self) -> None:
+        """Remove the health cap (host screened clean or envelope reset)."""
+        self._health_limit_ratio = None
+
+    @property
+    def health_limit_ratio(self) -> float | None:
+        return self._health_limit_ratio
+
     @property
     def alarmed(self) -> bool:
         return self._alarmed
@@ -143,6 +166,13 @@ class OverclockGuard:
         if ratio > stable_max:
             ratio = stable_max
             limited_by = "stability"
+
+        # 1b. Health: this part's measured envelope may sit below the
+        #     population model's margin (drift caught by the fleet
+        #     pipeline) — the tighter of the two wins.
+        if self._health_limit_ratio is not None and ratio > self._health_limit_ratio:
+            ratio = self._health_limit_ratio
+            limited_by = "health"
 
         # 2. Power: the extra watts must fit the delivery headroom.
         max_by_power = 1.0 + power_headroom_watts / self.extra_watts_per_ratio

@@ -46,25 +46,41 @@ class StabilityModel:
     stable_margin: float = 1.23
     #: Ratio at which the part ungracefully crashes.
     crash_margin: float = 1.35
-    #: Error rate (errors/hour) at the stable margin boundary.
+    #: Scale of the exponential error ramp beyond the stable margin
+    #: (errors/hour per e-fold of excess ratio).
     base_error_rate_per_hour: float = 0.013
     #: e-folding width of the exponential ramp, in ratio units.
     ramp_width: float = 0.025
+    #: Error floor inside the stable margin (errors/hour). The default
+    #: 0.0 reproduces tank #1 (no errors in six months); the paper's
+    #: tank #2 — 56 correctable errors while *inside* its aggressive
+    #: envelope — is ``56 / SIX_MONTHS_HOURS`` ≈ 0.0127.
+    background_error_rate_per_hour: float = 0.0
 
     def __post_init__(self) -> None:
         if not 1.0 <= self.stable_margin < self.crash_margin:
             raise ConfigurationError("need 1.0 <= stable_margin < crash_margin")
         if self.ramp_width <= 0:
             raise ConfigurationError("ramp width must be positive")
+        if self.background_error_rate_per_hour < 0:
+            raise ConfigurationError("background error rate cannot be negative")
 
     def correctable_error_rate_per_hour(self, overclock_ratio: float) -> float:
-        """Expected correctable errors per hour at ``overclock_ratio``."""
+        """Expected correctable errors per hour at ``overclock_ratio``.
+
+        Continuous at ``stable_margin``: the ramp uses ``expm1`` so the
+        rate approaches the background floor as the excess approaches
+        zero — the margin is where errors *start*, not a cliff. Monotone
+        non-decreasing in the ratio.
+        """
         if overclock_ratio <= 0:
             raise ConfigurationError("overclock ratio must be positive")
         if overclock_ratio <= self.stable_margin:
-            return 0.0
+            return self.background_error_rate_per_hour
         excess = overclock_ratio - self.stable_margin
-        return self.base_error_rate_per_hour * math.exp(excess / self.ramp_width)
+        return self.background_error_rate_per_hour + (
+            self.base_error_rate_per_hour * math.expm1(excess / self.ramp_width)
+        )
 
     def expected_errors(self, overclock_ratio: float, hours: float) -> float:
         """Expected correctable-error count over ``hours`` of operation."""
@@ -79,17 +95,23 @@ class StabilityModel:
     ) -> float:
         """Expected ungraceful crashes per hour at ``overclock_ratio``.
 
-        Inside the stable margin the rate is zero; between the margins it
-        follows the correctable-error ramp scaled down by
-        ``errors_per_crash``; at or past the crash margin the part cannot
-        operate at all and the rate is infinite. Fault injectors sample
-        exponential crash times from this rate.
+        Inside the stable margin the rate is zero — the background error
+        floor is benign (the paper's tank #2 logged 56 correctable
+        errors and zero crashes); between the margins it follows the
+        correctable-error *ramp* scaled down by ``errors_per_crash``; at
+        or past the crash margin the part cannot operate at all and the
+        rate is infinite. Fault injectors sample exponential crash times
+        from this rate.
         """
         if errors_per_crash <= 0:
             raise ConfigurationError("errors_per_crash must be positive")
         if self.crashes(overclock_ratio):
             return math.inf
-        return self.correctable_error_rate_per_hour(overclock_ratio) / errors_per_crash
+        ramp = (
+            self.correctable_error_rate_per_hour(overclock_ratio)
+            - self.background_error_rate_per_hour
+        )
+        return ramp / errors_per_crash
 
     def crashes(self, overclock_ratio: float) -> bool:
         """True when the part cannot operate at this ratio at all."""

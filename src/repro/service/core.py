@@ -47,10 +47,12 @@ from ..control.link import ActuationLink
 from ..emergency.ladder import EmergencyCoordinator, EmergencyStage, LadderConfig
 from ..errors import ConfigurationError
 from ..faults.timeline import FaultTimeline
+from ..health.audit import SdcAuditor
 from ..reliability.safety import SafetySupervisor
 from ..silicon.configs import config_by_name
 from ..sim.kernel import Simulator
-from ..telemetry.counters import ServiceCounters
+from ..sim.random import split_seed
+from ..telemetry.counters import HealthCounters, ServiceCounters
 from ..telemetry.percentiles import LatencyRecorder
 from ..thermal.fluids import FC_3284
 from ..thermal.transient import TankFluidRC
@@ -131,6 +133,17 @@ class ServiceConfig:
     base_config_name: str = "B2"
     boost_config_name: str = "OC1"
 
+    # Duplicate-execution SDC audit. Inert at the defaults: no request
+    # is sampled, no host corrupts, and the tick signature chain is
+    # bit-identical to a build without the audit. ``sdc_faulty_hosts``
+    # names hosts whose results silently corrupt with probability
+    # ``sdc_corruption_per_request`` per served request; robust mode
+    # re-executes a ``sdc_audit_fraction`` sample on a second host and
+    # charges signature mismatches, naive mode lets corruption escape.
+    sdc_audit_fraction: float = 0.0
+    sdc_faulty_hosts: tuple[str, ...] = ()
+    sdc_corruption_per_request: float = 0.0
+
     # Telemetry.
     warmup_s: float = 5.0
     history_ticks: int = 512
@@ -158,6 +171,12 @@ class ServiceConfig:
             raise ConfigurationError("trip recovery time must be positive")
         if self.history_ticks < 1:
             raise ConfigurationError("history must keep at least one tick")
+        if not 0.0 <= self.sdc_audit_fraction <= 1.0:
+            raise ConfigurationError("sdc_audit_fraction must be in [0, 1]")
+        if not 0.0 <= self.sdc_corruption_per_request <= 1.0:
+            raise ConfigurationError("sdc_corruption_per_request must be in [0, 1]")
+        if self.sdc_audit_fraction > 0.0 and self.hosts < 2:
+            raise ConfigurationError("the SDC audit needs a second host to re-execute on")
         config_by_name(self.base_config_name)
         config_by_name(self.boost_config_name)
 
@@ -216,6 +235,16 @@ class ServiceCore:
         self.latency = LatencyRecorder(
             name=f"service:{mode}", drop_warmup_before=cfg.warmup_s
         )
+
+        # Duplicate-execution SDC audit (None unless configured, so the
+        # default signature chain never sees it).
+        self.health = HealthCounters()
+        self._sdc_faulty = frozenset(cfg.sdc_faulty_hosts)
+        self._auditor: SdcAuditor | None = None
+        if cfg.sdc_audit_fraction > 0.0 or self._sdc_faulty:
+            self._auditor = SdcAuditor(
+                split_seed(seed, "sdc-audit"), cfg.sdc_audit_fraction
+            )
 
         # Workload: diurnal trace → per-class arrival processes → fleet.
         self._trace = DiurnalTrace(
@@ -502,6 +531,9 @@ class ServiceCore:
             vm = self._lb.route(time_s, on_complete=self._completion_hook(deadline))
             if vm is None:
                 self.counters.lost_to_trips += 1
+            elif self._auditor is not None:
+                self._request_seq += 1
+                self._observe_result(self._request_seq, vm)
             return
         assert self._admission is not None and self._queue is not None
         verdict = self._admission.admit(time_s, klass)
@@ -516,6 +548,56 @@ class ServiceCore:
         )
         if self._queue.push(request):
             self._drain()
+
+    def _corruption_probability(self, host_id: str) -> float:
+        if host_id in self._sdc_faulty:
+            return self.config.sdc_corruption_per_request
+        return 0.0
+
+    def _audit_partner(self, primary: ServerVM) -> ServerVM | None:
+        """Deterministic second host for duplicate execution: the next
+        live host in fleet order, or None when the fleet is down to one."""
+        start = self._server_vms.index(primary)
+        count = len(self._server_vms)
+        for step in range(1, count):
+            index = (start + step) % count
+            if not self._hosts[index].failed:
+                return self._server_vms[index]
+        return None
+
+    def _observe_result(self, request_id: int, primary: ServerVM) -> None:
+        """Sampled duplicate-execution SDC audit on one dispatched request.
+
+        The corruption draw and the sampling draw are both pure
+        functions of ``(seed, host, request id)``, so enabling the
+        audit never perturbs any other random stream. Un-audited
+        corruption (and all corruption in naive mode, which runs with
+        ``sdc_audit_fraction=0``) counts as a silent escape.
+        """
+        auditor = self._auditor
+        assert auditor is not None
+        rid = f"r{request_id}"
+        corrupted = auditor.corrupts(
+            primary.name, rid, self._corruption_probability(primary.name)
+        )
+        secondary = self._audit_partner(primary) if auditor.should_audit(rid) else None
+        if secondary is None:
+            if corrupted:
+                self.health.sdc_escapes += 1
+            return
+        self.health.audits += 1
+        secondary_corrupted = auditor.corrupts(
+            secondary.name, rid, self._corruption_probability(secondary.name)
+        )
+        charged = auditor.audit(
+            rid, primary.name, secondary.name, corrupted, secondary_corrupted
+        )
+        if charged is not None:
+            self.health.audit_mismatches += 1
+            self.health.sdc_caught += 1
+            self.timeline.record(
+                self._sim.now, "sdc-audit", charged, f"mismatch request={rid}"
+            )
 
     def _completion_hook(self, deadline_s: float):
         def done(completion_s: float, _arrival_s: float) -> None:
@@ -550,6 +632,8 @@ class ServiceCore:
             if vm is None:
                 self.counters.lost_to_trips += 1
                 return
+            if self._auditor is not None:
+                self._observe_result(request.request_id, vm)
 
     # ------------------------------------------------------------------
     # Thermal plant and trips
@@ -946,6 +1030,10 @@ class ServiceCore:
             "time_s": self._sim.now,
             "signature": self._chain,
             "counters": counters,
+            "health": {
+                spec.name: getattr(self.health, spec.name)
+                for spec in fields(self.health)
+            },
             "queue_depth": self.queue_depth,
             "queue_max_depth": self._queue.max_depth if self._queue is not None else 0,
             "in_flight": self.in_flight,

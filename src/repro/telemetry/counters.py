@@ -326,12 +326,77 @@ class ServiceCounters:
         return ", ".join(parts) or "(no service activity)"
 
 
+@dataclass
+class HealthCounters:
+    """Silicon-health pipeline counters (the fleet's aging story).
+
+    One instance is owned by a
+    :class:`~repro.health.coordinator.FleetHealthCoordinator` (plus,
+    in service mode, the duplicate-execution SDC auditor); read
+    together with :class:`ServiceCounters` it answers "which parts
+    drifted, how fast we caught them, and what catching them cost".
+    Kept separate from :class:`ServiceCounters` on purpose: the service
+    tick signature hashes every ServiceCounters field, so health
+    accounting must not change shape under existing signatures.
+    """
+
+    #: Correctable-error MCA events observed (windows with >= 1 CE).
+    ce_events: int = 0
+    #: Correctable errors observed (sum of window counts).
+    ce_errors: int = 0
+    #: Ungraceful crashes observed.
+    crashes: int = 0
+    #: Silent corruptions that actually happened (ground truth).
+    sdc_events: int = 0
+    #: Silent corruptions caught by the duplicate-execution audit.
+    sdc_caught: int = 0
+    #: Silent corruptions that escaped every check (the headline number).
+    sdc_escapes: int = 0
+    #: Per-host changepoint-detector firings.
+    detector_fires: int = 0
+    #: DERATE engagements (host envelope cut in place).
+    derates: int = 0
+    #: QUARANTINE engagements (host drained out of service).
+    quarantines: int = 0
+    #: Quarantines deferred by the out-of-service capacity budget.
+    quarantines_deferred: int = 0
+    #: Screening sweeps enqueued.
+    screens: int = 0
+    #: Screening sweeps completed with a verdict.
+    screens_completed: int = 0
+    #: Hosts reinstated to service with a screened envelope.
+    reinstates: int = 0
+    #: Hosts permanently retired (failed screen or re-arm budget spent).
+    retires: int = 0
+    #: Duplicate executions sampled by the SDC audit.
+    audits: int = 0
+    #: Audit signature mismatches charged to a host.
+    audit_mismatches: int = 0
+
+    def merge(self, other: "HealthCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no health activity)"
+
+
 __all__ = [
     "CoreCounters",
     "CounterSnapshot",
     "CounterDelta",
     "ControlPlaneCounters",
     "EmergencyCounters",
+    "HealthCounters",
     "PowerEmergencyCounters",
     "ServiceCounters",
 ]

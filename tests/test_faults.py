@@ -374,6 +374,7 @@ class TestScenarios:
             "partition",
             "heatwave",
             "oversubscribe",
+            "silicon-drift",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

@@ -1,0 +1,291 @@
+"""Tests for the fleet health ladder (derate → quarantine → screen → verdict).
+
+Drives :class:`~repro.health.coordinator.FleetHealthCoordinator` with
+synthetic machine-check windows so every transition is scripted: the
+full walk down and back, the screened-envelope precedence over blanket
+derates (a regression test for the derate-raises-envelope bug), the
+bounded re-arm budget, the out-of-service capacity budget, and the
+audit charge path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.timeline import FaultTimeline
+from repro.health import (
+    HEALTH_DEFER,
+    HEALTH_VERDICT,
+    DriftDetector,
+    FleetHealthCoordinator,
+    HealthLadderConfig,
+    HealthStage,
+    MachineCheckEvent,
+    ScreeningScheduler,
+    SiliconPart,
+)
+from repro.reliability.stability import StabilityModel
+from repro.telemetry.counters import HealthCounters
+
+MODEL = StabilityModel(
+    stable_margin=1.23,
+    crash_margin=1.35,
+    base_error_rate_per_hour=0.5,
+    ramp_width=0.02,
+    background_error_rate_per_hour=0.0127,
+)
+
+HOSTS = ("a", "b", "c", "d")
+
+
+def _coordinator(offsets=None, config=None, hosts=HOSTS):
+    """A 4-host coordinator over scripted silicon with a 1 h window."""
+    offsets = offsets or {}
+    parts = {
+        host: SiliconPart(host, nominal=MODEL, margin_offset=offsets.get(host, 0.0))
+        for host in hosts
+    }
+    timeline = FaultTimeline()
+    counters = HealthCounters()
+    calls: list[tuple] = []
+    coordinator = FleetHealthCoordinator(
+        hosts,
+        config=config,
+        detectors={host: DriftDetector() for host in hosts},
+        screening=ScreeningScheduler(parts),
+        nominal_envelope=1.23,
+        timeline=timeline,
+        counters=counters,
+        on_derate=lambda host, envelope: calls.append(("derate", host, envelope)) or "",
+        on_quarantine=lambda host: calls.append(("quarantine", host)) or "drained",
+        on_reinstate=lambda host, envelope: calls.append(("reinstate", host, envelope))
+        or "",
+        on_retire=lambda host: calls.append(("retire", host)) or "",
+    )
+    return coordinator, timeline, counters, calls
+
+
+def _ce(host, count, t=0.0):
+    return [MachineCheckEvent(t, host, "ce", count=count)]
+
+
+def _run_quiet(coordinator, start, ticks):
+    """Advance ``ticks`` clean 1 h windows from ``start``."""
+    for step in range(ticks):
+        coordinator.tick(start + step + 1.0, 1.0, [])
+    return start + ticks
+
+
+class TestFullWalk:
+    def test_spike_escalates_straight_to_screen(self):
+        coordinator, timeline, counters, calls = _coordinator()
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        assert coordinator.stage("a") is HealthStage.SCREEN
+        assert not coordinator.in_service("a")
+        assert coordinator.serving_hosts() == ["b", "c", "d"]
+        assert counters.detector_fires == 1
+        assert counters.derates == 1
+        assert counters.quarantines == 1
+        assert counters.screens == 1
+        # Every rung's action fired on the way down, in order.
+        assert [call[0] for call in calls] == ["derate", "quarantine"]
+        # The blanket derate cut from nominal.
+        assert coordinator.envelope("a") == pytest.approx(1.23 - 0.06)
+
+    def test_verdict_reinstates_at_the_screened_envelope(self):
+        coordinator, timeline, counters, calls = _coordinator()
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        # The screen starts on the next poll (t=2) and takes 4 h; the
+        # ladder holds at SCREEN while the statistic is unresolved, and
+        # the verdict lands on the t=6 tick.
+        _run_quiet(coordinator, 1.0, 5)
+        assert coordinator.stage("a") is HealthStage.SCREEN
+        verdicts = [e for e in timeline.events if e.kind == HEALTH_VERDICT]
+        assert len(verdicts) == 1
+        assert verdicts[0].target == "a"
+        assert "reinstate" in verdicts[0].detail
+        assert counters.screens_completed == 1
+        # Relaxation walks one rung per 3 clean ticks: screen at t=8,
+        # quarantine (reinstate) at t=11, derate at t=14.
+        _run_quiet(coordinator, 6.0, 8)
+        assert coordinator.stage("a") is HealthStage.HEALTHY
+        assert coordinator.in_service("a")
+        assert counters.reinstates == 1
+        assert coordinator.rearms("a") == 1
+        screened = coordinator.envelope("a")
+        # The screened envelope survives the derate release and sits a
+        # guard band under the (healthy) part's true margin.
+        assert screened is not None
+        assert 1.15 < screened < 1.23
+        reinstate = [call for call in calls if call[0] == "reinstate"]
+        assert reinstate == [("reinstate", "a", pytest.approx(screened))]
+
+    def test_relaxation_restores_nominal_when_never_screened(self):
+        coordinator, _, counters, _ = _coordinator()
+        # A mild blip: derate only (statistic 4.75 stays under 6).
+        coordinator.tick(1.0, 1.0, _ce("a", 5))
+        assert coordinator.stage("a") is HealthStage.DERATE
+        assert coordinator.in_service("a")
+        # Slack drains 0.25 err/tick; the statistic reaches the
+        # hysteresis band (<= 1.0) after 15 quiet ticks and the derate
+        # releases to nominal after 3 more clean ticks.
+        _run_quiet(coordinator, 1.0, 20)
+        assert coordinator.stage("a") is HealthStage.HEALTHY
+        assert coordinator.envelope("a") is None
+
+
+class TestScreenedEnvelopePrecedence:
+    def _walk_to_screened(self, coordinator):
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        _run_quiet(coordinator, 1.0, 13)
+        assert coordinator.stage("a") is HealthStage.HEALTHY
+        screened = coordinator.envelope("a")
+        assert screened is not None
+        return screened
+
+    def test_a_rederate_never_raises_a_screened_envelope(self):
+        # Regression: _engage_derate once cut from the *nominal*
+        # envelope, so a re-derate on a heavily-drifted screened host
+        # RAISED its published envelope back into the danger band.
+        coordinator, _, _, _ = _coordinator(offsets={"a": -0.10})
+        screened = self._walk_to_screened(coordinator)
+        assert screened == pytest.approx(1.09, abs=0.02)
+        coordinator.tick(20.0, 1.0, _ce("a", 4))
+        assert coordinator.stage("a") is HealthStage.DERATE
+        derated = coordinator.envelope("a")
+        assert derated <= screened
+        assert derated == pytest.approx(max(1.0, screened - 0.06))
+
+    def test_derate_release_retains_the_screened_envelope(self):
+        coordinator, _, _, _ = _coordinator(offsets={"a": -0.10})
+        screened = self._walk_to_screened(coordinator)
+        coordinator.tick(20.0, 1.0, _ce("a", 4))
+        _run_quiet(coordinator, 20.0, 15)
+        assert coordinator.stage("a") is HealthStage.HEALTHY
+        assert coordinator.envelope("a") == pytest.approx(screened)
+
+
+class TestVerdicts:
+    def test_rearm_budget_spent_retires_instead_of_reinstating(self):
+        coordinator, timeline, counters, calls = _coordinator(
+            config=HealthLadderConfig(max_rearms=0)
+        )
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        _run_quiet(coordinator, 1.0, 5)
+        assert coordinator.stage("a") is HealthStage.RETIRE
+        assert coordinator.retired_hosts() == frozenset({"a"})
+        assert counters.retires == 1
+        assert counters.reinstates == 0
+        assert ("retire", "a") in calls
+        verdict = [e for e in timeline.events if e.kind == HEALTH_VERDICT][0]
+        assert "rearm budget spent" in verdict.detail
+
+    def test_no_headroom_verdict_retires(self):
+        # Effective margin 1.03: the screen estimate minus the guard
+        # band lands at 1.0 < min_reinstate_envelope.
+        coordinator, timeline, counters, _ = _coordinator(offsets={"a": -0.20})
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        _run_quiet(coordinator, 1.0, 5)
+        assert coordinator.stage("a") is HealthStage.RETIRE
+        verdict = [e for e in timeline.events if e.kind == HEALTH_VERDICT][0]
+        assert "too low" in verdict.detail
+        assert coordinator.envelope("a") == 1.0
+
+    def test_retired_is_pinned_forever(self):
+        coordinator, _, counters, _ = _coordinator(
+            config=HealthLadderConfig(max_rearms=0)
+        )
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        _run_quiet(coordinator, 1.0, 30)
+        assert coordinator.stage("a") is HealthStage.RETIRE
+        assert not coordinator.in_service("a")
+        assert counters.retires == 1  # no re-retirement churn
+        # Retirees are a permanent capacity decision, not a transient
+        # out-of-service excursion.
+        assert coordinator.out_of_service_fraction() == 0.0
+
+
+class TestCapacityBudget:
+    def test_quarantine_beyond_budget_is_deferred_to_derate(self):
+        coordinator, timeline, counters, _ = _coordinator(hosts=("a", "b", "c"))
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        assert coordinator.stage("a") is HealthStage.SCREEN
+        # Budget is 0.34 * 3 ≈ 1 host: b's quarantine must defer.
+        coordinator.tick(2.0, 1.0, _ce("b", 20))
+        assert coordinator.stage("b") is HealthStage.DERATE
+        assert coordinator.in_service("b")
+        assert counters.quarantines_deferred >= 1
+        defers = [e for e in timeline.events if e.kind == HEALTH_DEFER]
+        assert defers and defers[0].target == "b"
+        assert "budget spent" in defers[0].detail
+        assert coordinator.out_of_service_fraction() <= 0.34
+
+    def test_deferred_host_drains_once_the_budget_frees(self):
+        coordinator, _, counters, _ = _coordinator(hosts=("a", "b", "c"))
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        coordinator.tick(2.0, 1.0, _ce("b", 20))
+        assert coordinator.stage("b") is HealthStage.DERATE
+        # a's screen verdict reinstates it; once a walks below
+        # QUARANTINE the budget frees and b's held statistic drains it.
+        _run_quiet(coordinator, 2.0, 12)
+        assert coordinator.stage("a") < HealthStage.QUARANTINE
+        assert coordinator.stage("b") >= HealthStage.QUARANTINE
+
+
+class TestChargesAndEvents:
+    def test_audit_charges_escalate_like_error_mass(self):
+        coordinator, _, counters, _ = _coordinator()
+        coordinator.charge_sdc("a")  # 8 equivalent errors
+        coordinator.tick(1.0, 1.0, [])
+        assert counters.detector_fires == 1
+        assert coordinator.stage("a") >= HealthStage.QUARANTINE
+
+    def test_crashes_charge_their_equivalent_error_mass(self):
+        coordinator, _, counters, _ = _coordinator()
+        coordinator.tick(1.0, 1.0, [MachineCheckEvent(1.0, "a", "crash")])
+        assert counters.crashes == 1
+        # One crash (8 equivalent errors) clears quarantine on its own.
+        assert coordinator.stage("a") >= HealthStage.QUARANTINE
+
+    def test_sdc_events_are_ground_truth_only(self):
+        coordinator, _, counters, _ = _coordinator()
+        coordinator.tick(1.0, 1.0, [MachineCheckEvent(1.0, "a", "sdc", count=3)])
+        assert counters.sdc_events == 3
+        # Silent by definition: the detector heard nothing.
+        assert coordinator.stage("a") is HealthStage.HEALTHY
+        assert counters.detector_fires == 0
+
+    def test_timeline_events_are_host_tagged(self):
+        coordinator, timeline, _, _ = _coordinator()
+        coordinator.tick(1.0, 1.0, _ce("a", 20))
+        assert timeline.events
+        assert all(event.target == "a" for event in timeline.events)
+
+    def test_charge_unknown_host_is_rejected(self):
+        coordinator, _, _, _ = _coordinator()
+        with pytest.raises(ConfigurationError):
+            coordinator.charge_sdc("zz")
+
+
+class TestValidation:
+    def test_thresholds_must_be_strictly_increasing(self):
+        with pytest.raises(ConfigurationError):
+            HealthLadderConfig(derate_excess_errors=6.0, quarantine_excess_errors=6.0)
+        with pytest.raises(ConfigurationError):
+            HealthLadderConfig(max_out_of_service_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HealthLadderConfig(min_reinstate_envelope=0.9)
+        with pytest.raises(ConfigurationError):
+            HealthLadderConfig(max_rearms=-1)
+
+    def test_fleet_and_detector_wiring_validated(self):
+        with pytest.raises(ConfigurationError):
+            FleetHealthCoordinator([])
+        with pytest.raises(ConfigurationError):
+            FleetHealthCoordinator(
+                ["a", "b"], detectors={"a": DriftDetector()}
+            )
+        coordinator, _, _, _ = _coordinator()
+        with pytest.raises(ConfigurationError):
+            coordinator.tick(1.0, 0.0, [])

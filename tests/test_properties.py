@@ -257,3 +257,55 @@ def test_tank_fluid_never_exceeds_saturation_at_one_atm(steps):
         assert pool.sample(now) <= pool.saturation_c + 1e-9
         assert pool.superheat_c >= 0.0
         assert pool.fluid_temp_c == pool.sample(now)
+
+
+# ----------------------------------------------------------------------
+# Stability model: ramp monotone, continuous at the margin, crash iff
+# at/past the crash margin
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1.40),
+    st.floats(min_value=0.0, max_value=0.10),
+    st.floats(min_value=0.0, max_value=0.05),
+)
+def test_stability_rates_monotone_non_decreasing_in_ratio(ratio, step, background):
+    from repro.reliability import StabilityModel
+
+    model = StabilityModel(background_error_rate_per_hour=background)
+    assert model.correctable_error_rate_per_hour(
+        ratio
+    ) <= model.correctable_error_rate_per_hour(ratio + step)
+    assert model.crash_rate_per_hour(ratio) <= model.crash_rate_per_hour(ratio + step)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.05),
+    st.floats(min_value=1e-12, max_value=1e-9),
+)
+def test_stability_error_rate_continuous_at_the_stable_margin(background, epsilon):
+    """The margin is where errors *start*, not a cliff: the rate just
+    past it approaches the background floor from above."""
+    from repro.reliability import StabilityModel
+
+    model = StabilityModel(background_error_rate_per_hour=background)
+    at_margin = model.correctable_error_rate_per_hour(model.stable_margin)
+    just_past = model.correctable_error_rate_per_hour(model.stable_margin + epsilon)
+    assert at_margin == background
+    assert just_past >= at_margin
+    assert just_past - at_margin < 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1.50),
+    st.floats(min_value=0.0, max_value=0.05),
+)
+def test_crash_rate_infinite_exactly_when_the_part_crashes(ratio, background):
+    import math
+
+    from repro.reliability import StabilityModel
+
+    model = StabilityModel(background_error_rate_per_hour=background)
+    assert math.isinf(model.crash_rate_per_hour(ratio)) == model.crashes(ratio)

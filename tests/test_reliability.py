@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, ReliabilityError, StabilityError
 from repro.reliability import (
+    DEFAULT_ERRORS_PER_CRASH,
+    SIX_MONTHS_HOURS,
     CompositeLifetimeModel,
     Electromigration,
     GateOxideBreakdown,
@@ -199,6 +201,48 @@ class TestStability:
         monitor.observe(0.0, 5.0)
         with pytest.raises(ConfigurationError):
             monitor.observe(1.0, 4.0)
+
+
+class TestBackgroundFloor:
+    """The benign correctable-error floor inside the stable envelope.
+
+    The paper's small tank #2 logged 56 correctable errors over six
+    months while *inside* its aggressive envelope — and zero crashes.
+    The floor models exactly that: errors without danger.
+    """
+
+    def test_default_floor_is_zero_and_behavior_preserving(self):
+        model = StabilityModel()
+        assert model.background_error_rate_per_hour == 0.0
+        assert model.correctable_error_rate_per_hour(1.0) == 0.0
+        assert model.correctable_error_rate_per_hour(model.stable_margin) == 0.0
+
+    def test_tank2_floor_reproduces_the_56_error_count(self):
+        floor = 56.0 / SIX_MONTHS_HOURS
+        model = StabilityModel(background_error_rate_per_hour=floor)
+        assert model.expected_errors(1.23, hours=SIX_MONTHS_HOURS) == pytest.approx(56.0)
+
+    def test_ramp_is_continuous_at_the_stable_margin(self):
+        model = StabilityModel(background_error_rate_per_hour=0.0127)
+        at_margin = model.correctable_error_rate_per_hour(model.stable_margin)
+        just_past = model.correctable_error_rate_per_hour(model.stable_margin + 1e-9)
+        assert at_margin == pytest.approx(0.0127)
+        assert just_past == pytest.approx(at_margin, rel=1e-6)
+
+    def test_background_errors_never_cause_crashes(self):
+        model = StabilityModel(background_error_rate_per_hour=0.0127)
+        assert model.crash_rate_per_hour(1.0) == 0.0
+        assert model.crash_rate_per_hour(model.stable_margin) == 0.0
+        # Between the margins only the *ramp* above the floor converts.
+        ratio = 1.30
+        ramp = model.correctable_error_rate_per_hour(ratio) - 0.0127
+        assert model.crash_rate_per_hour(ratio) == pytest.approx(
+            ramp / DEFAULT_ERRORS_PER_CRASH
+        )
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StabilityModel(background_error_rate_per_hour=-0.01)
 
 
 class TestWearout:

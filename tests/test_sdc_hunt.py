@@ -1,0 +1,123 @@
+"""Chaos acceptance for the SDC hunt (naive vs silicon-health pipeline).
+
+The contract under test (ISSUE acceptance criteria):
+
+* the naive fleet leaks silent corruptions and reboot-loops crashed
+  hosts for the rest of the horizon;
+* the robust fleet rides the identical drifting silicon out with
+  **zero** SDC escapes and **zero** ungraceful crashes, catches the
+  forced corruption via the duplicate-execution audit, and keeps its
+  transient capacity loss inside the coordinator's budget;
+* screening reinstates the falsely-accused burst host instead of
+  retiring a good part (bounded re-arm);
+* the whole story is bit-identical per seed (run signature).
+
+Seeds come from ``REPRO_CHAOS_SEEDS`` (space-separated), mirroring the
+other chaos suites, so CI can widen the matrix without code changes.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.health import HealthLadderConfig
+from repro.experiments.sdc_hunt import (
+    BURST_TARGET,
+    FORCED_SDC_TARGET,
+    run_sdc_hunt,
+    run_sdc_mode,
+)
+
+SEEDS = tuple(int(t) for t in os.environ.get("REPRO_CHAOS_SEEDS", "1 2 7").split())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_naive_leaks_what_the_health_pipeline_contains(seed):
+    comparison = run_sdc_hunt(seed=seed)
+    naive, robust = comparison.naive, comparison.robust
+
+    # The naive fleet trusts the characterized envelope forever and
+    # pays in silent corruption and reboot-looping crashed hosts.
+    assert naive.sdc_escapes > 0
+    assert naive.crashes > 0
+    assert naive.hosts_crashed >= 1
+    assert naive.sdc_caught == 0
+    assert naive.retires == 0
+
+    # The robust fleet trades bounded capacity away instead.
+    assert robust.sdc_escapes == 0
+    assert robust.crashes == 0
+    assert robust.hosts_crashed == 0
+    assert robust.sdc_caught >= 1
+    assert robust.detector_fires >= 1
+    assert robust.quarantines >= 1
+    assert robust.screens_completed >= 1
+    assert robust.reinstates >= 1
+    assert robust.retires >= 1
+    assert robust.health_limited_decisions >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_robust_capacity_loss_is_bounded(seed):
+    robust = run_sdc_mode(True, seed=seed)
+    budget = HealthLadderConfig().max_out_of_service_fraction
+    assert robust.peak_out_of_service_fraction <= budget
+    assert robust.capacity_loss_fraction < 0.10
+    naive = run_sdc_mode(False, seed=seed)
+    assert robust.capacity_loss_fraction < naive.capacity_loss_fraction
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_forced_corruption_is_audited_in_robust_and_escapes_in_naive(seed):
+    robust = run_sdc_mode(True, seed=seed)
+    audits = [event for event in robust.timeline if event.kind == "sdc-audit"]
+    assert len(audits) == 1
+    assert audits[0].target == FORCED_SDC_TARGET
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_run_signature_is_bit_identical_across_reruns(seed):
+    first = run_sdc_mode(True, seed=seed)
+    again = run_sdc_mode(True, seed=seed)
+    assert first.run_signature == again.run_signature
+    assert first.timeline == again.timeline
+    assert first.final_envelopes == again.final_envelopes
+
+    naive = run_sdc_mode(False, seed=seed)
+    assert naive.run_signature != first.run_signature
+
+
+def test_engine_race_matches_direct_runs():
+    comparison = run_sdc_hunt(seed=1)
+    assert comparison.robust.run_signature == run_sdc_mode(True, seed=1).run_signature
+    assert comparison.naive.run_signature == run_sdc_mode(False, seed=1).run_signature
+
+
+def test_spurious_burst_host_is_screened_and_reinstated():
+    # The mce-burst fault plants 24 spurious CEs on a healthy host: the
+    # detector cannot tell them from a real ramp, so the ladder drains
+    # and screens the host — and the verdict reinstates it near the
+    # nominal envelope instead of retiring a good part.
+    robust = run_sdc_mode(True, seed=1)
+    assert BURST_TARGET not in robust.retired_hosts
+    verdicts = [
+        event
+        for event in robust.timeline
+        if event.kind == "health-verdict" and event.target == BURST_TARGET
+    ]
+    assert verdicts
+    assert all("reinstate" in event.detail for event in verdicts)
+
+
+def test_cli_healthscan_output_is_reproducible(capsys):
+    assert cli_main(["healthscan", "--seed", "3"]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["healthscan", "--seed", "3"]) == 0
+    again = capsys.readouterr().out
+    assert first == again
+    assert "SDC hunt" in first
+
+    assert cli_main(["healthscan", "--seed", "4"]) == 0
+    other = capsys.readouterr().out
+    assert other != first

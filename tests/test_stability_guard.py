@@ -89,6 +89,33 @@ class TestMonitorHysteresis:
         monitor.observe(5.0, 200.0)  # quiet (2)
         assert not monitor.alarmed
 
+    def test_crafted_sequence_rearms_exactly_once_and_never_early(self):
+        """Walk one crafted trace through the full hysteresis cycle:
+        latch → partial cooldown → band wobble resets the streak →
+        full quiet streak clears → re-fire latches a second alarm."""
+        monitor = StabilityMonitor(
+            rate_threshold_per_hour=2.0,
+            clear_after_quiet=3,
+            clear_threshold_per_hour=0.5,
+        )
+        monitor.observe(0.0, 0.0)
+        assert not monitor.observe(1.0, 1.0)   # 1/h: inside the band, no latch
+        assert monitor.observe(2.0, 6.0)       # 5/h: latches
+        assert monitor.alarms == 1
+        monitor.observe(3.0, 6.0)              # quiet (1)
+        monitor.observe(4.0, 6.0)              # quiet (2)
+        assert monitor.alarmed                 # one short of the streak
+        monitor.observe(5.0, 7.0)              # 1/h: band, streak resets
+        assert monitor.alarmed
+        monitor.observe(6.0, 7.0)              # quiet (1)
+        monitor.observe(7.0, 7.0)              # quiet (2)
+        assert monitor.alarmed                 # still not re-armed
+        monitor.observe(8.0, 7.0)              # quiet (3): re-arms now
+        assert not monitor.alarmed
+        assert monitor.alarms == 1             # clearing is not an alarm
+        assert monitor.observe(9.0, 12.0)      # 5/h: fresh latch after re-arm
+        assert monitor.alarms == 2
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             StabilityMonitor(clear_after_quiet=-1)
