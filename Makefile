@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-chaos test-safety test-control test-emergency test-power test-service test-health lint bench bench-smoke clean-cache
+.PHONY: test test-chaos test-safety test-control test-emergency test-power test-service test-health test-rollout lint bench bench-smoke clean-cache
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -86,6 +86,20 @@ test-health:
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_health.py \
 		tests/test_health_ladder.py tests/test_sdc_hunt.py -q
 
+# Rollout suite: the wave planner / canary analyzer / controller unit
+# tests (freeze gates, stall detection, staged retreat, snapshot and
+# journal resume) and the envelope-rollout acceptance contract (naive
+# big-bang crashes a fleet fraction and leaks SDCs, the canary rollout
+# contains exposure to wave 0's blast budget, rolls back, and resumes
+# bit-identically after a SIGKILL; run signatures bit-identical) over
+# the REPRO_CHAOS_SEEDS matrix, under the same faulthandler watchdog
+# as test-chaos.
+test-rollout:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" \
+		REPRO_TEST_TIMEOUT_S=$(CHAOS_TIMEOUT) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_rollout.py \
+		tests/test_envelope_rollout.py -q
+
 lint:
 	ruff check src tests benchmarks
 
@@ -95,12 +109,14 @@ bench:
 # Perf microbenchmarks that finish in well under 30 s: the sweep
 # engine on a tiny grid (serial == parallel == cached output), the
 # vectorized power-budget enforcement at 1k/10k/100k hosts (emits
-# BENCH_power.json at the repo root), and the health changepoint
+# BENCH_power.json at the repo root), the scalar-vs-vector fleet
+# rollup race (emits BENCH_fleet.json), and the health changepoint
 # detectors (CUSUM vs EWMA throughput; emits BENCH_health.json).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_perf_engine.py benchmarks/test_perf_power.py \
-		benchmarks/test_perf_health.py -q -m perf
+		benchmarks/test_perf_fleet.py benchmarks/test_perf_health.py \
+		-q -m perf
 
 clean-cache:
 	rm -rf .repro_cache

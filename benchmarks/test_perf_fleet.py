@@ -1,0 +1,130 @@
+"""Microbenchmark: scalar vs vectorized fleet rollup per control tick.
+
+The rollout and power-ladder control loops both ask the same per-tick
+question — aggregate every host's draw up the delivery tree and find
+the thinnest headroom — so rollup cost bounds the control-tick rate at
+fleet scale. This races the scalar dict-walking
+:meth:`~repro.power.tree.PowerDeliveryHierarchy.rollup` against the
+struct-of-arrays :class:`~repro.vector.rollup.VectorizedBudgetRollup`
+over identical seeded draws at 1k / 10k / 100k hosts and records
+hosts/second per size to ``BENCH_fleet.json``.
+
+``test_perf_power.py`` times the *enforcement* kernel; this file times
+the *rollup + headroom* read path the ladders sit on, scalar included
+at every size so the crossover is visible.
+
+Asserted invariants:
+
+* vector and scalar rollups agree numerically at every size (the full
+  equivalence suite lives in ``tests/test_power_tree.py``);
+* the worst-headroom margins agree to float tolerance;
+* the vectorized path wins by >= 2x at 10k hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.power import build_uniform_hierarchy
+from repro.vector import VectorizedBudgetRollup
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: (hosts, kwargs) per fleet size; 10 hosts/rack × 10 racks/row keeps
+#: interior-node counts proportional across sizes.
+SIZES = (
+    (1000, dict(hosts_per_rack=10, racks_per_row=10, rows_per_ups=10, ups_count=1)),
+    (10_000, dict(hosts_per_rack=10, racks_per_row=10, rows_per_ups=10, ups_count=10)),
+    (100_000, dict(hosts_per_rack=20, racks_per_row=10, rows_per_ups=10, ups_count=50)),
+)
+#: Rollup passes timed per path (one pass = one control tick). The
+#: scalar path gets fewer so the 100k point stays under a few seconds.
+SCALAR_TICKS = 2 if SMOKE else 5
+VECTOR_TICKS = 10 if SMOKE else 50
+SEED = 7
+DT_S = 1.0
+
+
+def seeded_draws(count: int) -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    # Below the 400 W rating on average, with enough spread that the
+    # headroom minimum moves with the draw vector.
+    return rng.uniform(100.0, 380.0, size=count)
+
+
+@pytest.mark.perf
+def test_perf_fleet_rollup(emit, emit_json):
+    records = {}
+    max_vector_rate = 0.0
+    speedup_at_10k = 0.0
+    lines = [
+        "Fleet rollup + headroom per control tick (scalar dict walk vs "
+        "struct-of-arrays)"
+    ]
+    for hosts, kwargs in SIZES:
+        tree = build_uniform_hierarchy(**kwargs)
+        vector = VectorizedBudgetRollup(tree)
+        assert len(vector.hosts) == hosts
+        draws = seeded_draws(hosts)
+        draw_by_host = dict(zip(vector.hosts, draws.tolist()))
+
+        started = time.perf_counter()
+        for _ in range(SCALAR_TICKS):
+            scalar_margin = tree.worst_headroom_fraction(draw_by_host)
+        scalar_wall = (time.perf_counter() - started) / SCALAR_TICKS
+
+        started = time.perf_counter()
+        for _ in range(VECTOR_TICKS):
+            vector_margin = vector.worst_headroom_fraction(draws)
+        vector_wall = (time.perf_counter() - started) / VECTOR_TICKS
+
+        # Same question, same answer: the margins and the per-node
+        # totals agree between the two layouts.
+        assert vector_margin == pytest.approx(scalar_margin, rel=1e-9)
+        scalar_totals = tree.rollup(draw_by_host)
+        vector_totals = vector.rollup(draws)
+        for index, name in enumerate(vector.interior):
+            assert vector_totals[index] == pytest.approx(
+                scalar_totals[name], rel=1e-9
+            )
+
+        scalar_rate = hosts / scalar_wall
+        vector_rate = hosts / vector_wall
+        speedup = scalar_wall / vector_wall
+        max_vector_rate = max(max_vector_rate, vector_rate)
+        if hosts == 10_000:
+            speedup_at_10k = speedup
+            assert speedup >= 2.0
+        records[str(hosts)] = {
+            "scalar_wall_s": round(scalar_wall, 6),
+            "scalar_hosts_per_second": round(scalar_rate, 1),
+            "vector_wall_s": round(vector_wall, 6),
+            "vector_hosts_per_second": round(vector_rate, 1),
+            "speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"{hosts:>7,d} hosts: scalar {scalar_wall * 1e3:9.3f} ms/tick "
+            f"({scalar_rate:>12,.0f} hosts/s)  vector "
+            f"{vector_wall * 1e3:7.3f} ms/tick ({vector_rate:>13,.0f} hosts/s)  "
+            f"{speedup:6.1f}x"
+        )
+
+    emit("perf_fleet", "\n".join(lines))
+    emit_json(
+        "fleet",
+        {
+            "benchmark": "perf_fleet",
+            "grid": "smoke" if SMOKE else "full",
+            "dt_s": DT_S,
+            "seed": SEED,
+            "scalar_ticks": SCALAR_TICKS,
+            "vector_ticks": VECTOR_TICKS,
+            "results": records,
+            "speedup_at_10k": round(speedup_at_10k, 2),
+            "max_vector_hosts_per_second": round(max_vector_rate, 1),
+        },
+    )

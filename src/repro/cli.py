@@ -31,6 +31,8 @@ Usage::
     python -m repro healthscan --seed 7
                                         # drifting silicon: naive SDC leaks
                                         # vs the fleet-health ladder
+    python -m repro rollout --seed 7    # bad envelope push: naive big-bang
+                                        # vs the canary rollout pipeline
     python -m repro serve --seed 7 --port 8642
                                         # run the live service: tick loop +
                                         # HTTP telemetry/ops endpoints
@@ -50,6 +52,7 @@ from .experiments import (
     autoscaling,
     characterization,
     degraded_telemetry,
+    envelope_rollout,
     environment,
     failure_recovery,
     heatwave_ride_through,
@@ -94,6 +97,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str], bool]] = {
     "oversubscribe": ("Power-oversubscription crisis: naive vs arbitrated (DES, --seed)", oversubscription_crisis.format_oversubscription_crisis, True),
     "overload": ("Live-service overload storm: naive vs robust (DES, --seed)", overload_storm.format_overload_storm, True),
     "healthscan": ("Silicon margin drift + SDC audit: naive vs health ladder (DES, --seed)", sdc_hunt.format_sdc_hunt, True),
+    "rollout": ("Bad envelope push: naive big-bang vs canary rollout (DES, --seed)", envelope_rollout.format_envelope_rollout, True),
 }
 
 
@@ -314,6 +318,14 @@ def main(argv: list[str] | None = None) -> int:
             # Special-cased for the same reason as 'partition'.
             print(
                 sdc_hunt.format_sdc_hunt(sdc_hunt.run_sdc_hunt(seed=seed))
+            )
+            return 0
+        if args.experiments == ["rollout"]:
+            # Special-cased for the same reason as 'partition'.
+            print(
+                envelope_rollout.format_envelope_rollout(
+                    envelope_rollout.run_envelope_rollout(seed=seed)
+                )
             )
             return 0
         if args.experiments and args.experiments[0] == "serve":

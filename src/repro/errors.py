@@ -109,6 +109,16 @@ class CommandFailure(ControlError):
     """
 
 
+class RolloutError(ReproError):
+    """A progressive rollout was misused or driven into an invalid state.
+
+    Raised for wiring mistakes (ticking a controller that was never
+    given a plan wave to run, restoring a snapshot from a different
+    plan) — never for unhealthy canaries, which are reported through
+    analysis verdicts and the rollback path.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection campaign was misconfigured or could not run."""
 

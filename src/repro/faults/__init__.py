@@ -31,6 +31,7 @@ from .injectors import (
     PowerPredictionFaultInjector,
     PowerSurgeInjector,
     PowerTripInjector,
+    RolloutFaultInjector,
     SensorFaultInjector,
     SiliconHealthInjector,
     ThermalExcursionInjector,
@@ -39,6 +40,7 @@ from .injectors import (
     register_facility_injectors,
     register_health_injectors,
     register_power_injectors,
+    register_rollout_injectors,
     register_sensor_injectors,
 )
 from .plan import (
@@ -46,6 +48,7 @@ from .plan import (
     FACILITY_FAULT_KINDS,
     HEALTH_FAULT_KINDS,
     POWER_FAULT_KINDS,
+    ROLLOUT_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -59,17 +62,20 @@ __all__ = [
     "FACILITY_FAULT_KINDS",
     "POWER_FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
+    "ROLLOUT_FAULT_KINDS",
     "SensorFaultInjector",
     "ChannelFaultInjector",
     "FacilityFaultInjector",
     "PowerPredictionFaultInjector",
     "PowerSurgeInjector",
     "SiliconHealthInjector",
+    "RolloutFaultInjector",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",
     "register_health_injectors",
     "register_power_injectors",
+    "register_rollout_injectors",
     "FaultKind",
     "FaultSpec",
     "FaultPlan",

@@ -35,6 +35,7 @@ from .plan import (
     CHANNEL_FAULT_KINDS,
     FACILITY_FAULT_KINDS,
     HEALTH_FAULT_KINDS,
+    ROLLOUT_FAULT_KINDS,
     SENSOR_FAULT_KINDS,
     FaultKind,
     FaultPlan,
@@ -840,6 +841,97 @@ class SiliconHealthInjector(FaultInjector):
         )
 
 
+class RolloutFaultInjector(FaultInjector):
+    """Breaks change management: bad envelopes and wedged pushes.
+
+    One injector instance handles one change-management
+    :class:`~repro.faults.plan.FaultKind` (use
+    :func:`register_rollout_injectors` to cover both); like every
+    injector it acts through callbacks, so the same campaign drives a
+    bare dict of envelopes in a unit test and the full
+    :class:`~repro.rollout.controller.RolloutController` pipeline in
+    ``experiments.envelope_rollout``:
+
+    * ``bad-envelope`` — ``on_bad_envelope(target, magnitude)``: a
+      config push raises the target scope's envelope ``magnitude``
+      ratio units above what the silicon sustains (magnitude must be
+      positive) — the mischaracterized change the canary must catch.
+    * ``rollout-stall`` — ``on_stall(target, duration_s)``: the
+      envelope push to ``target`` hangs unconfirmed for ``duration_s``
+      (wedged config agent); the controller must refuse to bake a
+      half-applied wave.
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        on_bad_envelope: Callable[[str, float], None] | None = None,
+        on_stall: Callable[[str, float], None] | None = None,
+        targets: Mapping[str, object] | None = None,
+    ) -> None:
+        if kind not in ROLLOUT_FAULT_KINDS:
+            raise InjectionError(f"{kind.value} is not a rollout fault kind")
+        self.kind = kind
+        self.on_bad_envelope = on_bad_envelope
+        self.on_stall = on_stall
+        self.targets = dict(targets) if targets is not None else None
+
+    def _validate(self, spec: FaultSpec) -> None:
+        if self.kind is FaultKind.BAD_ENVELOPE:
+            if spec.magnitude <= 0.0:
+                raise InjectionError(
+                    "bad-envelope magnitude is a positive ratio overshoot"
+                )
+            if self.on_bad_envelope is None:
+                raise InjectionError("bad-envelope needs an on_bad_envelope callback")
+        else:
+            if spec.duration_s <= 0.0:
+                raise InjectionError("rollout-stall needs a positive duration")
+            if self.on_stall is None:
+                raise InjectionError("rollout-stall needs an on_stall callback")
+
+    def schedule(self, campaign: FaultCampaign, index: int, spec: FaultSpec) -> None:
+        self._validate(spec)
+        if self.targets is not None:
+            _lookup(self.targets, spec.target, self.kind)  # fail fast at arm time
+        delay = campaign.delay_for(index, spec)
+        if delay is None:
+            return
+
+        def fire() -> None:
+            now = campaign.simulator.now
+            if self.kind is FaultKind.BAD_ENVELOPE:
+                self.on_bad_envelope(spec.target, spec.magnitude)
+                detail = f"+{spec.magnitude:g} over the stable envelope"
+            else:
+                self.on_stall(spec.target, spec.duration_s)
+                detail = f"push wedged for {spec.duration_s:g}s"
+            campaign.timeline.record(now, spec.kind.value, spec.target, detail)
+
+        campaign.simulator.after(
+            delay, fire, name=f"fault:{self.kind.value}:{spec.target}"
+        )
+
+
+def register_rollout_injectors(
+    campaign: FaultCampaign,
+    on_bad_envelope: Callable[[str, float], None],
+    on_stall: Callable[[str, float], None],
+    targets: Mapping[str, object] | None = None,
+) -> FaultCampaign:
+    """Register one :class:`RolloutFaultInjector` per rollout kind."""
+    for kind in sorted(ROLLOUT_FAULT_KINDS, key=lambda k: k.value):
+        campaign.register(
+            RolloutFaultInjector(
+                kind,
+                on_bad_envelope=on_bad_envelope,
+                on_stall=on_stall,
+                targets=targets,
+            )
+        )
+    return campaign
+
+
 def register_health_injectors(
     campaign: FaultCampaign,
     on_drift: Callable[[str, float], None],
@@ -931,7 +1023,9 @@ __all__ = [
     "PowerPredictionFaultInjector",
     "PowerSurgeInjector",
     "SiliconHealthInjector",
+    "RolloutFaultInjector",
     "register_health_injectors",
+    "register_rollout_injectors",
     "register_sensor_injectors",
     "register_channel_injectors",
     "register_facility_injectors",

@@ -86,6 +86,15 @@ class FaultKind(Enum):
     #: Forced silent data corruption on the target host — ground-truth
     #: SDC the duplicate-execution audit must catch.
     SDC = "sdc"
+    #: Mischaracterized overclock envelope: a config push raises the
+    #: target scope's frequency ratio by ``magnitude`` above what the
+    #: silicon actually sustains — the change-management failure the
+    #: canary rollout must catch before it reaches the fleet.
+    BAD_ENVELOPE = "bad-envelope"
+    #: Rollout stall: the envelope push to ``target`` hangs unconfirmed
+    #: for ``duration_s`` (config agent wedged, push queue stuck) — the
+    #: controller must halt rather than bake on a half-applied wave.
+    ROLLOUT_STALL = "rollout-stall"
 
 
 #: The sensor-fault subset of :class:`FaultKind` (telemetry corruption
@@ -141,6 +150,16 @@ HEALTH_FAULT_KINDS: frozenset[FaultKind] = frozenset(
         FaultKind.SILICON_MARGIN_DRIFT,
         FaultKind.MCE_BURST,
         FaultKind.SDC,
+    }
+)
+
+
+#: The change-management subset of :class:`FaultKind` (bad config
+#: pushes and wedged rollouts rather than component failure).
+ROLLOUT_FAULT_KINDS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.BAD_ENVELOPE,
+        FaultKind.ROLLOUT_STALL,
     }
 )
 
@@ -229,4 +248,5 @@ __all__ = [
     "FACILITY_FAULT_KINDS",
     "POWER_FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
+    "ROLLOUT_FAULT_KINDS",
 ]

@@ -283,6 +283,119 @@ def _degraded_telemetry(seed: int) -> str:
     return format_degraded_telemetry(run_degraded_telemetry(seed=seed))
 
 
+def _envelope_rollout(seed: int) -> str:
+    """Rollout faults through the real campaign path.
+
+    A wedged canary push (``rollout-stall``, shorter than the stall
+    budget, so it is tolerated) followed by a mid-rollout envelope
+    re-characterization (``bad-envelope``) that crashes every exposed
+    host — which the canary analysis catches and rolls back.
+    """
+    # Imported lazily, mirroring _host_failure.
+    from ..power.tree import build_uniform_hierarchy
+    from ..rollout import (
+        CallbackEnvelopeActuator,
+        CanaryAnalyzer,
+        CanaryPolicy,
+        EnvelopeChange,
+        HostSignals,
+        RolloutController,
+        RolloutPlan,
+    )
+    from ..telemetry.counters import RolloutCounters
+    from .injectors import register_rollout_injectors
+
+    hierarchy = build_uniform_hierarchy(
+        hosts_per_rack=6, racks_per_row=2, rows_per_ups=2
+    )
+    change = EnvelopeChange(
+        change_id="scenario-push", from_ratio=1.23, to_ratio=1.26
+    )
+    plan = RolloutPlan.from_hierarchy(hierarchy, change, seed=seed)
+    wedged_canary = plan.waves[0].hosts[0]
+
+    simulator = Simulator(seed=seed)
+    ratios = {host: change.from_ratio for host in hierarchy.hosts}
+    actuator = CallbackEnvelopeActuator(
+        lambda host, ratio: ratios.__setitem__(host, ratio)
+    )
+    fault_plan = FaultPlan(
+        seed=seed,
+        scenario="envelope-rollout",
+        specs=(
+            FaultSpec(
+                kind=FaultKind.ROLLOUT_STALL,
+                target=wedged_canary,
+                at_s=0.5,
+                duration_s=2.0,
+            ),
+            FaultSpec(
+                kind=FaultKind.BAD_ENVELOPE,
+                target="fleet",
+                at_s=6.5,
+                magnitude=0.07,
+            ),
+        ),
+    )
+    campaign = FaultCampaign(simulator, fault_plan)
+    bad_envelope = {"active": False}
+
+    def on_bad_envelope(target: str, magnitude: float) -> None:
+        bad_envelope["active"] = True
+
+    def on_stall(target: str, duration_s: float) -> None:
+        actuator.inject_stall(target, max(1, int(duration_s)))
+
+    register_rollout_injectors(
+        campaign, on_bad_envelope=on_bad_envelope, on_stall=on_stall
+    )
+    campaign.arm()
+
+    controller = RolloutController(
+        plan,
+        actuator,
+        analyzer=CanaryAnalyzer(CanaryPolicy(window_hours=1.0)),
+        counters=RolloutCounters(),
+        timeline=campaign.timeline,
+    )
+
+    def tick() -> None:
+        signals = {
+            host: (
+                HostSignals(crashes=1, guard_limited=True, goodput=0.0)
+                if bad_envelope["active"] and ratios[host] > change.from_ratio
+                else HostSignals(goodput=100.0, p99_s=0.2)
+            )
+            for host in hierarchy.hosts
+        }
+        controller.tick(simulator.now, signals)
+
+    for step in range(1, 16):
+        simulator.after(float(step), tick, name=f"rollout-tick:{step}")
+    simulator.run(until=16.0)
+
+    exposed = controller.exposed_hosts
+    rows = [
+        ("Fleet", f"{len(hierarchy.hosts)} hosts, {len(plan.waves)} waves"),
+        ("Wedged canary", wedged_canary),
+        ("Exposed before rollback", f"{len(exposed)}/{len(hierarchy.hosts)}"),
+        ("Final phase", controller.phase),
+        (
+            "Envelopes restored",
+            "yes"
+            if all(ratio == change.from_ratio for ratio in ratios.values())
+            else "NO",
+        ),
+        ("Counters", controller.counters.describe()),
+    ]
+    body = render_table(
+        ["Outcome", "Value"],
+        rows,
+        title="Envelope rollout: wedged push tolerated, bad envelope rolled back",
+    )
+    return _with_timeline(body, campaign.timeline)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One CLI-runnable fault scenario."""
@@ -339,6 +452,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             "silicon-drift",
             "Margin drift + MCE bursts + SDC: naive fleet vs the health ladder",
             _silicon_drift,
+        ),
+        ScenarioSpec(
+            "envelope-rollout",
+            "Wedged canary push + bad envelope mid-rollout: canary rollback",
+            _envelope_rollout,
         ),
     )
 }

@@ -1,0 +1,84 @@
+"""Safe change management: progressive rollout of envelope changes.
+
+The paper characterizes stable overclock envelopes per SKU; shipping a
+*changed* envelope to a live fleet is a config push — and config pushes
+are the dominant outage class in production platforms. This package is
+the change-management layer on top of the existing control, health,
+emergency, and power stacks:
+
+* :mod:`repro.rollout.plan` — failure-domain-aware waves (seeded
+  canaries → rack → row → fleet) derived from the power-delivery tree,
+  with bake times and a blast-radius budget;
+* :mod:`repro.rollout.analyzer` — deterministic canary-vs-control
+  analysis on CE rates (CUSUM/EWMA), crashes, guard clamps, and
+  service latency/goodput;
+* :mod:`repro.rollout.controller` — the hysteretic advance/halt/
+  rollback state machine with fleet-emergency freeze gating,
+  idempotency-keyed emergency rollback through the command bus, and a
+  crash-safe per-tick journal (SIGKILL → bit-identical resume).
+
+The ``envelope_rollout`` experiment (``python -m repro rollout``) races
+a naive big-bang push of a mischaracterized envelope against this
+machinery.
+"""
+
+from .analyzer import (
+    HEALTHY_MARGIN,
+    CanaryAnalysis,
+    CanaryAnalyzer,
+    CanaryPolicy,
+    CohortStats,
+)
+from .controller import (
+    HALT_MARGIN,
+    PHASE_APPLYING,
+    PHASE_BAKING,
+    PHASE_COMPLETE,
+    PHASE_PENDING,
+    PHASE_ROLLED_BACK,
+    ROLLBACK_MARGIN,
+    ROLLOUT_COMPLETE,
+    ROLLOUT_ESCALATE,
+    ROLLOUT_FREEZE,
+    ROLLOUT_RELAX,
+    ROLLOUT_STALLED,
+    ROLLOUT_UNFREEZE,
+    ROLLOUT_WAVE,
+    BusEnvelopeActuator,
+    CallbackEnvelopeActuator,
+    HostSignals,
+    RolloutController,
+    RolloutStage,
+)
+from .plan import EnvelopeChange, RolloutPlan, RolloutPlanConfig, RolloutWave
+
+__all__ = [
+    "EnvelopeChange",
+    "RolloutWave",
+    "RolloutPlanConfig",
+    "RolloutPlan",
+    "CohortStats",
+    "CanaryPolicy",
+    "CanaryAnalysis",
+    "CanaryAnalyzer",
+    "HEALTHY_MARGIN",
+    "HALT_MARGIN",
+    "ROLLBACK_MARGIN",
+    "RolloutStage",
+    "HostSignals",
+    "CallbackEnvelopeActuator",
+    "BusEnvelopeActuator",
+    "RolloutController",
+    "PHASE_PENDING",
+    "PHASE_APPLYING",
+    "PHASE_BAKING",
+    "PHASE_COMPLETE",
+    "PHASE_ROLLED_BACK",
+    "ROLLOUT_ESCALATE",
+    "ROLLOUT_RELAX",
+    "ROLLOUT_WAVE",
+    "ROLLOUT_FREEZE",
+    "ROLLOUT_UNFREEZE",
+    "ROLLOUT_STALLED",
+    "ROLLOUT_COMPLETE",
+]

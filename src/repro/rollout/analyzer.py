@@ -1,0 +1,264 @@
+"""Canary analysis: is the new envelope hurting the canary cohort?
+
+The analyzer compares the *canary* cohort (hosts already running the
+pushed envelope) against the *control* cohort (hosts still on the old
+one) on the signals the repo already trusts: correctable-error rates
+through the health subsystem's :class:`~repro.health.detector.DriftDetector`
+CUSUM (in excess-errors-over-control units) backed by an
+:class:`~repro.health.detector.EwmaRateDetector` baseline, crash
+events, guard ``limited_by`` clamps, and service-style latency/goodput
+counters. Every rule is a deterministic function of the fed samples —
+no wall clocks, no hidden randomness — so the same cohort history
+always produces the same verdict.
+
+The verdict is folded into a single scalar *margin* (1.0 = healthy,
+0.0 = halt-grade, −0.5 and below = rollback-grade) so the rollout
+controller can drive it through the same
+:class:`~repro.emergency.ladder.StagedLadder` machinery that backs the
+emergency, power, brownout, and health ladders: hysteresis and dwell
+come for free instead of being re-invented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..health.detector import DriftDetector, EwmaRateDetector
+
+
+@dataclass(frozen=True)
+class CohortStats:
+    """One analysis window's aggregate signals for one cohort."""
+
+    #: In-service hosts contributing to this window.
+    hosts: int
+    #: Correctable errors observed across the cohort this window.
+    ce_errors: float = 0.0
+    #: Ungraceful crashes across the cohort this window.
+    crashes: int = 0
+    #: Hosts whose guard clamped below the request (``limited_by`` not
+    #: ``"none"``) this window.
+    guard_limited: int = 0
+    #: Cohort p99 latency this window, seconds (0 = not measured).
+    p99_s: float = 0.0
+    #: Cohort goodput this window, completed requests (0 = not measured).
+    goodput: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hosts < 0:
+            raise ConfigurationError("a cohort cannot have negative hosts")
+
+    @property
+    def ce_per_host(self) -> float:
+        return self.ce_errors / self.hosts if self.hosts else 0.0
+
+    @property
+    def goodput_per_host(self) -> float:
+        return self.goodput / self.hosts if self.hosts else 0.0
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Decision thresholds for the canary-vs-control comparison."""
+
+    #: Simulated hours one analysis window (one controller tick) covers.
+    window_hours: float = 8.0
+    #: Per-host-per-hour CE slack the canary may run above control
+    #: before the CUSUM starts charging.
+    ce_slack_per_hour: float = 0.25
+    #: CUSUM trip threshold, in accumulated excess errors per host.
+    ce_threshold_errors: float = 4.0
+    #: EWMA baseline trip rate (absolute canary CE rate per host-hour).
+    ce_trip_rate_per_hour: float = 4.0
+    #: EWMA half-life in hours.
+    ce_half_life_hours: float = 24.0
+    #: Canary guard-clamped fraction above which the wave is suspect.
+    guard_limited_fraction: float = 0.5
+    #: Canary p99 above ``control p99 × ratio`` counts as a regression.
+    p99_regression_ratio: float = 1.5
+    #: Canary per-host goodput below ``control × (1 − drop)`` counts.
+    goodput_drop_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.window_hours <= 0:
+            raise ConfigurationError("analysis window must be positive")
+        if self.p99_regression_ratio <= 1.0:
+            raise ConfigurationError("p99 regression ratio must exceed 1.0")
+        if not 0.0 < self.goodput_drop_fraction < 1.0:
+            raise ConfigurationError("goodput drop fraction must be in (0, 1)")
+        if not 0.0 < self.guard_limited_fraction <= 1.0:
+            raise ConfigurationError("guard-limited fraction must be in (0, 1]")
+
+
+#: Margin when every signal is clean.
+HEALTHY_MARGIN = 1.0
+#: Badness charged per rule class. Any single hard signal (crash, CUSUM
+#: fire) is rollback-grade on its own; two soft signals (p99 + goodput,
+#: say) together reach halt-grade but not rollback.
+_BADNESS_CRASH = 2.0
+_BADNESS_CUSUM = 1.5
+_BADNESS_EWMA = 1.5
+_BADNESS_GUARD = 1.0
+_BADNESS_SOFT = 0.5
+
+
+@dataclass(frozen=True)
+class CanaryAnalysis:
+    """One window's verdict: which rules fired, and the folded margin."""
+
+    window: int
+    canary: CohortStats
+    control: CohortStats
+    #: Rule names that fired this window, sorted (deterministic).
+    reasons: tuple[str, ...]
+    #: Folded health margin driven into the rollout ladder.
+    margin: float
+
+    @property
+    def healthy(self) -> bool:
+        return not self.reasons
+
+    def describe(self) -> str:
+        verdict = "healthy" if self.healthy else ",".join(self.reasons)
+        return (
+            f"window {self.window}: margin={self.margin:+.2f} [{verdict}] "
+            f"canary {self.canary.ce_per_host:.2f} CE/host vs "
+            f"control {self.control.ce_per_host:.2f}"
+        )
+
+
+@dataclass
+class CanaryAnalyzer:
+    """Stateful canary-vs-control comparator for one rollout.
+
+    Feed one :meth:`observe` per controller tick. The CUSUM carries
+    state across windows (a slow CE ramp accumulates); everything else
+    is judged per window. :meth:`snapshot` / :meth:`restore` round-trip
+    the full detector state for crash-safe rollout journaling.
+    """
+
+    policy: CanaryPolicy = field(default_factory=CanaryPolicy)
+
+    def __post_init__(self) -> None:
+        self._drift = DriftDetector(
+            reference_rate_per_hour=0.0,
+            slack_per_hour=self.policy.ce_slack_per_hour,
+            threshold_errors=self.policy.ce_threshold_errors,
+        )
+        self._ewma = EwmaRateDetector(
+            trip_rate_per_hour=self.policy.ce_trip_rate_per_hour,
+            half_life_hours=self.policy.ce_half_life_hours,
+        )
+        self._windows = 0
+
+    @property
+    def windows(self) -> int:
+        """Analysis windows observed so far."""
+        return self._windows
+
+    @property
+    def drift_statistic(self) -> float:
+        """Current CUSUM statistic (excess errors per canary host)."""
+        return self._drift.statistic
+
+    def observe(self, canary: CohortStats, control: CohortStats) -> CanaryAnalysis:
+        """Judge one window of canary vs control signals."""
+        policy = self.policy
+        window = self._windows
+        self._windows += 1
+        reasons: list[str] = []
+        badness = 0.0
+
+        # Hard rule: any canary crash is rollback-grade immediately —
+        # a crashed canary is the exact outcome the wave exists to
+        # catch before it happens at fleet width.
+        if canary.crashes > 0:
+            reasons.append("crash")
+            badness = max(badness, _BADNESS_CRASH)
+
+        # CE drift: charge the CUSUM with canary errors *in excess of*
+        # the control cohort's contemporaneous rate, so a fleet-wide
+        # environmental CE ramp (heat wave, altitude) does not convict
+        # the envelope change.
+        excess_per_host = max(0.0, canary.ce_per_host - control.ce_per_host)
+        if canary.hosts and self._drift.observe(policy.window_hours, excess_per_host):
+            reasons.append("ce-drift")
+            badness = max(badness, _BADNESS_CUSUM)
+        if canary.hosts and self._ewma.observe(
+            policy.window_hours, canary.ce_per_host
+        ):
+            reasons.append("ce-rate")
+            badness = max(badness, _BADNESS_EWMA)
+
+        # Guard clamps: the reliability governor limiting most of the
+        # cohort means the envelope is not actually deliverable.
+        if (
+            canary.hosts
+            and canary.guard_limited / canary.hosts >= policy.guard_limited_fraction
+        ):
+            reasons.append("guard-limited")
+            badness = max(badness, _BADNESS_GUARD)
+
+        # Soft service signals: each alone only dents the margin; both
+        # together reach halt-grade, and either stacked on a guard
+        # signal pushes past it.
+        if (
+            canary.p99_s > 0.0
+            and control.p99_s > 0.0
+            and canary.p99_s > control.p99_s * policy.p99_regression_ratio
+        ):
+            reasons.append("p99")
+            badness += _BADNESS_SOFT
+        if (
+            canary.hosts
+            and control.hosts
+            and control.goodput_per_host > 0.0
+            and canary.goodput_per_host
+            < control.goodput_per_host * (1.0 - policy.goodput_drop_fraction)
+        ):
+            reasons.append("goodput")
+            badness += _BADNESS_SOFT
+
+        return CanaryAnalysis(
+            window=window,
+            canary=canary,
+            control=control,
+            reasons=tuple(sorted(reasons)),
+            margin=HEALTHY_MARGIN - badness,
+        )
+
+    def reset(self) -> None:
+        """Forget detector state (a new wave starts a fresh comparison)."""
+        self._drift.reset()
+        self._ewma = EwmaRateDetector(
+            trip_rate_per_hour=self.policy.ce_trip_rate_per_hour,
+            half_life_hours=self.policy.ce_half_life_hours,
+        )
+
+    def snapshot(self) -> dict:
+        """Full detector state, plain picklable values only."""
+        return {
+            "windows": self._windows,
+            "drift_statistic": self._drift.statistic,
+            "drift_fired": self._drift.fired,
+            "ewma_statistic": self._ewma.statistic,
+            "ewma_fired": self._ewma.fired,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rewind to a :meth:`snapshot` (crash-safe resume path)."""
+        self._windows = int(state["windows"])
+        self._drift.statistic = float(state["drift_statistic"])
+        self._drift.fired = int(state["drift_fired"])
+        self._ewma.statistic = float(state["ewma_statistic"])
+        self._ewma.fired = int(state["ewma_fired"])
+
+
+__all__ = [
+    "CohortStats",
+    "CanaryPolicy",
+    "CanaryAnalysis",
+    "CanaryAnalyzer",
+    "HEALTHY_MARGIN",
+]

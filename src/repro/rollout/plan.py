@@ -1,0 +1,212 @@
+"""Rollout plans: failure-domain-aware waves for an envelope change.
+
+A characterized overclock envelope is config, and config changes are
+the dominant outage source in production fleets — a mischaracterized
+envelope pushed everywhere at once is a fleet-wide crash. A
+:class:`RolloutPlan` turns one :class:`EnvelopeChange` into an ordered
+sequence of :class:`RolloutWave` s derived from the power-delivery
+tree's failure domains (:class:`~repro.power.tree.PowerDeliveryHierarchy`):
+a seeded canary handful inside one rack, then the rest of that rack,
+then the rest of its row, then the remaining fleet. Wave 0's size is
+validated against a blast-radius budget, so the worst case of a bad
+push — every canary lost — is bounded by construction.
+
+Canary selection is seeded through
+:func:`~repro.sim.random.split_seed` over ``(seed, host)``, so the
+same seed always picks the same canaries regardless of dict order or
+fleet iteration — the same order-independence contract the health
+subsystem's fleet sampling makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..power.tree import PowerDeliveryHierarchy
+from ..sim.random import split_seed
+
+
+@dataclass(frozen=True)
+class EnvelopeChange:
+    """One fleet-wide overclock-envelope change under management.
+
+    ``from_ratio`` is the envelope every host currently runs (and the
+    rollback target); ``to_ratio`` is what the change ships. The id
+    keys idempotent actuation: pushing the same change to the same
+    host twice must be a dedup hit, not a second actuation.
+    """
+
+    change_id: str
+    from_ratio: float
+    to_ratio: float
+
+    def __post_init__(self) -> None:
+        if not self.change_id:
+            raise ConfigurationError("an envelope change needs a non-empty id")
+        if self.from_ratio < 1.0 or self.to_ratio < 1.0:
+            raise ConfigurationError("envelope ratios cannot be below stock (1.0)")
+        if self.from_ratio == self.to_ratio:
+            raise ConfigurationError("an envelope change must change the envelope")
+
+
+@dataclass(frozen=True)
+class RolloutWave:
+    """One wave of the rollout: a host set plus its bake time."""
+
+    index: int
+    name: str
+    hosts: tuple[str, ...]
+    #: Healthy analysis ticks the wave must bake before the next starts.
+    bake_ticks: int
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise ConfigurationError(f"wave {self.name!r} has no hosts")
+        if self.bake_ticks < 1:
+            raise ConfigurationError(f"wave {self.name!r} needs at least 1 bake tick")
+
+
+@dataclass(frozen=True)
+class RolloutPlanConfig:
+    """Wave-shape policy of a progressive rollout."""
+
+    #: Hosts in the canary wave (drawn, seeded, from the first rack).
+    canary_count: int = 2
+    #: Bake ticks for the canary wave (longest soak: it carries the risk).
+    canary_bake_ticks: int = 3
+    #: Bake ticks for every later wave.
+    bake_ticks: int = 2
+    #: Largest fleet fraction wave 0 may expose to the change.
+    max_blast_radius_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.canary_count < 1:
+            raise ConfigurationError("need at least one canary host")
+        if self.canary_bake_ticks < 1 or self.bake_ticks < 1:
+            raise ConfigurationError("bake times must be at least 1 tick")
+        if not 0.0 < self.max_blast_radius_fraction <= 1.0:
+            raise ConfigurationError("blast-radius fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """An ordered, validated wave sequence for one envelope change.
+
+    Waves partition the fleet: every host appears in exactly one wave,
+    and wave 0 respects the blast-radius budget. Build one from a
+    delivery tree via :meth:`from_hierarchy`.
+    """
+
+    change: EnvelopeChange
+    waves: tuple[RolloutWave, ...]
+    config: RolloutPlanConfig = field(default_factory=RolloutPlanConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.waves:
+            raise ConfigurationError("a rollout plan needs at least one wave")
+        seen: set[str] = set()
+        for expected, wave in enumerate(self.waves):
+            if wave.index != expected:
+                raise ConfigurationError(
+                    f"wave indices must be consecutive from 0, got {wave.index}"
+                )
+            overlap = seen.intersection(wave.hosts)
+            if overlap:
+                raise ConfigurationError(
+                    f"hosts in more than one wave: {sorted(overlap)}"
+                )
+            seen.update(wave.hosts)
+        blast = len(self.waves[0].hosts) / len(seen)
+        if blast > self.config.max_blast_radius_fraction + 1e-12:
+            raise ConfigurationError(
+                f"wave 0 exposes {blast:.1%} of the fleet, over the "
+                f"{self.config.max_blast_radius_fraction:.1%} blast-radius budget"
+            )
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """Every host the plan touches, in wave order."""
+        return tuple(host for wave in self.waves for host in wave.hosts)
+
+    @property
+    def fleet_size(self) -> int:
+        return sum(len(wave.hosts) for wave in self.waves)
+
+    @property
+    def blast_radius_fraction(self) -> float:
+        """Fleet fraction the canary wave exposes to the change."""
+        return len(self.waves[0].hosts) / self.fleet_size
+
+    def describe(self) -> str:
+        lines = [
+            f"RolloutPlan({self.change.change_id}: "
+            f"{self.change.from_ratio:.3f} -> {self.change.to_ratio:.3f}, "
+            f"{self.fleet_size} hosts, seed={self.seed})"
+        ]
+        for wave in self.waves:
+            lines.append(
+                f"  wave {wave.index} [{wave.name}] {len(wave.hosts)} host(s), "
+                f"bake {wave.bake_ticks} tick(s)"
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_hierarchy(
+        cls,
+        hierarchy: PowerDeliveryHierarchy,
+        change: EnvelopeChange,
+        config: RolloutPlanConfig | None = None,
+        seed: int = 0,
+    ) -> "RolloutPlan":
+        """Derive canary → rack → row → fleet waves from the tree.
+
+        The canary rack is the first (sorted) host's rack; canaries are
+        a seeded draw from it, so blast starts inside one rack-level
+        failure domain and widens one delivery-tree level per wave.
+        Empty waves (tiny fleets) are skipped and indices re-packed.
+        """
+        config = config if config is not None else RolloutPlanConfig()
+        fleet = hierarchy.hosts
+        if not fleet:
+            raise ConfigurationError("the delivery tree has no hosts to roll to")
+        first = fleet[0]
+        ancestors = hierarchy.ancestors(first)
+        if len(ancestors) < 2:
+            raise ConfigurationError(
+                f"host {first!r} has no rack/row lineage to derive waves from"
+            )
+        rack, row = ancestors[0], ancestors[1]
+        rack_hosts = hierarchy.subtree_hosts(rack)
+        row_hosts = hierarchy.subtree_hosts(row)
+        # Seeded canary draw: stable under any iteration order.
+        ranked = sorted(
+            rack_hosts, key=lambda host: (split_seed(seed, f"rollout:canary:{host}"), host)
+        )
+        canaries = tuple(sorted(ranked[: config.canary_count]))
+        rack_rest = tuple(h for h in rack_hosts if h not in canaries)
+        row_rest = tuple(h for h in row_hosts if h not in set(rack_hosts))
+        fleet_rest = tuple(h for h in fleet if h not in set(row_hosts))
+
+        waves: list[RolloutWave] = []
+        for name, hosts, bake in (
+            ("canary", canaries, config.canary_bake_ticks),
+            ("rack", rack_rest, config.bake_ticks),
+            ("row", row_rest, config.bake_ticks),
+            ("fleet", fleet_rest, config.bake_ticks),
+        ):
+            if not hosts:
+                continue
+            waves.append(
+                RolloutWave(index=len(waves), name=name, hosts=hosts, bake_ticks=bake)
+            )
+        return cls(change=change, waves=tuple(waves), config=config, seed=seed)
+
+
+__all__ = [
+    "EnvelopeChange",
+    "RolloutWave",
+    "RolloutPlanConfig",
+    "RolloutPlan",
+]

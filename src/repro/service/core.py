@@ -66,7 +66,14 @@ from .brownout import BrownoutConfig, BrownoutLadder, BrownoutStage
 MODES = ("robust", "naive")
 
 #: Operator ops :meth:`ServiceCore.apply_op` understands.
-OP_KINDS = ("demand-surge", "thermal-excursion", "power-cap", "overclock", "vm-crash")
+OP_KINDS = (
+    "demand-surge",
+    "thermal-excursion",
+    "power-cap",
+    "overclock",
+    "vm-crash",
+    "rollout",
+)
 
 
 @dataclass(frozen=True)
@@ -330,6 +337,7 @@ class ServiceCore:
         self._degraded_mode = False
         self._operator_cap_watts: float | None = None
         self._emergency_cap_watts: float | None = None
+        self._rollout_hold = False  # operator hold on envelope rollouts
         self._capped = False
         self._surge_factor_value = 1.0
         self._surge_until_s: float | None = None
@@ -377,6 +385,11 @@ class ServiceCore:
     @property
     def boost_active(self) -> bool:
         return self._boost_active
+
+    @property
+    def rollout_hold(self) -> bool:
+        """Operator hold on envelope rollouts (the ``rollout`` op)."""
+        return self._rollout_hold
 
     @property
     def queue_depth(self) -> int:
@@ -450,6 +463,17 @@ class ServiceCore:
                     self.timeline.record(now, "vm-crash", target, detail)
                     return detail
             raise ConfigurationError(f"no host named {target!r} in the fleet")
+        if kind == "rollout":
+            # Operator hold on envelope rollouts. The flag is the whole
+            # contract: a RolloutController embedded next to this core
+            # mirrors it via hold()/release(), so a held rollout freezes
+            # (visible in RolloutCounters) without touching the tick
+            # signature chain of runs that never use the op.
+            hold = bool(op["hold"])  # type: ignore[index]
+            self._rollout_hold = hold
+            detail = "held" if hold else "released"
+            self.timeline.record(now, "op-rollout", "fleet", detail)
+            return detail
         raise ConfigurationError(f"unknown op {kind!r}; known ops: {OP_KINDS}")
 
     # ------------------------------------------------------------------
@@ -1043,6 +1067,7 @@ class ServiceCore:
             "safety_degraded": bool(self.safety.degraded) if self.safety else False,
             "boost_active": self._boost_active,
             "boost_enabled": self._boost_enabled,
+            "rollout_hold": self._rollout_hold,
             "fluid_temp_c": self._tank.fluid_temp_c,
             "superheat_c": self._tank.superheat_c,
             "worst_margin_c": margin,

@@ -390,6 +390,73 @@ class HealthCounters:
         return ", ".join(parts) or "(no health activity)"
 
 
+@dataclass
+class RolloutCounters:
+    """Progressive-rollout health counters (the change-management story).
+
+    One instance is owned by a
+    :class:`~repro.rollout.controller.RolloutController`; read together
+    with :class:`HealthCounters` it answers "how far did the change get,
+    what stopped it, and what did stopping it cost". Kept separate from
+    :class:`ServiceCounters` for the same reason as
+    :class:`HealthCounters`: the service tick signature hashes every
+    ServiceCounters field, so rollout accounting must not change shape
+    under existing signatures.
+    """
+
+    #: Waves whose envelope push was issued (including wave re-entries).
+    waves_started: int = 0
+    #: Waves that finished baking with a healthy verdict.
+    waves_completed: int = 0
+    #: Envelope pushes issued to individual hosts (forward direction).
+    envelope_pushes: int = 0
+    #: Envelope pushes issued to individual hosts (rollback direction).
+    rollback_pushes: int = 0
+    #: Controller ticks spent baking (watching canaries vs control).
+    bake_ticks: int = 0
+    #: Canary analyses run (one per bake tick with cohorts populated).
+    analyses: int = 0
+    #: Analyses that returned an unhealthy verdict.
+    analyses_unhealthy: int = 0
+    #: HALT engagements: the rollout stopped advancing on bad signals.
+    halts: int = 0
+    #: Resumes: the halt rung released after clean dwell ticks.
+    resumes: int = 0
+    #: ROLLBACK engagements: the change was reverted everywhere applied.
+    rollbacks: int = 0
+    #: Rollouts that reached the last wave and completed.
+    completes: int = 0
+    #: Ticks frozen because the thermal emergency ladder was engaged.
+    freezes_emergency: int = 0
+    #: Ticks frozen because the power emergency ladder was engaged.
+    freezes_power: int = 0
+    #: Ticks frozen because health quarantine exceeded its budget.
+    freezes_health: int = 0
+    #: Total ticks spent frozen for any reason (no wave may advance).
+    frozen_ticks: int = 0
+    #: Pushes that exceeded the apply deadline (wedged config agents).
+    stalls: int = 0
+    #: Hosts excluded from waves/cohorts because health had them out
+    #: of service when the push reached them.
+    cohort_excluded_hosts: int = 0
+
+    def merge(self, other: "RolloutCounters") -> None:
+        """Fold another counter set into this one (field-wise sum)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the non-zero counters."""
+        parts = [
+            f"{spec.name.replace('_', '-')}={getattr(self, spec.name)}"
+            for spec in fields(self)
+            if getattr(self, spec.name)
+        ]
+        return ", ".join(parts) or "(no rollout activity)"
+
+
 __all__ = [
     "CoreCounters",
     "CounterSnapshot",
@@ -398,5 +465,6 @@ __all__ = [
     "EmergencyCounters",
     "HealthCounters",
     "PowerEmergencyCounters",
+    "RolloutCounters",
     "ServiceCounters",
 ]

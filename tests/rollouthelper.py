@@ -1,0 +1,49 @@
+"""Driver process for the rollout SIGKILL chaos test.
+
+Runs the canary arm of the envelope-rollout experiment with a journal,
+deliberately slowed so the parent test can SIGKILL it mid-rollout (the
+per-tick delay never affects results — only wall-clock pacing). The
+parent then resumes the campaign in-process from the surviving WAL and
+asserts the run signature is bit-identical to an uninterrupted run.
+
+Invoked as ``python -m tests.rollouthelper <cache_dir> <run_id>``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.engine.journal import journal_path
+from repro.experiments.envelope_rollout import RolloutRunResult, run_rollout_mode
+
+#: Seed the chaos campaign runs under (any seed works; pin one so the
+#: parent's reference run matches).
+SEED = 1
+
+#: Wall-clock pause per world tick in the child — wide enough that the
+#: parent reliably lands its SIGKILL between journaled ticks.
+SLEEP_S = 0.15
+
+
+def run_rollout(
+    cache_dir: str, run_id: str, tick_delay_s: float = 0.0
+) -> RolloutRunResult:
+    """One canary-arm run journaled under ``cache_dir``/journal."""
+    return run_rollout_mode(
+        canary=True,
+        seed=SEED,
+        journal_path=journal_path(cache_dir, run_id),
+        run_id=run_id,
+        tick_delay_s=tick_delay_s,
+    )
+
+
+def main() -> int:
+    cache_dir, run_id = sys.argv[1], sys.argv[2]
+    result = run_rollout(cache_dir, run_id, tick_delay_s=SLEEP_S)
+    print(f"ROLLOUT-DONE {result.run_signature}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

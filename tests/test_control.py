@@ -174,6 +174,39 @@ class TestCircuitBreaker:
         assert not breaker.allow(20.0)  # new cool-down runs from t=10.5
         assert breaker.allow(20.5)
 
+    def test_full_transition_matrix(self):
+        """Walk every legal edge of the breaker state machine in one
+        run: CLOSED -> OPEN -> HALF_OPEN -> OPEN (probe fails) ->
+        HALF_OPEN -> CLOSED (probe succeeds)."""
+        breaker = CircuitBreaker(failure_threshold=2, open_duration_s=10.0)
+        assert breaker.state is BreakerState.CLOSED
+
+        # CLOSED -> OPEN after threshold consecutive failures.
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.OPEN
+
+        # OPEN stays OPEN while cooling down; allow() does not mutate.
+        assert not breaker.allow(5.0)
+        assert breaker.state is BreakerState.OPEN
+
+        # OPEN -> HALF_OPEN when the cool-down expires and a caller asks.
+        assert breaker.allow(11.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+        # HALF_OPEN -> OPEN on probe failure (one strike, not threshold).
+        breaker.record_failure(11.5)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+
+        # OPEN -> HALF_OPEN -> CLOSED on a successful probe.
+        assert breaker.allow(21.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.closes == 1
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             CircuitBreaker(failure_threshold=0)
@@ -403,6 +436,62 @@ class TestCommandBus:
         assert bus.open_breakers == ("h0",)
         assert bus.counters.breaker_opens >= 1
         assert bus.counters.breaker_fast_fails >= 1
+
+    def test_breaker_open_lands_on_the_timeline(self):
+        from repro.control.bus import BREAKER_OPEN
+        from repro.faults.timeline import FaultTimeline
+
+        timeline = FaultTimeline()
+        sim, channel, bus, _, _ = make_bus(
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=2,
+            breaker_open_s=30.0,
+            timeline=timeline,
+        )
+        channel.partition("h0")
+        for _ in range(3):
+            bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+            sim.run(until=sim.now + 5.0)
+        opened = [e for e in timeline.events if e.kind == BREAKER_OPEN]
+        assert len(opened) == 1  # one event per open, not per fast-fail
+        assert opened[0].target == "h0"
+        assert opened[0].detail == "cooling down 30s"
+        # Subsequent fast-fails are visible as failed commands with the
+        # breaker named as the reason, not as more breaker-open events.
+        failures = [e for e in timeline.events if e.kind == "cmd-failed"]
+        assert any("breaker-open" in e.detail for e in failures)
+
+    def test_emergency_command_bypasses_the_open_breaker(self):
+        sim, channel, bus, agent, _ = make_bus(
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=2,
+            breaker_open_s=1000.0,
+        )
+        channel.partition("h0", duration_s=20.0)
+        for _ in range(3):
+            bus.send(CommandKind.SET_FREQUENCY, "h0", 4.1)
+            sim.run(until=sim.now + 5.0)
+        assert bus.open_breakers == ("h0",)
+
+        # The partition healed at t=20 but the breaker stays open for
+        # 1000s. A normal command fast-fails; the emergency one punches
+        # through and lands.
+        failures = []
+        bus.send(
+            CommandKind.SET_FREQUENCY,
+            "h0",
+            4.1,
+            on_failed=lambda cmd, reason: failures.append(reason),
+        )
+        sim.run(until=sim.now + 5.0)
+        assert failures == ["breaker-open"]
+        assert agent.frequency_ghz != pytest.approx(3.2)
+
+        bus.send(CommandKind.SET_FREQUENCY, "h0", 3.2, emergency=True)
+        sim.run(until=sim.now + 5.0)
+        assert agent.frequency_ghz == pytest.approx(3.2)
+        assert bus.counters.emergency_bypasses >= 1
+        assert bus.open_breakers == ()  # the ack re-closed the breaker
 
     def test_breaker_recloses_after_heal(self):
         sim, channel, bus, agent, _ = make_bus(

@@ -1,0 +1,144 @@
+"""The envelope-rollout experiment: containment, determinism, SIGKILL.
+
+The acceptance contract for the change-management layer:
+
+* the naive big-bang arm crashes a large fleet fraction and leaks SDCs;
+* the canary arm contains exposure to wave 0's blast budget, leaks
+  zero SDCs, rolls the change back, and demonstrably froze while the
+  power ladder was escalated;
+* both arms are bit-identical per seed (run-signature pinned);
+* a SIGKILL mid-rollout resumes from the journal bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.journal import RunJournal, journal_path
+from repro.experiments import envelope_rollout as er
+
+from . import rollouthelper
+
+SEEDS = [int(token) for token in os.environ.get("REPRO_CHAOS_SEEDS", "1 2").split()]
+
+CHAOS_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "60"))
+
+
+class TestEnvelopeRollout:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_canary_contains_what_the_big_bang_spreads(self, seed):
+        comparison = er.run_envelope_rollout(seed=seed)
+        naive, canary = comparison.naive, comparison.canary
+
+        # The big-bang arm exposed everyone; a meaningful fraction of
+        # the fleet sits below the bad envelope and crashes, and the
+        # silently-marginal band leaks corruptions for days.
+        assert naive.exposed_fraction == 1.0
+        assert naive.crashed_fraction >= 0.2
+        assert naive.sdc_leaked > 0
+        assert naive.final_phase == "big-bang"
+
+        # The canary arm never went past wave 0's blast budget, rolled
+        # back, restored every envelope, and leaked nothing silent.
+        assert canary.rolled_back
+        assert canary.exposed_fraction <= 0.10
+        assert len(canary.exposed_hosts) == 2
+        assert canary.sdc_leaked == 0
+        # A canary is allowed to crash — that is the blast radius doing
+        # its job — but damage never spreads past the canary wave.
+        assert canary.hosts_crashed <= len(canary.exposed_hosts)
+        assert canary.hosts_crashed < naive.hosts_crashed
+        assert all(ratio == er.OLD_RATIO for _, ratio in canary.final_ratios)
+        assert canary.counters.rollbacks == 1
+        assert canary.counters.rollback_pushes == len(canary.exposed_hosts)
+
+        # The change landed during the power-ladder emergency: the
+        # rollout visibly froze before pushing anything.
+        assert canary.counters.freezes_power > 0
+        assert canary.counters.frozen_ticks > 0
+        freeze_kinds = [e.kind for e in canary.timeline if "freeze" in e.kind]
+        assert "rollout-freeze" in freeze_kinds
+        assert "rollout-unfreeze" in freeze_kinds
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_run_signatures_are_bit_identical_per_seed(self, seed):
+        first = er.run_envelope_rollout(seed=seed)
+        again = er.run_envelope_rollout(seed=seed)
+        assert first.naive.run_signature == again.naive.run_signature
+        assert first.canary.run_signature == again.canary.run_signature
+
+    def test_seeds_change_the_world(self):
+        assert (
+            er.run_envelope_rollout(seed=1).naive.run_signature
+            != er.run_envelope_rollout(seed=2).naive.run_signature
+        )
+
+    def test_journaled_run_matches_plain_run(self, tmp_path):
+        plain = er.run_rollout_mode(canary=True, seed=1)
+        journaled = rollouthelper.run_rollout(str(tmp_path), "plain-check")
+        assert journaled.run_signature == plain.run_signature
+        # Re-running over the completed journal replays, not recomputes.
+        resumed = rollouthelper.run_rollout(str(tmp_path), "plain-check")
+        assert resumed.resumed_from_tick > 0
+        assert resumed.run_signature == plain.run_signature
+
+
+@pytest.mark.chaos
+class TestSigkillRollout:
+    def test_sigkilled_rollout_resumes_bit_identically(self, tmp_path):
+        """SIGKILL the canary arm mid-rollout; the resume must land on
+        the same run signature as an uninterrupted run."""
+        run_id = "rollout-chaos"
+        wal = journal_path(tmp_path, run_id)
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src"), str(repo_root)]
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-m", "tests.rollouthelper", str(tmp_path), run_id],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait for at least two durably journaled controller ticks
+            # (but not the whole rollout), then kill -9 the driver.
+            deadline = time.monotonic() + CHAOS_TIMEOUT_S
+            while time.monotonic() < deadline:
+                if wal.exists():
+                    records = wal.read_bytes().count(b'"result"')
+                    if records >= 2:
+                        break
+                if child.poll() is not None:
+                    pytest.fail("rollout finished before it could be killed")
+                time.sleep(0.01)
+            else:
+                pytest.fail("journal never accumulated enough ticks")
+            child.kill()  # SIGKILL: no cleanup, no atexit, no flush
+            child.wait(timeout=CHAOS_TIMEOUT_S)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=CHAOS_TIMEOUT_S)
+
+        # The WAL survived the hard kill: the chain validates on replay.
+        with RunJournal(wal, run_id) as journal:
+            replayed = len(journal.replayed)
+        assert replayed >= 2
+
+        # Resume in-process from the surviving WAL; compare against an
+        # uninterrupted reference run in a separate journal.
+        resumed = rollouthelper.run_rollout(str(tmp_path), run_id)
+        assert resumed.resumed_from_tick >= 1
+        reference = rollouthelper.run_rollout(str(tmp_path), "reference")
+        assert resumed.run_signature == reference.run_signature
+        assert resumed.timeline_signature == reference.timeline_signature
+        assert resumed.counters.describe() == reference.counters.describe()

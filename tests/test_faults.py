@@ -375,6 +375,7 @@ class TestScenarios:
             "heatwave",
             "oversubscribe",
             "silicon-drift",
+            "envelope-rollout",
         }
 
     def test_unknown_scenario_exits_2(self, capsys):

@@ -5,10 +5,13 @@ conservation laws and monotonicities the models must obey regardless of
 parameters.
 """
 
+from enum import IntEnum
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import Host, PlacementEngine, PlacementPolicy, VMInstance, VMSpec
+from repro.emergency.ladder import StagedLadder
 from repro.errors import PlacementError
 from repro.reliability import CompositeLifetimeModel, OperatingCondition
 from repro.silicon import B2, FrequencyConfig, ServerPowerModel
@@ -309,3 +312,129 @@ def test_crash_rate_infinite_exactly_when_the_part_crashes(ratio, background):
 
     model = StabilityModel(background_error_rate_per_hour=background)
     assert math.isinf(model.crash_rate_per_hour(ratio)) == model.crashes(ratio)
+
+
+# ----------------------------------------------------------------------
+# Staged ladders: escalation / hysteresis / re-arm invariants
+# ----------------------------------------------------------------------
+class _LadderStage(IntEnum):
+    NORMAL = 0
+    WARN = 1
+    DEGRADE = 2
+    SHED = 3
+
+
+_LADDER_THRESHOLDS = {
+    _LadderStage.WARN: 0.6,
+    _LadderStage.DEGRADE: 0.3,
+    _LadderStage.SHED: 0.0,
+}
+_LADDER_HYSTERESIS = 0.1
+_LADDER_DWELL = 3
+
+
+def _ladder(fired: list | None = None) -> StagedLadder:
+    ladder = StagedLadder(
+        _LadderStage,
+        _LADDER_THRESHOLDS,
+        hysteresis=_LADDER_HYSTERESIS,
+        relax_clean_ticks=_LADDER_DWELL,
+    )
+    if fired is not None:
+        for stage in list(_LadderStage)[1:]:
+            ladder.register(
+                stage,
+                engage=lambda s=stage: fired.append(("engage", s)) or "on",
+                release=lambda s=stage: fired.append(("release", s)) or "off",
+            )
+    return ladder
+
+
+_margins = st.lists(
+    st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_margins)
+def test_ladder_stage_bounded_and_relax_descends_one_rung(margin_trace):
+    """Under arbitrary margin traces the stage stays inside the enum,
+    escalation may cross rungs, but relaxation steps down exactly one
+    rung at a time."""
+    ladder = _ladder()
+    previous = ladder.stage
+    for tick, margin in enumerate(margin_trace):
+        stage = ladder.observe(float(tick), margin)
+        assert _LadderStage.NORMAL <= stage <= _LadderStage.SHED
+        assert stage - previous >= -1  # never skips rungs downward
+        previous = stage
+
+
+@settings(max_examples=80, deadline=None)
+@given(_margins)
+def test_ladder_fires_every_crossed_rung_exactly_once(margin_trace):
+    """Every engage/release action fires once per transition: engages
+    and releases interleave per rung, and the net engage-minus-release
+    count equals the rung's final engagement state."""
+    fired: list = []
+    ladder = _ladder(fired)
+    for tick, margin in enumerate(margin_trace):
+        ladder.observe(float(tick), margin)
+    for stage in list(_LadderStage)[1:]:
+        engages = sum(1 for kind, s in fired if s == stage and kind == "engage")
+        releases = sum(1 for kind, s in fired if s == stage and kind == "release")
+        engaged_now = int(ladder.stage >= stage)
+        assert engages - releases == engaged_now
+        assert engages >= releases
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2 * _LADDER_DWELL),
+    st.floats(min_value=0.0, max_value=0.09),
+)
+def test_ladder_dwell_is_consecutive_not_cumulative(clean_run, dirty_margin):
+    """A clean streak shorter than the dwell, interrupted by one dirty
+    tick, never relaxes — hysteresis requires *consecutive* clean
+    ticks, so accumulated credit is discarded."""
+    ladder = _ladder()
+    ladder.observe(0.0, -0.1)  # escalate straight to SHED
+    assert ladder.stage is _LadderStage.SHED
+    clean = _LADDER_THRESHOLDS[_LadderStage.SHED] + _LADDER_HYSTERESIS
+    tick = 1.0
+    for _ in range(min(clean_run, _LADDER_DWELL - 1)):
+        ladder.observe(tick, clean)
+        tick += 1.0
+    assert ladder.stage is _LadderStage.SHED
+    # One dirty tick (below the SHED clear line of 0.1, at or above
+    # the SHED threshold of 0.0) resets the streak without relaxing...
+    ladder.observe(tick, dirty_margin)
+    assert ladder.stage is _LadderStage.SHED
+    # ...so a partial streak afterwards still does not relax.
+    for offset in range(_LADDER_DWELL - 1):
+        ladder.observe(tick + 1.0 + offset, clean)
+    assert ladder.stage is _LadderStage.SHED
+    # Only a full consecutive dwell steps down — by exactly one rung.
+    ladder.observe(tick + float(_LADDER_DWELL), clean)
+    assert ladder.stage is _LadderStage.DEGRADE
+
+
+@settings(max_examples=60, deadline=None)
+@given(_margins)
+def test_ladder_rearm_is_bounded(margin_trace):
+    """After any history, a margin below the deepest threshold re-arms
+    the full ladder in one observe, and a long clean tail fully relaxes
+    it in exactly rungs x dwell ticks."""
+    ladder = _ladder()
+    for tick, margin in enumerate(margin_trace):
+        ladder.observe(float(tick), margin)
+    base = float(len(margin_trace))
+    ladder.observe(base, -0.5)
+    assert ladder.stage is _LadderStage.SHED
+    clean = _LADDER_THRESHOLDS[_LadderStage.WARN] + _LADDER_HYSTERESIS
+    for offset in range(len(_LADDER_THRESHOLDS) * _LADDER_DWELL):
+        ladder.observe(base + 1.0 + offset, clean)
+    assert ladder.stage is _LadderStage.NORMAL
+    assert not ladder.emergency
